@@ -1,0 +1,42 @@
+# hetsched build targets. Everything is stdlib-only Go; see README.md.
+
+GO ?= go
+
+.PHONY: all build test vet bench cover figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every table and figure from the paper's evaluation.
+figures:
+	$(GO) run ./cmd/hcbench -fig all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/transpose
+	$(GO) run ./examples/mediaservers
+	$(GO) run ./examples/adaptive
+	$(GO) run ./examples/directory
+	$(GO) run ./examples/staging
+	$(GO) run ./examples/repeated
+	$(GO) run ./examples/multinet
+
+clean:
+	$(GO) clean ./...

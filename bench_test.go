@@ -1,0 +1,535 @@
+package hetsched
+
+// Benchmark harness: one target per paper artifact, matching the
+// experiment index in DESIGN.md. `go test -bench .` exercises every
+// table and figure's regeneration path; cmd/hcbench prints the actual
+// series. Benchmarks use reduced trial counts so the suite stays
+// minutes-scale; the shapes are asserted in the unit tests and
+// recorded in EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hetsched/internal/experiments"
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/qos"
+	"hetsched/internal/sched"
+	"hetsched/internal/sim"
+	"hetsched/internal/workload"
+)
+
+// ---- Tables 1 and 2: the GUSTO directory data ----
+
+func BenchmarkTable1GustoLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := netmodel.Gusto()
+		s := 0.0
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				s += p.At(x, y).Latency
+			}
+		}
+		if s <= 0 {
+			b.Fatal("table empty")
+		}
+	}
+}
+
+func BenchmarkTable2GustoBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := netmodel.Gusto()
+		s := 0.0
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				s += p.At(x, y).Bandwidth
+			}
+		}
+		if s <= 0 {
+			b.Fatal("table empty")
+		}
+	}
+}
+
+// ---- Running example (Figures 3, 4, 6, 7, 8) ----
+
+func BenchmarkRunningExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunningExample(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figures 9-12: the evaluation sweeps ----
+
+func benchmarkFigure(b *testing.B, kind workload.Kind) {
+	cfg := experiments.Config{Kind: kind, Ps: []int{10, 30, 50}, Trials: 1, Seed: 1998}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Cells) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFigure9SmallMessages(b *testing.B)  { benchmarkFigure(b, workload.Small) }
+func BenchmarkFigure10LargeMessages(b *testing.B) { benchmarkFigure(b, workload.Large) }
+func BenchmarkFigure11MixedMessages(b *testing.B) { benchmarkFigure(b, workload.Mixed) }
+func BenchmarkFigure12ServerScenario(b *testing.B) {
+	benchmarkFigure(b, workload.Servers)
+}
+
+// ---- X1: Theorem 2 tightness family ----
+
+func BenchmarkTheorem2Family(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.RunTightness([]int{20, 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rs[1].BaselineRatio < 20 {
+			b.Fatalf("tightness family lost its bite: %+v", rs)
+		}
+	}
+}
+
+// ---- X2: Theorem 3 bound under adversarial and random load ----
+
+func BenchmarkOpenShopBound(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	perf := netmodel.RandomPerf(rng, 50, netmodel.GustoGuided())
+	m, err := model.BuildUniform(perf, workload.LargeMessage)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lb := m.LowerBound()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := sched.NewOpenShop().Schedule(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.CompletionTime() > 2*lb*(1+1e-9) {
+			b.Fatal("Theorem 3 violated")
+		}
+	}
+}
+
+// ---- X3: interleaved receives (α sweep) ----
+
+func BenchmarkAlphaInterleaving(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAlphaSweep(16, 1, 9, []float64{0, 0.1, 0.3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- X4: incremental repair vs full recompute ----
+
+func BenchmarkIncrementalRepair(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunIncremental(16, 1, 9, []float64{0.1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncrementalRepairVsRecompute(b *testing.B) {
+	// The ablation's point: repairing after a small change costs a
+	// fraction of recomputing. Two sub-benches on the same instance.
+	rng := rand.New(rand.NewSource(5))
+	perf := netmodel.RandomPerf(rng, 32, netmodel.GustoGuided())
+	old, err := model.BuildUniform(perf, workload.LargeMessage)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prev, err := sched.MaxMatching{}.Schedule(old)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cur := old.Clone()
+	for k := 0; k < 16; k++ { // ~1.5% of pairs change
+		i, j := rng.Intn(32), rng.Intn(32)
+		if i != j {
+			cur.Set(i, j, old.At(i, j)*3)
+		}
+	}
+	b.Run("repair", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := RefineSchedule(prev.Steps, old, cur, DefaultRefineOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (sched.MaxMatching{}).Schedule(cur); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- X5: checkpoint rescheduling ----
+
+func BenchmarkCheckpointRescheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCheckpointStudy(12, 1, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- X6: QoS deadlines ----
+
+func BenchmarkQoSDeadlines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunQoSStudy(16, 1, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- X7: critical resource ----
+
+func BenchmarkCriticalResource(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunCriticalStudy(16, 1, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- X10: exact optimum on small instances ----
+
+func BenchmarkExactSolver(b *testing.B) {
+	m := model.ExampleMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SolveExact(m, ExactOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Optimal {
+			b.Fatal("not proved optimal")
+		}
+	}
+}
+
+func BenchmarkOptimalityGap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunOptimalityGap(4, 2, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Local-search post-optimization ----
+
+func BenchmarkLocalSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	perf := netmodel.RandomPerf(rng, 12, netmodel.GustoGuided())
+	m, err := model.BuildUniform(perf, workload.LargeMessage)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := sched.NewGreedy().Schedule(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ImproveSchedule(r.Steps, m, OptimizeOptions{MaxMoves: 64, Candidates: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Block-cyclic redistribution workload ----
+
+func BenchmarkRedistribution(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sizes, err := RedistributionSizes(32, 1_000_000, 7, 13, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sizes.TotalBytes() == 0 {
+			b.Fatal("nothing moved")
+		}
+	}
+}
+
+// ---- Shared-link execution (dynamic §3.1 bandwidth division) ----
+
+func BenchmarkTopologySharedExecution(b *testing.B) {
+	topo := netmodel.ExampleTopology(4) // 12 hosts
+	perf, err := topo.Perf()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := model.UniformSizes(12, workload.LargeMessage)
+	m, err := model.Build(perf, sizes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := sched.NewOpenShop().Schedule(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sim.PlanFromSchedule(r.Schedule, sizes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tn, err := sim.NewTopologyNetwork(topo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(tn, plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- X9: data staging (BADD) ----
+
+func BenchmarkDataStaging(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunStagingStudy(16, 3, 24, 1, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Partial (all-to-some) scheduling ----
+
+func BenchmarkPartialOpenShop(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	perf := netmodel.RandomPerf(rng, 32, netmodel.GustoGuided())
+	m, err := model.BuildUniform(perf, workload.LargeMessage)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pattern sched.Pattern
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			if i != j && (i+j)%3 == 0 {
+				pattern = append(pattern, Pair{Src: i, Dst: j})
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.PartialOpenShop(m, pattern); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- X8: scheduler scaling (compute cost of the algorithms) ----
+
+func BenchmarkSchedulerScaling(b *testing.B) {
+	for _, p := range []int{16, 32, 50} {
+		rng := rand.New(rand.NewSource(int64(p)))
+		perf := netmodel.RandomPerf(rng, p, netmodel.GustoGuided())
+		m, err := model.BuildUniform(perf, workload.LargeMessage)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range sched.All() {
+			b.Run(fmt.Sprintf("%s/P%d", s.Name(), p), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.Schedule(m); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---- Ablations from DESIGN.md §6 ----
+
+func BenchmarkAblationGreedyRotation(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	perf := netmodel.RandomPerf(rng, 32, netmodel.GustoGuided())
+	m, err := model.BuildUniform(perf, workload.LargeMessage)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, g := range []sched.Greedy{sched.NewGreedy(), {Rotate: false}} {
+		b.Run(g.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := g.Schedule(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationOpenShopTieBreak(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	perf := netmodel.RandomPerf(rng, 32, netmodel.GustoGuided())
+	m, err := model.BuildUniform(perf, workload.LargeMessage)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tb := range []sched.TieBreak{sched.TieLowestID, sched.TieMostLoaded, sched.TieLongestEvent} {
+		o := sched.OpenShop{TieBreak: tb}
+		b.Run(tb.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := o.Schedule(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationBarrierVsAsync(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	perf := netmodel.RandomPerf(rng, 32, netmodel.GustoGuided())
+	m, err := model.BuildUniform(perf, workload.LargeMessage)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []sched.Scheduler{sched.Baseline{}, sched.BaselineBarrier{}} {
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Schedule(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Simulator engine throughput ----
+
+func BenchmarkSimulatorEngine(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	perf := netmodel.RandomPerf(rng, 32, netmodel.GustoGuided())
+	sizes := model.UniformSizes(32, workload.LargeMessage)
+	m, err := model.Build(perf, sizes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := sched.NewOpenShop().Schedule(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := sim.PlanFromSchedule(r.Schedule, sizes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := sim.NewStatic(perf)
+	b.Run("exclusive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(net, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("interleaved", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunInterleaved(net, plan, 0.2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("buffered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.RunBuffered(net, plan, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- QoS scheduler throughput ----
+
+func BenchmarkQoSListScheduler(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n := 32
+	var msgs []qos.Message
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				msgs = append(msgs, qos.Message{
+					Src: i, Dst: j, Duration: rng.Float64() * 5, Deadline: rng.Float64() * 100,
+				})
+			}
+		}
+	}
+	prob := &qos.Problem{N: n, Messages: msgs}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := qos.Schedule(prob, qos.EDF); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- X11: multiple heterogeneous networks ----
+
+func BenchmarkMultinetStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunMultinetStudy(12, 1, 9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- X12: direct vs combine-and-forward ----
+
+func BenchmarkIndirectStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunIndirectStudy(16, 1, 9, []int64{1 << 10, 1 << 20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Multi-start open shop ablation ----
+
+func BenchmarkMultiStartOpenShop(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	perf := netmodel.RandomPerf(rng, 24, netmodel.GustoGuided())
+	m, err := model.BuildUniform(perf, workload.LargeMessage)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, restarts := range []int{1, 8, 32} {
+		ms := sched.MultiStartOpenShop{Restarts: restarts, Seed: 1}
+		b.Run(ms.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ms.Schedule(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- X3b: finite receive buffers ----
+
+func BenchmarkBufferSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBufferSweep(12, 1, 9, []int{1, 4, 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+package hetsched_test
+
+// End-to-end tests of the command-line tools: the binaries are built
+// once into a temporary directory and driven exactly as a user would,
+// including a live hcdird → hcquery → hcsched pipeline over TCP.
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// buildTools compiles every cmd/ binary once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "hetsched-bin")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binDir = dir
+		for _, tool := range []string{"hcsched", "hcbench", "hcquery", "hcdird", "hcsim"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return binDir
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildTools(t), bin), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+func runExpectError(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildTools(t), bin), args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v: expected failure, got:\n%s", bin, args, out)
+	}
+	return string(out)
+}
+
+func TestCLISchedExample(t *testing.T) {
+	out := run(t, "hcsched", "-example", "-all")
+	for _, want := range []string{"baseline", "openshop", "lower bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLISchedMatrixFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	matrix := filepath.Join(dir, "m.txt")
+	src := "3\n0 2 3\n1 0 4\n2 2 0\n"
+	if err := os.WriteFile(matrix, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "hcsched", "-matrix", matrix, "-alg", "maxmatch", "-diagram", "-critical")
+	for _, want := range []string{"maxmatch", "processors:  3", "critical dependence chain", "bottleneck"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLISchedSVG(t *testing.T) {
+	dir := t.TempDir()
+	svg := filepath.Join(dir, "out.svg")
+	run(t, "hcsched", "-example", "-alg", "openshop", "-svg", svg)
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("SVG file malformed")
+	}
+}
+
+func TestCLISchedErrors(t *testing.T) {
+	out := runExpectError(t, "hcsched")
+	if !strings.Contains(out, "pick a source") {
+		t.Errorf("unhelpful error: %s", out)
+	}
+	runExpectError(t, "hcsched", "-example", "-alg", "nope")
+	runExpectError(t, "hcsched", "-matrix", "/does/not/exist")
+}
+
+func TestCLIQueryGusto(t *testing.T) {
+	out := run(t, "hcquery", "-gusto")
+	for _, want := range []string{"AMES", "NCSA", "latency (ms)", "bandwidth (kbit/s)", "4976"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestCLIBenchTightAndGap(t *testing.T) {
+	out := run(t, "hcbench", "-fig", "tight")
+	if !strings.Contains(out, "Theorem 2") {
+		t.Errorf("tightness output wrong:\n%s", out)
+	}
+	out = run(t, "hcbench", "-fig", "gap", "-trials", "2")
+	if !strings.Contains(out, "exact optimum") {
+		t.Errorf("gap output wrong:\n%s", out)
+	}
+	runExpectError(t, "hcbench", "-fig", "nonsense")
+}
+
+func TestCLISim(t *testing.T) {
+	out := run(t, "hcsim", "-p", "6", "-alg", "openshop")
+	if !strings.Contains(out, "executed (exclusive") {
+		t.Errorf("sim output wrong:\n%s", out)
+	}
+	out = run(t, "hcsim", "-p", "6", "-model", "buffered", "-capacity", "2")
+	if !strings.Contains(out, "buffered") {
+		t.Errorf("buffered output wrong:\n%s", out)
+	}
+	runExpectError(t, "hcsim", "-p", "6", "-model", "nope")
+}
+
+func TestCLIDirectoryPipeline(t *testing.T) {
+	// Start the daemon on an ephemeral port, query it, emit a matrix,
+	// schedule it, then save state and reload it through hcsim.
+	dir := t.TempDir()
+	bin := buildTools(t)
+	port := freePort(t)
+	addr := "127.0.0.1:" + port
+
+	state := filepath.Join(dir, "state.json")
+	daemon := exec.Command(filepath.Join(bin, "hcdird"), "-addr", addr, "-gusto", "-save", state)
+	daemonOut := &strings.Builder{}
+	daemon.Stdout = daemonOut
+	daemon.Stderr = daemonOut
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+
+	// Wait for the listener.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never listened; output:\n%s", daemonOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	out := run(t, "hcquery", "-addr", addr, "-pair", "0,3")
+	if !strings.Contains(out, "12.000 ms") {
+		t.Errorf("query output wrong: %s", out)
+	}
+
+	matrix := filepath.Join(dir, "m.txt")
+	emitted := run(t, "hcquery", "-addr", addr, "-emit", "-size", "1048576")
+	if err := os.WriteFile(matrix, []byte(emitted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = run(t, "hcsched", "-matrix", matrix, "-alg", "openshop")
+	if !strings.Contains(out, "processors:  5") {
+		t.Errorf("sched on emitted matrix failed:\n%s", out)
+	}
+
+	// Graceful shutdown saves state.
+	if err := daemon.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("daemon did not exit; output:\n%s", daemonOut.String())
+	}
+	if _, err := os.Stat(state); err != nil {
+		t.Fatalf("state not saved: %v\noutput:\n%s", err, daemonOut.String())
+	}
+
+	out = run(t, "hcsim", "-net", state, "-alg", "maxmatch")
+	if !strings.Contains(out, "5 processors") {
+		t.Errorf("hcsim on saved state failed:\n%s", out)
+	}
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	_, port, err := net.SplitHostPort(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return port
+}

@@ -1,0 +1,164 @@
+// Command hcbench regenerates the paper's evaluation figures and the
+// extension experiments as text tables (or CSV), exactly mapping the
+// experiment index in DESIGN.md.
+//
+//	hcbench -fig 9          # Figure 9: small messages
+//	hcbench -fig 10         # Figure 10: large messages
+//	hcbench -fig 11         # Figure 11: mixed messages
+//	hcbench -fig 12         # Figure 12: 20% servers
+//	hcbench -fig example    # the running example (Figures 3-8)
+//	hcbench -fig tight      # X1: Theorem 2 tightness family
+//	hcbench -fig alpha      # X3: interleaved receives α sweep
+//	hcbench -fig incr       # X4: incremental repair vs recompute
+//	hcbench -fig ckpt       # X5: checkpoint rescheduling under drift
+//	hcbench -fig qos        # X6: deadline scheduling
+//	hcbench -fig critical   # X7: critical-resource scheduling
+//	hcbench -fig all        # everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetsched/internal/experiments"
+	"hetsched/internal/workload"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "which figure/experiment to run (see -help)")
+		trials = flag.Int("trials", 5, "random instances per data point")
+		seed   = flag.Int64("seed", 1998, "base random seed")
+		pmax   = flag.Int("pmax", 50, "largest processor count for the figure sweeps")
+		csv    = flag.Bool("csv", false, "emit CSV instead of tables (figure sweeps only)")
+	)
+	flag.Parse()
+
+	run := func(name string) error {
+		switch name {
+		case "9", "10", "11", "12":
+			kinds := map[string]workload.Kind{
+				"9": workload.Small, "10": workload.Large,
+				"11": workload.Mixed, "12": workload.Servers,
+			}
+			cfg := experiments.DefaultConfig(kinds[name])
+			cfg.Trials = *trials
+			cfg.Seed = *seed
+			var ps []int
+			for p := 5; p <= *pmax; p += 5 {
+				ps = append(ps, p)
+			}
+			cfg.Ps = ps
+			res, err := experiments.RunFigure(cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("=== Figure %s ===\n", name)
+			if *csv {
+				fmt.Print(res.FormatCSV())
+			} else {
+				fmt.Print(res.FormatTable())
+			}
+		case "example":
+			out, err := experiments.RunningExample()
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== Running example (Figures 3-8) ===")
+			fmt.Print(out)
+		case "tight":
+			rs, err := experiments.RunTightness([]int{10, 20, 30, 40, 50})
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== X1: Theorem 2 tightness ===")
+			fmt.Print(experiments.FormatTightness(rs))
+		case "alpha":
+			rs, err := experiments.RunAlphaSweep(20, *trials, *seed, []float64{0, 0.1, 0.2, 0.3, 0.5, 1.0})
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== X3: interleaved receives ===")
+			fmt.Print(experiments.FormatAlpha(rs))
+		case "buffer":
+			rs, err := experiments.RunBufferSweep(20, *trials, *seed, []int{1, 2, 4, 8, 16})
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== X3b: finite receive buffers ===")
+			fmt.Print(experiments.FormatBuffer(rs))
+		case "incr":
+			rs, err := experiments.RunIncremental(20, *trials, *seed, []float64{0.05, 0.1, 0.2, 0.4, 0.8})
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== X4: incremental repair ===")
+			fmt.Print(experiments.FormatIncremental(rs))
+		case "ckpt":
+			rs, err := experiments.RunCheckpointStudy(16, *trials, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== X5: checkpoint rescheduling ===")
+			fmt.Print(experiments.FormatCheckpoint(rs))
+		case "qos":
+			rs, err := experiments.RunQoSStudy(16, *trials, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== X6: QoS deadlines ===")
+			fmt.Print(experiments.FormatQoS(rs))
+		case "critical":
+			rs, err := experiments.RunCriticalStudy(16, *trials, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== X7: critical resource ===")
+			fmt.Print(experiments.FormatCritical(rs))
+		case "indirect":
+			rs, err := experiments.RunIndirectStudy(16, *trials, *seed, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== X12: direct vs combine-and-forward ===")
+			fmt.Print(experiments.FormatIndirect(rs))
+		case "multinet":
+			rs, err := experiments.RunMultinetStudy(16, *trials, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== X11: multiple heterogeneous networks ===")
+			fmt.Print(experiments.FormatMultinet(rs))
+		case "gap":
+			rs, err := experiments.RunOptimalityGap(4, *trials, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== X10: heuristics vs exact optimum ===")
+			fmt.Print(experiments.FormatGap(rs, 4))
+		case "staging":
+			rs, err := experiments.RunStagingStudy(16, 3, 24, *trials, *seed)
+			if err != nil {
+				return err
+			}
+			fmt.Println("=== X9: data staging (BADD) ===")
+			fmt.Print(experiments.FormatStaging(rs))
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+		fmt.Println()
+		return nil
+	}
+
+	names := []string{*fig}
+	if *fig == "all" {
+		names = []string{"example", "9", "10", "11", "12", "tight", "alpha", "buffer", "incr", "ckpt", "qos", "critical", "staging", "gap", "multinet", "indirect"}
+	}
+	for _, name := range names {
+		if err := run(name); err != nil {
+			fmt.Fprintln(os.Stderr, "hcbench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Command hcdird runs the directory service daemon: a TCP server
+// speaking the JSON-line protocol that publishes pairwise network
+// performance, modelled on the Globus Metacomputing Directory Service.
+// It can serve the static GUSTO tables, a random GUSTO-guided table,
+// or either with a synthetic load model that drifts bandwidths over
+// time, for exercising adaptive scheduling against a live directory.
+//
+// Usage:
+//
+//	hcdird -addr 127.0.0.1:7474 -gusto
+//	hcdird -addr 127.0.0.1:7474 -random -p 16 -drift 100ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"hetsched"
+	"hetsched/internal/directory"
+	"hetsched/internal/netmodel"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7474", "listen address")
+		gusto  = flag.Bool("gusto", false, "serve the GUSTO tables (Tables 1 and 2)")
+		random = flag.Bool("random", false, "serve a GUSTO-guided random table")
+		p      = flag.Int("p", 10, "processors for -random")
+		seed   = flag.Int64("seed", 1, "seed for -random and -drift")
+		drift  = flag.Duration("drift", 0, "if > 0, drift bandwidths at this interval")
+		load   = flag.String("load", "", "load initial state from a JSON file")
+		save   = flag.String("save", "", "save final state to a JSON file on shutdown")
+	)
+	flag.Parse()
+
+	var perf *hetsched.Perf
+	var names []string
+	switch {
+	case *load != "":
+		data, err := os.ReadFile(*load)
+		if err != nil {
+			fatal(err)
+		}
+		perf, names, err = netmodel.UnmarshalPerf(data)
+		if err != nil {
+			fatal(err)
+		}
+	case *gusto:
+		perf = hetsched.Gusto()
+		names = hetsched.GustoSites
+	case *random:
+		perf = hetsched.RandomPerf(rand.New(rand.NewSource(*seed)), *p, hetsched.GustoGuided())
+	default:
+		fmt.Fprintln(os.Stderr, "hcdird: pick -gusto, -random, or -load FILE")
+		os.Exit(1)
+	}
+
+	store, err := directory.NewStore(perf, names)
+	if err != nil {
+		fatal(err)
+	}
+	srv := directory.NewServer(store)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("hcdird: serving %d processors on %s\n", store.N(), bound)
+
+	stop := make(chan struct{})
+	feederDone := make(chan error, 1)
+	if *drift > 0 {
+		feeder := directory.NewFeeder(store, rand.New(rand.NewSource(*seed+1)), netmodel.DefaultDrift())
+		go func() { feederDone <- feeder.Run(*drift, stop) }()
+		fmt.Printf("hcdird: drifting bandwidths every %v\n", *drift)
+	} else {
+		feederDone <- nil
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	if err := <-feederDone; err != nil {
+		fmt.Fprintln(os.Stderr, "hcdird: feeder:", err)
+	}
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	if *save != "" {
+		final, _ := store.Snapshot()
+		data, err := netmodel.MarshalPerf(final, store.Names())
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*save, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("hcdird: state saved to %s\n", *save)
+	}
+	fmt.Println("hcdird: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hcdird:", err)
+	os.Exit(1)
+}

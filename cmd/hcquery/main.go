@@ -1,0 +1,144 @@
+// Command hcquery is the directory client: it queries a running
+// hcdird daemon (or prints the built-in GUSTO tables) and can emit a
+// communication matrix for a given message size, ready for hcsched.
+//
+// Usage:
+//
+//	hcquery -gusto                         # print Tables 1 and 2
+//	hcquery -addr 127.0.0.1:7474           # snapshot a live directory
+//	hcquery -addr ... -pair 0,3            # one pair
+//	hcquery -addr ... -emit -size 1048576  # matrix in hcsched format
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hetsched"
+	"hetsched/internal/directory"
+	"hetsched/internal/netmodel"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "", "directory server address")
+		gusto = flag.Bool("gusto", false, "print the built-in GUSTO tables and exit")
+		pair  = flag.String("pair", "", "query one ordered pair, e.g. 0,3")
+		emit  = flag.Bool("emit", false, "emit a communication matrix in hcsched text format")
+		size  = flag.Int64("size", 1<<20, "message size in bytes for -emit")
+	)
+	flag.Parse()
+
+	if *gusto {
+		printPerf(hetsched.Gusto(), hetsched.GustoSites)
+		return
+	}
+	if *addr == "" {
+		fmt.Fprintln(os.Stderr, "hcquery: need -addr or -gusto")
+		os.Exit(1)
+	}
+	cl, err := directory.Dial(*addr, 5*time.Second)
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+
+	if *pair != "" {
+		src, dst, err := parsePair(*pair)
+		if err != nil {
+			fatal(err)
+		}
+		pp, v, err := cl.Query(src, dst)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("pair %d→%d (version %d): latency %.3f ms, bandwidth %.1f kbit/s\n",
+			src, dst, v, netmodel.SecondsToMs(pp.Latency), netmodel.BytesPerSecondToKbps(pp.Bandwidth))
+		return
+	}
+
+	perf, names, v, err := cl.Snapshot()
+	if err != nil {
+		fatal(err)
+	}
+	if *emit {
+		m, err := hetsched.BuildUniform(perf, *size)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("# directory snapshot version %d, message size %d bytes\n", v, *size)
+		fmt.Print(hetsched.FormatMatrix(m))
+		return
+	}
+	fmt.Printf("directory snapshot, version %d\n", v)
+	printPerf(perf, names)
+}
+
+func printPerf(perf *hetsched.Perf, names []string) {
+	n := perf.N()
+	label := func(i int) string {
+		if i < len(names) {
+			return names[i]
+		}
+		return fmt.Sprintf("P%d", i)
+	}
+	fmt.Println("latency (ms):")
+	fmt.Printf("%10s", "")
+	for j := 0; j < n; j++ {
+		fmt.Printf(" %9s", label(j))
+	}
+	fmt.Println()
+	for i := 0; i < n; i++ {
+		fmt.Printf("%10s", label(i))
+		for j := 0; j < n; j++ {
+			if i == j {
+				fmt.Printf(" %9s", "-")
+				continue
+			}
+			fmt.Printf(" %9.1f", netmodel.SecondsToMs(perf.At(i, j).Latency))
+		}
+		fmt.Println()
+	}
+	fmt.Println("bandwidth (kbit/s):")
+	fmt.Printf("%10s", "")
+	for j := 0; j < n; j++ {
+		fmt.Printf(" %9s", label(j))
+	}
+	fmt.Println()
+	for i := 0; i < n; i++ {
+		fmt.Printf("%10s", label(i))
+		for j := 0; j < n; j++ {
+			if i == j {
+				fmt.Printf(" %9s", "-")
+				continue
+			}
+			fmt.Printf(" %9.0f", netmodel.BytesPerSecondToKbps(perf.At(i, j).Bandwidth))
+		}
+		fmt.Println()
+	}
+}
+
+func parsePair(s string) (int, int, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("pair must be src,dst: %q", s)
+	}
+	src, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return 0, 0, err
+	}
+	dst, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err != nil {
+		return 0, 0, err
+	}
+	return src, dst, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hcquery:", err)
+	os.Exit(1)
+}

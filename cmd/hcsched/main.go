@@ -1,0 +1,144 @@
+// Command hcsched schedules a total exchange over a heterogeneous
+// network and prints the resulting timing diagram and statistics.
+//
+// The communication matrix comes from one of three sources:
+//
+//	hcsched -example                         # the paper's running example
+//	hcsched -matrix comm.txt                 # a matrix file (see -help)
+//	hcsched -random -p 12 -size 1048576      # GUSTO-guided random instance
+//
+// Usage:
+//
+//	hcsched [-alg openshop] [-diagram] [-csv] [-all] <source flags>
+//
+// The matrix file format is the model text format: a comment-friendly
+// header line with P followed by P rows of P space-separated times in
+// seconds (diagonal zero).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hetsched"
+)
+
+func main() {
+	var (
+		alg     = flag.String("alg", "openshop", "scheduler: baseline, baseline-barrier, maxmatch, minmatch, greedy, openshop")
+		all     = flag.Bool("all", false, "run every scheduler and print a comparison table")
+		example = flag.Bool("example", false, "use the paper's 5-processor running example")
+		matrix  = flag.String("matrix", "", "read the communication matrix from this file")
+		random  = flag.Bool("random", false, "generate a GUSTO-guided random instance")
+		p       = flag.Int("p", 10, "processors for -random")
+		size    = flag.Int64("size", 1<<20, "message size in bytes for -random")
+		seed    = flag.Int64("seed", 1, "random seed for -random")
+		diagram = flag.Bool("diagram", false, "print the ASCII timing diagram")
+		rows    = flag.Int("rows", 24, "diagram height in rows")
+		csvOut  = flag.Bool("csv", false, "print the schedule as CSV events")
+		jsonOut = flag.Bool("json", false, "print the schedule as JSON")
+		svgOut  = flag.String("svg", "", "write the timing diagram as SVG to this file")
+		crit    = flag.Bool("critical", false, "print the critical dependence chain and port utilization")
+	)
+	flag.Parse()
+
+	m, err := loadMatrix(*example, *matrix, *random, *p, *size, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *all {
+		results, err := hetsched.Compare(m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(hetsched.FormatComparison(results))
+		return
+	}
+
+	s, err := hetsched.SchedulerByName(*alg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := s.Schedule(m)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("algorithm:   %s\n", res.Algorithm)
+	fmt.Printf("processors:  %d\n", m.N())
+	fmt.Printf("lower bound: %.6g s\n", res.LowerBound)
+	fmt.Printf("completion:  %.6g s (%.3f x lower bound)\n", res.CompletionTime(), res.Ratio())
+	if *diagram {
+		fmt.Println()
+		fmt.Print(hetsched.RenderASCII(res.Schedule, hetsched.RenderOptions{Rows: *rows}))
+	}
+	if *crit {
+		fmt.Println("\ncritical dependence chain:")
+		fmt.Print(hetsched.FormatCriticalPath(hetsched.CriticalPath(res.Schedule)))
+		p, v := hetsched.BottleneckProcessor(res.Schedule)
+		fmt.Printf("bottleneck: P%d at %.1f%% port utilization\n", p, v*100)
+	}
+	if *csvOut {
+		fmt.Println()
+		if err := writeCSV(res); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut {
+		data, err := json.MarshalIndent(res.Schedule, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+	}
+	if *svgOut != "" {
+		f, err := os.Create(*svgOut)
+		if err != nil {
+			fatal(err)
+		}
+		title := fmt.Sprintf("%s schedule, t_lb=%.4g s", res.Algorithm, res.LowerBound)
+		if err := hetsched.RenderSVG(f, res.Schedule, hetsched.SVGOptions{Title: title}); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+}
+
+func loadMatrix(example bool, matrixPath string, random bool, p int, size, seed int64) (*hetsched.Matrix, error) {
+	switch {
+	case example:
+		return hetsched.ExampleMatrix(), nil
+	case matrixPath != "":
+		data, err := os.ReadFile(matrixPath)
+		if err != nil {
+			return nil, err
+		}
+		return hetsched.ParseMatrix(string(data))
+	case random:
+		rng := rand.New(rand.NewSource(seed))
+		perf := hetsched.RandomPerf(rng, p, hetsched.GustoGuided())
+		return hetsched.BuildUniform(perf, size)
+	default:
+		return nil, fmt.Errorf("pick a source: -example, -matrix FILE, or -random")
+	}
+}
+
+func writeCSV(res *hetsched.Result) error {
+	fmt.Println("src,dst,start,finish")
+	for _, e := range res.Schedule.ByStart() {
+		fmt.Printf("%d,%d,%g,%g\n", e.Src, e.Dst, e.Start, e.Finish)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hcsched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,177 @@
+// Command hcsim executes a scheduled total exchange through the
+// discrete-event simulator and reports what actually happens under
+// FIFO receive arbitration, optional bandwidth drift, and the
+// Section 6.1 receive-model variants.
+//
+//	hcsim -p 16 -size 1048576 -alg openshop                 # base model
+//	hcsim -p 16 -model interleaved -alpha 0.3               # §6.1 threads
+//	hcsim -p 16 -model buffered -capacity 4                 # §6.1 buffers
+//	hcsim -p 16 -drift 0.3 -checkpoint every -replan        # §6.3 adaptivity
+//	hcsim -net state.json -alg maxmatch                     # saved network
+//	hcsim -trace rec.json -checkpoint every -replan         # replay a recording
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"hetsched"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/sim"
+)
+
+func main() {
+	var (
+		netFile    = flag.String("net", "", "load network state from a JSON file (see hcquery -emit / hcdird -save)")
+		traceFile  = flag.String("trace", "", "replay a recorded network-condition series (trace JSON)")
+		p          = flag.Int("p", 16, "processors for random generation")
+		seed       = flag.Int64("seed", 1, "random seed")
+		size       = flag.Int64("size", 1<<20, "message size in bytes")
+		alg        = flag.String("alg", "openshop", "scheduler that builds the plan")
+		modelName  = flag.String("model", "exclusive", "receive model: exclusive, interleaved, buffered")
+		alpha      = flag.Float64("alpha", 0.25, "context-switch overhead for -model interleaved")
+		capacity   = flag.Int("capacity", 4, "buffer capacity for -model buffered")
+		drift      = flag.Float64("drift", 0, "if > 0, crash this fraction of links to 10% bandwidth mid-run")
+		checkpoint = flag.String("checkpoint", "none", "checkpoint policy: none, every, halving")
+		replan     = flag.Bool("replan", false, "reschedule the tail at checkpoints (otherwise keep order)")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var perf *hetsched.Perf
+	var recording *hetsched.Recording
+	switch {
+	case *traceFile != "":
+		data, err := os.ReadFile(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		recording = hetsched.NewRecording(nil)
+		if err := json.Unmarshal(data, recording); err != nil {
+			fatal(err)
+		}
+		if recording.Len() == 0 {
+			fatal(fmt.Errorf("trace %s is empty", *traceFile))
+		}
+		_, perf = recording.Sample(0) // plan from the opening conditions
+		fmt.Printf("replaying %d recorded network samples from %s\n", recording.Len(), *traceFile)
+	case *netFile != "":
+		data, err := os.ReadFile(*netFile)
+		if err != nil {
+			fatal(err)
+		}
+		var names []string
+		perf, names, err = netmodel.UnmarshalPerf(data)
+		if err != nil {
+			fatal(err)
+		}
+		_ = names
+	default:
+		perf = hetsched.RandomPerf(rng, *p, hetsched.GustoGuided())
+	}
+	n := perf.N()
+	sizes := hetsched.UniformSizes(n, *size)
+	m, err := hetsched.Build(perf, sizes)
+	if err != nil {
+		fatal(err)
+	}
+	scheduler, err := hetsched.SchedulerByName(*alg)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := scheduler.Schedule(m)
+	if err != nil {
+		fatal(err)
+	}
+	plan, err := hetsched.PlanFromSchedule(res.Schedule, sizes)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("plan: %s over %d processors, %d events\n", res.Algorithm, n, plan.Events())
+	fmt.Printf("planned completion: %.4g s (lower bound %.4g s)\n", res.CompletionTime(), res.LowerBound)
+
+	// The execution network, optionally shifting mid-run.
+	var network hetsched.Network = sim.NewStatic(perf)
+	var observe func(float64) *hetsched.Perf
+	if recording != nil {
+		pw, err := recording.Network()
+		if err != nil {
+			fatal(err)
+		}
+		network = pw
+		observe = pw.At
+	} else if *drift > 0 {
+		after := perf.Clone()
+		crashed := 0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < *drift {
+					pp := after.At(i, j)
+					pp.Bandwidth /= 10
+					after.Set(i, j, pp)
+					crashed++
+				}
+			}
+		}
+		shift := res.CompletionTime() / 4
+		pw, err := sim.NewPiecewise([]sim.Epoch{{Start: 0, Perf: perf}, {Start: shift, Perf: after}})
+		if err != nil {
+			fatal(err)
+		}
+		network = pw
+		observe = pw.At
+		fmt.Printf("drift: %d links crash 10x at t=%.4g s\n", crashed, shift)
+	} else {
+		st := sim.NewStatic(perf)
+		observe = func(float64) *hetsched.Perf { return st.Perf() }
+	}
+
+	switch *modelName {
+	case "exclusive":
+		var policy hetsched.CheckpointPolicy
+		switch *checkpoint {
+		case "none":
+			policy = hetsched.NoCheckpoints{}
+		case "every":
+			policy = hetsched.EveryEvents{K: n}
+		case "halving":
+			policy = hetsched.Halving{}
+		default:
+			fatal(fmt.Errorf("unknown checkpoint policy %q", *checkpoint))
+		}
+		rp := hetsched.KeepOrder
+		rpName := "keep-order"
+		if *replan {
+			rp = hetsched.ReplanOpenShop
+			rpName = "openshop"
+		}
+		ck, err := hetsched.SimulateCheckpointed(network, observe, plan, policy, rp)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("executed (exclusive, checkpoints=%s, replan=%s): finish %.4g s, %d checkpoints\n",
+			policy.Name(), rpName, ck.Finish, ck.Checkpoints)
+	case "interleaved":
+		exec, err := hetsched.SimulateInterleaved(network, plan, *alpha)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("executed (interleaved, α=%.2f): finish %.4g s\n", *alpha, exec.Finish)
+	case "buffered":
+		exec, err := hetsched.SimulateBuffered(network, plan, *capacity)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("executed (buffered, capacity=%d): finish %.4g s\n", *capacity, exec.Finish)
+	default:
+		fatal(fmt.Errorf("unknown receive model %q", *modelName))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hcsim:", err)
+	os.Exit(1)
+}

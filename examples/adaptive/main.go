@@ -1,0 +1,85 @@
+// Adaptive: checkpoint-based rescheduling while the network drifts
+// (the paper's Section 6.3). An exchange is planned from directory
+// estimates; a quarter of the way through, a fifth of the links lose
+// 10× bandwidth. Execution pauses at checkpoints, re-queries the
+// directory, and reschedules the remaining messages with the open shop
+// heuristic — compared against stubbornly keeping the stale order.
+//
+//	go run ./examples/adaptive [-p 16] [-seed 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hetsched"
+)
+
+func main() {
+	p := flag.Int("p", 16, "number of processors")
+	seed := flag.Int64("seed", 3, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	before := hetsched.RandomPerf(rng, *p, hetsched.GustoGuided())
+
+	// The shift: 20% of links crash to a tenth of their bandwidth.
+	after := before.Clone()
+	crashed := 0
+	for i := 0; i < *p; i++ {
+		for j := 0; j < *p; j++ {
+			if i != j && rng.Float64() < 0.2 {
+				pp := after.At(i, j)
+				pp.Bandwidth /= 10
+				after.Set(i, j, pp)
+				crashed++
+			}
+		}
+	}
+
+	sizes := hetsched.UniformSizes(*p, 1<<20)
+	m, err := hetsched.Build(before, sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	planned, err := hetsched.OpenShop().Schedule(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := hetsched.PlanFromSchedule(planned.Schedule, sizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	shift := planned.CompletionTime() / 4
+	net, err := hetsched.NewPiecewiseNetwork([]hetsched.Epoch{
+		{Start: 0, Perf: before},
+		{Start: shift, Perf: after},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planned completion %.2f s; %d links crash 10x at t=%.2f s\n\n",
+		planned.CompletionTime(), crashed, shift)
+
+	arms := []struct {
+		name   string
+		policy hetsched.CheckpointPolicy
+		replan hetsched.Replanner
+	}{
+		{"no checkpoints", hetsched.NoCheckpoints{}, hetsched.KeepOrder},
+		{"checkpoints, keep order", hetsched.EveryEvents{K: *p}, hetsched.KeepOrder},
+		{"checkpoints, reschedule", hetsched.EveryEvents{K: *p}, hetsched.ReplanOpenShop},
+		{"halving, reschedule", hetsched.Halving{}, hetsched.ReplanOpenShop},
+	}
+	fmt.Printf("%-26s %12s %12s\n", "strategy", "finish (s)", "checkpoints")
+	for _, arm := range arms {
+		res, err := hetsched.SimulateCheckpointed(net, net.At, plan, arm.policy, arm.replan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %12.2f %12d\n", arm.name, res.Finish, res.Checkpoints)
+	}
+}

@@ -1,0 +1,46 @@
+// Quickstart: schedule a total exchange over the GUSTO testbed.
+//
+// This is the minimal end-to-end flow of the library: take pairwise
+// network performance (here the paper's published GUSTO measurements,
+// Tables 1 and 2), build the communication matrix for 1 MB messages,
+// run every scheduler, and render the best schedule's timing diagram.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetsched"
+)
+
+func main() {
+	// 1. Network performance, as a directory service would report it.
+	perf := hetsched.Gusto()
+	fmt.Printf("GUSTO sites: %v\n\n", hetsched.GustoSites)
+
+	// 2. The communication model turns (latency, bandwidth, size) into
+	//    a P×P matrix of predicted transfer times.
+	m, err := hetsched.BuildUniform(perf, 1<<20) // 1 MB between every pair
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("communication matrix (seconds):\n%s\n", hetsched.FormatMatrix(m))
+
+	// 3. Compare every scheduling algorithm from the paper.
+	results, err := hetsched.Compare(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(hetsched.FormatComparison(results))
+
+	// 4. Schedule with the open shop heuristic (the paper's winner,
+	//    guaranteed within 2× the lower bound) and draw the diagram.
+	res, err := hetsched.OpenShop().Schedule(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nopen shop timing diagram (t_lb = %.3f s):\n", res.LowerBound)
+	fmt.Print(hetsched.RenderASCII(res.Schedule, hetsched.RenderOptions{Rows: 16}))
+}

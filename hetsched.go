@@ -1,0 +1,542 @@
+// Package hetsched is an adaptive communication scheduling library for
+// distributed heterogeneous systems, reproducing Bhat, Prasanna &
+// Raghavendra, "Adaptive Communication Algorithms for Distributed
+// Heterogeneous Systems" (HPDC 1998).
+//
+// The library builds communication schedules for collective patterns —
+// above all total exchange (all-to-all personalized communication) —
+// over networks whose pairwise latency and bandwidth differ and drift,
+// as in metacomputing systems. Its four framework components mirror
+// the paper's:
+//
+//   - a directory service supplying current pairwise performance
+//     (package internal/directory, re-exported here);
+//   - an analytical communication model, Tij + m/Bij (internal/model);
+//   - timing diagrams representing schedules (internal/timing);
+//   - scheduling algorithms placing events to minimize completion time
+//     (internal/sched): the homogeneous caterpillar baseline, maximum-
+//     and minimum-weight matching decompositions, a greedy O(P³)
+//     approximation, and the open shop heuristic with its 2·t_lb
+//     guarantee.
+//
+// A discrete-event simulator (internal/sim) executes schedules under
+// the base model with FIFO receive arbitration, under the Section 6.1
+// enhancements (interleaved receives with overhead α, finite receive
+// buffers), and with Section 6.3 checkpoint rescheduling against
+// drifting networks. Extensions cover QoS deadline scheduling,
+// critical-resource scheduling, incremental schedule repair, and other
+// collectives (broadcast, scatter/gather, all-gather).
+//
+// # Quick start
+//
+//	perf := hetsched.Gusto()                        // Table 1 & 2 data
+//	m, _ := hetsched.BuildUniform(perf, 1<<20)      // 1 MB messages
+//	res, _ := hetsched.OpenShop().Schedule(m)       // near-optimal schedule
+//	fmt.Println(res.CompletionTime(), res.Ratio())  // vs. lower bound
+//	fmt.Print(hetsched.RenderASCII(res.Schedule, hetsched.RenderOptions{}))
+//
+// See the examples directory for runnable programs and DESIGN.md for
+// the experiment index.
+package hetsched
+
+import (
+	"math/rand"
+
+	"hetsched/internal/collective"
+	"hetsched/internal/comm"
+	"hetsched/internal/directory"
+	"hetsched/internal/exact"
+	"hetsched/internal/incremental"
+	"hetsched/internal/indirect"
+	"hetsched/internal/model"
+	"hetsched/internal/multinet"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/optimize"
+	"hetsched/internal/qos"
+	"hetsched/internal/sched"
+	"hetsched/internal/sim"
+	"hetsched/internal/staging"
+	"hetsched/internal/timing"
+	"hetsched/internal/trace"
+	"hetsched/internal/workload"
+)
+
+// Network model types.
+type (
+	// PairPerf is the latency/bandwidth of one ordered processor pair.
+	PairPerf = netmodel.PairPerf
+	// Perf is a dense table of pairwise network performance.
+	Perf = netmodel.Perf
+	// Topology is a multi-site network with routed paths.
+	Topology = netmodel.Topology
+	// Site is one location in a Topology.
+	Site = netmodel.Site
+	// Link is a network segment in a Topology.
+	Link = netmodel.Link
+	// GenConfig controls random performance generation.
+	GenConfig = netmodel.GenConfig
+	// Drift parameterizes the bounded bandwidth random walk.
+	Drift = netmodel.Drift
+)
+
+// Communication model types.
+type (
+	// Matrix is a P×P communication-time matrix, C[i][j] = time i→j.
+	Matrix = model.Matrix
+	// Sizes is a P×P message-size matrix in bytes.
+	Sizes = model.Sizes
+)
+
+// Timing-diagram types.
+type (
+	// Event is one communication occupying [Start, Finish).
+	Event = timing.Event
+	// Schedule is a timed communication schedule.
+	Schedule = timing.Schedule
+	// StepSchedule is a schedule organized as contention-free steps.
+	StepSchedule = timing.StepSchedule
+	// Pair is an unscheduled (sender, receiver) communication.
+	Pair = timing.Pair
+	// RenderOptions controls ASCII timing-diagram rendering.
+	RenderOptions = timing.RenderOptions
+)
+
+// Scheduler types.
+type (
+	// Scheduler produces a total-exchange schedule from a Matrix.
+	Scheduler = sched.Scheduler
+	// Result is a scheduler's output with its lower bound.
+	Result = sched.Result
+)
+
+// Directory service types.
+type (
+	// DirectoryStore is the in-memory performance directory.
+	DirectoryStore = directory.Store
+	// DirectoryServer exposes a store over TCP.
+	DirectoryServer = directory.Server
+	// DirectoryClient queries a directory server.
+	DirectoryClient = directory.Client
+	// Feeder publishes synthetic load drift into a store.
+	Feeder = directory.Feeder
+)
+
+// Simulator types.
+type (
+	// Plan is a per-sender send ordering executed by the simulator.
+	Plan = sim.Plan
+	// ExecResult is one simulated execution.
+	ExecResult = sim.ExecResult
+	// Network supplies transfer durations, possibly time-varying.
+	Network = sim.Network
+	// Epoch is one segment of a piecewise-constant network.
+	Epoch = sim.Epoch
+)
+
+// GUSTO testbed data (Tables 1 and 2 of the paper).
+var (
+	// Gusto returns the 5-site GUSTO performance table.
+	Gusto = netmodel.Gusto
+	// GustoSites names the five GUSTO sites.
+	GustoSites = netmodel.GustoSites
+	// GustoGuided is the paper's random-generation configuration.
+	GustoGuided = netmodel.GustoGuided
+)
+
+// RandomPerf draws a random pairwise performance table.
+func RandomPerf(rng *rand.Rand, n int, cfg GenConfig) *Perf {
+	return netmodel.RandomPerf(rng, n, cfg)
+}
+
+// NewTopology builds a multi-site topology; add backbone links with
+// Topology.ConnectSites.
+func NewTopology(sites []Site) *Topology { return netmodel.NewTopology(sites) }
+
+// ExampleTopology returns the three-site system of the paper's
+// Figure 1 with the given hosts per site.
+var ExampleTopology = netmodel.ExampleTopology
+
+// NewWalker starts a bounded bandwidth random walk over a base table.
+var NewWalker = netmodel.NewWalker
+
+// DefaultDrift is a moderate synthetic load model (±10% per step).
+var DefaultDrift = netmodel.DefaultDrift
+
+// LoadProfile maps (src, dst, time) to a bandwidth multiplier.
+type LoadProfile = netmodel.Profile
+
+// DiurnalProfile returns a day/night sinusoidal load curve.
+var DiurnalProfile = netmodel.DiurnalProfile
+
+// SampleProfile applies a load profile to a base table at one time.
+var SampleProfile = netmodel.SampleProfile
+
+// ProfileSeries samples a profile at increasing times, one table each.
+var ProfileSeries = netmodel.ProfileSeries
+
+// Build constructs the communication matrix from performance and sizes.
+func Build(perf *Perf, sizes *Sizes) (*Matrix, error) { return model.Build(perf, sizes) }
+
+// BuildUniform is Build with every message the same size.
+func BuildUniform(perf *Perf, size int64) (*Matrix, error) { return model.BuildUniform(perf, size) }
+
+// UniformSizes returns a size matrix with one size everywhere.
+func UniformSizes(n int, size int64) *Sizes { return model.UniformSizes(n, size) }
+
+// ExampleMatrix returns the 5-processor running-example matrix.
+func ExampleMatrix() *Matrix { return model.ExampleMatrix() }
+
+// ParseMatrix reads a matrix in the text format.
+var ParseMatrix = model.ParseString
+
+// FormatMatrix renders a matrix in the text format.
+var FormatMatrix = model.FormatString
+
+// Schedulers returns one instance of every total-exchange scheduler.
+func Schedulers() []Scheduler { return sched.All() }
+
+// SchedulerByName looks a scheduler up by its Name.
+func SchedulerByName(name string) (Scheduler, error) { return sched.ByName(name) }
+
+// Baseline returns the caterpillar baseline scheduler.
+func Baseline() Scheduler { return sched.Baseline{} }
+
+// BaselineBarrier returns the lockstep caterpillar scheduler.
+func BaselineBarrier() Scheduler { return sched.BaselineBarrier{} }
+
+// MaxMatching returns the maximum-weight matching scheduler.
+func MaxMatching() Scheduler { return sched.MaxMatching{} }
+
+// MinMatching returns the minimum-weight matching scheduler.
+func MinMatching() Scheduler { return sched.MinMatching{} }
+
+// Greedy returns the O(P³) greedy scheduler with fairness rotation.
+func Greedy() Scheduler { return sched.NewGreedy() }
+
+// OpenShop returns the open shop heuristic scheduler (2·t_lb bound).
+func OpenShop() Scheduler { return sched.NewOpenShop() }
+
+// MultiStartOpenShop returns a best-of-8 open shop scheduler with
+// randomized tie-breaking, never worse than the deterministic one.
+func MultiStartOpenShop(seed int64) Scheduler { return sched.NewMultiStartOpenShop(seed) }
+
+// Compare runs every scheduler on the matrix.
+func Compare(m *Matrix) ([]*Result, error) { return sched.Compare(m) }
+
+// FormatComparison renders Compare results as a table.
+var FormatComparison = sched.FormatComparison
+
+// RenderASCII draws a schedule as a textual timing diagram.
+var RenderASCII = timing.RenderASCII
+
+// CriticalLink is one hop of a schedule's critical dependence chain.
+type CriticalLink = timing.CriticalLink
+
+// CriticalPath returns the longest tight dependence chain explaining a
+// schedule's completion time.
+var CriticalPath = timing.CriticalPath
+
+// FormatCriticalPath renders a critical path one event per line.
+var FormatCriticalPath = timing.FormatCriticalPath
+
+// Utilization reports per-processor send/receive port busy fractions.
+var Utilization = timing.Utilization
+
+// BottleneckProcessor returns the busiest processor and its utilization.
+var BottleneckProcessor = timing.BottleneckProcessor
+
+// Multi-network point-to-point techniques (PBPS and aggregation, from
+// the related work the paper builds on).
+type (
+	// MultiNetSystem is a system whose host pairs share several networks.
+	MultiNetSystem = multinet.System
+	// MultiNetTechnique selects PBPS, aggregation, or the static baseline.
+	MultiNetTechnique = multinet.Technique
+)
+
+// Multi-network techniques.
+const (
+	SingleFastest  = multinet.SingleFastest
+	UsePBPS        = multinet.UsePBPS
+	UseAggregation = multinet.UseAggregation
+)
+
+// NewMultiNetSystem creates an n-host multi-network system.
+var NewMultiNetSystem = multinet.NewSystem
+
+// SVGOptions controls RenderSVG.
+type SVGOptions = timing.SVGOptions
+
+// RenderSVG writes a schedule as a standalone SVG timing diagram.
+var RenderSVG = timing.RenderSVG
+
+// MarshalPerf encodes a performance table (and optional names) as JSON.
+var MarshalPerf = netmodel.MarshalPerf
+
+// UnmarshalPerf decodes a table written by MarshalPerf.
+var UnmarshalPerf = netmodel.UnmarshalPerf
+
+// Partial (all-to-some) patterns: the paper's data-staging-style
+// subsets of the full exchange.
+type PartialPattern = sched.Pattern
+
+// PatternLowerBound is t_lb restricted to a pattern.
+var PatternLowerBound = sched.PatternLowerBound
+
+// TotalExchangePattern returns the full all-to-all pattern.
+var TotalExchangePattern = sched.TotalExchangePattern
+
+// PartialOpenShop schedules an arbitrary pattern with the open shop
+// heuristic (within 2× the pattern lower bound).
+var PartialOpenShop = sched.PartialOpenShop
+
+// PartialMatching schedules an arbitrary pattern by extremal-matching
+// decomposition.
+var PartialMatching = sched.PartialMatching
+
+// PartialGreedy schedules an arbitrary pattern with the greedy lists.
+var PartialGreedy = sched.PartialGreedy
+
+// NewDirectory creates an in-memory directory store.
+func NewDirectory(initial *Perf, names []string) (*DirectoryStore, error) {
+	return directory.NewStore(initial, names)
+}
+
+// NewDirectoryServer wraps a store in a TCP server.
+func NewDirectoryServer(store *DirectoryStore) *DirectoryServer { return directory.NewServer(store) }
+
+// DialDirectory connects to a directory server.
+var DialDirectory = directory.Dial
+
+// PlanFromSchedule extracts a simulator plan from a schedule.
+func PlanFromSchedule(s *Schedule, sizes *Sizes) (*Plan, error) {
+	return sim.PlanFromSchedule(s, sizes)
+}
+
+// Simulate executes a plan on a static network under the base model.
+func Simulate(perf *Perf, plan *Plan) (*ExecResult, error) {
+	return sim.Run(sim.NewStatic(perf), plan)
+}
+
+// NewStaticNetwork wraps a performance table as a time-invariant
+// simulator network.
+func NewStaticNetwork(perf *Perf) Network { return sim.NewStatic(perf) }
+
+// NewPiecewiseNetwork builds a network whose performance changes at
+// fixed times.
+var NewPiecewiseNetwork = sim.NewPiecewise
+
+// SimulateOn executes a plan on any simulator network.
+func SimulateOn(net Network, plan *Plan) (*ExecResult, error) { return sim.Run(net, plan) }
+
+// SimulateInterleaved executes a plan under the Section 6.1
+// interleaved-receive model with context-switch overhead alpha.
+func SimulateInterleaved(net Network, plan *Plan, alpha float64) (*ExecResult, error) {
+	return sim.RunInterleaved(net, plan, alpha)
+}
+
+// SimulateBuffered executes a plan under the Section 6.1 finite
+// receive-buffer model.
+func SimulateBuffered(net Network, plan *Plan, capacity int) (*ExecResult, error) {
+	return sim.RunBuffered(net, plan, capacity)
+}
+
+// Checkpoint rescheduling (Section 6.3).
+type (
+	// CheckpointPolicy decides the dispatch budget between checkpoints.
+	CheckpointPolicy = sim.CheckpointPolicy
+	// Replanner reorders the remaining sends at a checkpoint.
+	Replanner = sim.Replanner
+	// CheckpointResult reports a checkpointed execution.
+	CheckpointResult = sim.CheckpointResult
+	// NoCheckpoints runs the plan in one phase.
+	NoCheckpoints = sim.NoCheckpoints
+	// EveryEvents checkpoints after each batch of K transfers.
+	EveryEvents = sim.EveryEvents
+	// Halving checkpoints after half of the remaining events.
+	Halving = sim.Halving
+)
+
+// KeepOrder is the identity replanner.
+var KeepOrder = sim.KeepOrder
+
+// ReplanOpenShop reschedules the tail with the open shop heuristic.
+var ReplanOpenShop = sim.ReplanOpenShop
+
+// SimulateCheckpointed executes a plan with checkpoint rescheduling.
+var SimulateCheckpointed = sim.RunCheckpointed
+
+// Recording is a replayable time series of network conditions.
+type Recording = trace.Recording
+
+// NewRecording creates an empty recording.
+var NewRecording = trace.New
+
+// RecordWalker samples a bandwidth random walk into a recording.
+var RecordWalker = trace.RecordWalker
+
+// RecordProfile samples a load profile into a recording.
+var RecordProfile = trace.RecordProfile
+
+// Workload generation (the paper's evaluation patterns).
+type (
+	// WorkloadKind selects a message-size pattern.
+	WorkloadKind = workload.Kind
+	// WorkloadSpec parameterizes generation.
+	WorkloadSpec = workload.Spec
+)
+
+// Workload kinds, matching Figures 9-12.
+const (
+	WorkloadSmall   = workload.Small
+	WorkloadLarge   = workload.Large
+	WorkloadMixed   = workload.Mixed
+	WorkloadServers = workload.Servers
+)
+
+// DefaultWorkload returns the paper's parameters for a kind and size.
+var DefaultWorkload = workload.DefaultSpec
+
+// WorkloadSizes generates a size matrix for a spec.
+var WorkloadSizes = workload.Sizes
+
+// TransposeSizes returns the matrix-transpose redistribution workload.
+var TransposeSizes = workload.Transpose
+
+// QoS extension (Section 6.4).
+type (
+	// QoSMessage is a communication with deadline and priority.
+	QoSMessage = qos.Message
+	// QoSProblem is a deadline-constrained message set.
+	QoSProblem = qos.Problem
+	// QoSResult is a QoS schedule with metrics.
+	QoSResult = qos.Result
+)
+
+// ScheduleQoS sequences messages under a policy (qos.EDF or
+// qos.MakespanOnly re-exported below).
+var ScheduleQoS = qos.Schedule
+
+// QoS policies.
+const (
+	EDF          = qos.EDF
+	MakespanOnly = qos.MakespanOnly
+)
+
+// ScheduleCritical builds a schedule releasing one processor earliest.
+var ScheduleCritical = qos.ScheduleCritical
+
+// RefineSchedule incrementally repairs a step schedule after partial
+// cost changes (Section 6.2).
+var RefineSchedule = incremental.Refine
+
+// Exact solving for small instances (the problem is NP-complete,
+// Theorem 1).
+type (
+	// ExactOptions tunes the branch-and-bound search.
+	ExactOptions = exact.Options
+	// ExactResult is the solver's output.
+	ExactResult = exact.Result
+)
+
+// SolveExact finds a minimum-makespan schedule by branch and bound;
+// practical for P ≤ 5.
+var SolveExact = exact.Solve
+
+// Local-search post-optimization of step schedules.
+type (
+	// OptimizeOptions tunes the hill climber.
+	OptimizeOptions = optimize.Options
+	// OptimizeStats reports the search outcome.
+	OptimizeStats = optimize.Stats
+)
+
+// ImproveSchedule hill-climbs a step schedule (relocations, exchanges,
+// rectangle swaps) under the asynchronous evaluation.
+var ImproveSchedule = optimize.Improve
+
+// RedistributionSizes returns the message sizes of a block-cyclic
+// cyclic(r) → cyclic(s) array redistribution (the paper's motivating
+// reference [19]).
+var RedistributionSizes = workload.Redistribution
+
+// RefineOptions tunes RefineSchedule.
+type RefineOptions = incremental.Options
+
+// DefaultRefineOptions returns a 10% threshold with max matching.
+var DefaultRefineOptions = incremental.DefaultOptions
+
+// Data staging (the BADD problem of Sections 2 and 6.4).
+type (
+	// StagingItem is a data item with its size and source machines.
+	StagingItem = staging.Item
+	// StagingRequest asks for an item at a destination by a deadline.
+	StagingRequest = staging.Request
+	// StagingProblem is a data staging instance.
+	StagingProblem = staging.Problem
+	// StagingResult is a staged delivery schedule.
+	StagingResult = staging.Result
+	// StagingPolicy selects staged relaying or direct-only shipping.
+	StagingPolicy = staging.Policy
+)
+
+// Staging policies.
+const (
+	StagedDelivery = staging.Staged
+	DirectDelivery = staging.DirectOnly
+)
+
+// ScheduleStaging satisfies data requests with the multiple-source
+// shortest-path heuristic.
+var ScheduleStaging = staging.Schedule
+
+// Broadcast and friends: framework generality beyond total exchange.
+var (
+	// Broadcast schedules a heterogeneity-aware one-to-all broadcast.
+	Broadcast = collective.Broadcast
+	// Scatter schedules the root's personalized sends.
+	Scatter = collective.Scatter
+	// Gather schedules everyone's send to the root.
+	Gather = collective.Gather
+	// AllGather schedules an all-to-all broadcast via total exchange.
+	AllGather = collective.AllGather
+	// Reduce schedules an all-to-one reduction (combining trees).
+	Reduce = collective.Reduce
+	// AllReduce schedules a reduction followed by a broadcast.
+	AllReduce = collective.AllReduce
+	// PipelinedBroadcast streams a large message down the broadcast
+	// tree in segments.
+	PipelinedBroadcast = collective.PipelinedBroadcast
+)
+
+// BruckResult reports a combine-and-forward total exchange.
+type BruckResult = indirect.Result
+
+// Bruck schedules a log-round combine-and-forward total exchange —
+// the indirect alternative the paper's Section 3.4 rejects for
+// voluminous data (see EXPERIMENTS.md X12 for when each side wins).
+var Bruck = indirect.Bruck
+
+// Application-level communicator (plans collectives from directory
+// snapshots and repairs repeated exchanges incrementally).
+type (
+	// Communicator plans network-aware collective communication.
+	Communicator = comm.Communicator
+	// CommConfig tunes a Communicator.
+	CommConfig = comm.Config
+	// CommSource supplies current network performance.
+	CommSource = comm.Source
+)
+
+// NewCommunicator creates a communicator over a performance source.
+var NewCommunicator = comm.New
+
+// StaticCommSource wraps a fixed table as a CommSource.
+var StaticCommSource = comm.StaticSource
+
+// Broadcast algorithms.
+const (
+	FastestNodeFirst  = collective.FastestNodeFirst
+	LinearBroadcast   = collective.LinearBroadcast
+	BinomialBroadcast = collective.BinomialBroadcast
+)

@@ -1,0 +1,271 @@
+package hetsched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The facade tests exercise the public API end to end the way a
+// downstream user would, without reaching into internal packages.
+
+func TestQuickstartFlow(t *testing.T) {
+	perf := Gusto()
+	m, err := BuildUniform(perf, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := OpenShop().Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompletionTime() <= 0 || res.Ratio() < 1-1e-9 || res.Ratio() > 2+1e-9 {
+		t.Errorf("t=%g ratio=%g", res.CompletionTime(), res.Ratio())
+	}
+	if out := RenderASCII(res.Schedule, RenderOptions{Rows: 8}); !strings.Contains(out, "t_max") {
+		t.Error("render missing completion")
+	}
+}
+
+func TestSchedulerRegistry(t *testing.T) {
+	if len(Schedulers()) != 6 {
+		t.Errorf("Schedulers() = %d entries", len(Schedulers()))
+	}
+	for _, name := range []string{"baseline", "baseline-barrier", "maxmatch", "minmatch", "greedy", "openshop"} {
+		s, err := SchedulerByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	for _, s := range []Scheduler{Baseline(), BaselineBarrier(), MaxMatching(), MinMatching(), Greedy(), OpenShop()} {
+		if s.Name() == "" {
+			t.Error("constructor returned unnamed scheduler")
+		}
+	}
+}
+
+func TestCompareAndRender(t *testing.T) {
+	results, err := Compare(ExampleMatrix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatComparison(results)
+	if !strings.Contains(out, "openshop") {
+		t.Error("comparison missing openshop")
+	}
+}
+
+func TestMatrixTextRoundTrip(t *testing.T) {
+	m := ExampleMatrix()
+	back, err := ParseMatrix(FormatMatrix(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.At(1, 2) != m.At(1, 2) {
+		t.Error("round trip lost data")
+	}
+}
+
+func TestWorkloadsViaFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, kind := range []WorkloadKind{WorkloadSmall, WorkloadLarge, WorkloadMixed, WorkloadServers} {
+		sizes := WorkloadSizes(rng, DefaultWorkload(kind, 8))
+		if sizes.N() != 8 {
+			t.Fatalf("%v: wrong size", kind)
+		}
+	}
+	tr, err := TransposeSizes(4, 8, 8, 8)
+	if err != nil || tr.N() != 4 {
+		t.Fatalf("transpose: %v", err)
+	}
+}
+
+func TestSimulateViaFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	perf := RandomPerf(rng, 6, GustoGuided())
+	sizes := UniformSizes(6, 1<<18)
+	m, err := Build(perf, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Greedy().Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanFromSchedule(res.Schedule, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := Simulate(perf, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Finish < m.LowerBound()-1e-9 {
+		t.Error("simulated execution beats the lower bound")
+	}
+}
+
+func TestDirectoryViaFacade(t *testing.T) {
+	store, err := NewDirectory(Gusto(), GustoSites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewDirectoryServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := DialDirectory(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	perf, names, _, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perf.N() != 5 || names[4] != "NCSA" {
+		t.Error("directory snapshot wrong")
+	}
+	// Schedule straight off a directory snapshot — the paper's loop.
+	m, err := BuildUniform(perf, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShop().Schedule(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQoSViaFacade(t *testing.T) {
+	prob := &QoSProblem{N: 3, Messages: []QoSMessage{
+		{Src: 0, Dst: 1, Duration: 1, Deadline: 10},
+		{Src: 0, Dst: 2, Duration: 1, Deadline: 1.5},
+	}}
+	res, err := ScheduleQoS(prob, EDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics().Missed != 0 {
+		t.Error("EDF missed an easy deadline")
+	}
+	if _, err := ScheduleQoS(prob, MakespanOnly); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := ScheduleCritical(ExampleMatrix(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.CriticalDone <= 0 {
+		t.Error("critical schedule empty")
+	}
+}
+
+func TestRefineViaFacade(t *testing.T) {
+	m := ExampleMatrix()
+	res, err := MaxMatching().Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := m.Clone()
+	cur.Set(0, 1, m.At(0, 1)*3)
+	out, st, err := RefineSchedule(res.Steps, m, cur, DefaultRefineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DirtySteps == 0 || !out.CoversTotalExchange() {
+		t.Errorf("refine stats %+v", st)
+	}
+}
+
+func TestCollectivesViaFacade(t *testing.T) {
+	m := ExampleMatrix()
+	b, err := Broadcast(m, 0, FastestNodeFirst)
+	if err != nil || len(b.Events) != 4 {
+		t.Fatalf("broadcast: %v", err)
+	}
+	if _, err := Broadcast(m, 0, LinearBroadcast); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Broadcast(m, 0, BinomialBroadcast); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Scatter(m, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Gather(m, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AllGather(Gusto(), []int64{1, 2, 3, 4, 5}, OpenShop()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeSimulationVariants(t *testing.T) {
+	topo := NewTopology([]Site{
+		{Name: "A", Hosts: 2, LAN: Link{Name: "lanA", Latency: 0.001, Bandwidth: 1e7}},
+		{Name: "B", Hosts: 2, LAN: Link{Name: "lanB", Latency: 0.001, Bandwidth: 1e7}},
+	})
+	topo.ConnectSites(0, 1, Link{Name: "wan", Latency: 0.01, Bandwidth: 1e6})
+	perf, err := topo.Perf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := UniformSizes(4, 1<<16)
+	m, err := Build(perf, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenShop().Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanFromSchedule(r.Schedule, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewStaticNetwork(perf)
+	excl, err := SimulateOn(net, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := SimulateInterleaved(net, plan, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := SimulateBuffered(net, plan, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb := m.LowerBound()
+	for name, got := range map[string]float64{"exclusive": excl.Finish, "interleaved": inter.Finish, "buffered": buf.Finish} {
+		if got < lb-1e-9 {
+			t.Errorf("%s finish %g below lower bound %g", name, got, lb)
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := map[string]func(){
+		"bad walker drift": func() { NewWalker(rand.New(rand.NewSource(1)), Gusto(), Drift{RelStep: 2}) },
+		"self backbone": func() {
+			topo := NewTopology([]Site{{Name: "A", Hosts: 1, LAN: Link{Name: "l", Latency: 0.001, Bandwidth: 1e6}}})
+			topo.ConnectSites(0, 0, Link{})
+		},
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

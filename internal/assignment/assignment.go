@@ -1,0 +1,223 @@
+// Package assignment solves the linear assignment problem (LAP): given
+// an n×n cost matrix, find a one-to-one assignment of rows to columns
+// with minimum (or maximum) total cost. A perfect matching in a complete
+// bipartite graph of maximum or minimum weight is exactly this problem,
+// which is how the paper's matching-based schedulers use it. The paper
+// credits Roy Jonker's public-domain LAP code; this package provides an
+// independent from-scratch implementation of the same O(n³)
+// shortest-augmenting-path method (the core of the Jonker–Volgenant
+// algorithm), plus an ε-scaling auction solver and an exhaustive
+// reference used to cross-validate both in tests.
+package assignment
+
+import (
+	"fmt"
+	"math"
+)
+
+// Forbidden marks an edge that the assignment must not use. It is a
+// large finite cost rather than +Inf so dual-variable arithmetic stays
+// finite. Callers should check chosen edges against their own forbidden
+// sets; SolveMin returns an error if it is forced to use one.
+const Forbidden = math.MaxFloat64 / 4
+
+// checkSquare validates the matrix shape shared by all solvers.
+func checkSquare(cost [][]float64) (int, error) {
+	n := len(cost)
+	for i, row := range cost {
+		if len(row) != n {
+			return 0, fmt.Errorf("assignment: row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, c := range row {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return 0, fmt.Errorf("assignment: cost[%d][%d] = %v is not finite", i, j, c)
+			}
+		}
+	}
+	return n, nil
+}
+
+// SolveMin returns rowToCol, the minimum-cost perfect assignment of
+// rows to columns, and its total cost. The algorithm is the
+// shortest-augmenting-path method with dual potentials used by the
+// Jonker–Volgenant solver, running in O(n³) time.
+//
+// Entries set to Forbidden are treated as unusable; if every perfect
+// assignment must use a forbidden edge, SolveMin returns an error.
+func SolveMin(cost [][]float64) ([]int, float64, error) {
+	n, err := checkSquare(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+
+	// 1-based internal arrays; column 0 is a virtual root.
+	u := make([]float64, n+1) // row potentials
+	v := make([]float64, n+1) // column potentials
+	p := make([]int, n+1)     // p[j]: row assigned to column j (0 = none)
+	way := make([]int, n+1)   // way[j]: previous column on the alternating path
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			j1 := 0
+			delta := math.Inf(1)
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if math.IsInf(delta, 1) {
+				return nil, 0, fmt.Errorf("assignment: no augmenting path for row %d", i-1)
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		// Augment along the alternating path back to the root.
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowToCol := make([]int, n)
+	total := 0.0
+	for j := 1; j <= n; j++ {
+		if p[j] == 0 {
+			return nil, 0, fmt.Errorf("assignment: column %d left unassigned", j-1)
+		}
+		rowToCol[p[j]-1] = j - 1
+		total += cost[p[j]-1][j-1]
+	}
+	if total >= Forbidden {
+		return nil, 0, fmt.Errorf("assignment: optimal assignment requires a forbidden edge")
+	}
+	return rowToCol, total, nil
+}
+
+// SolveMax returns the maximum-cost perfect assignment by negating the
+// matrix and minimizing. Entries equal to -Forbidden (or set via the
+// weight Forbidden in a max context, i.e. entries ≤ -Forbidden) are
+// treated as unusable.
+func SolveMax(cost [][]float64) ([]int, float64, error) {
+	n, err := checkSquare(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	neg := make([][]float64, n)
+	for i := range neg {
+		neg[i] = make([]float64, n)
+		for j := range neg[i] {
+			if cost[i][j] <= -Forbidden {
+				neg[i][j] = Forbidden
+			} else {
+				neg[i][j] = -cost[i][j]
+			}
+		}
+	}
+	assign, negTotal, err := SolveMin(neg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return assign, -negTotal, nil
+}
+
+// TotalCost sums cost[i][assign[i]] over all rows. It is a convenience
+// for reporting and testing.
+func TotalCost(cost [][]float64, assign []int) float64 {
+	total := 0.0
+	for i, j := range assign {
+		total += cost[i][j]
+	}
+	return total
+}
+
+// IsPermutation reports whether assign maps {0..n-1} onto {0..n-1}
+// bijectively.
+func IsPermutation(assign []int) bool {
+	seen := make([]bool, len(assign))
+	for _, j := range assign {
+		if j < 0 || j >= len(assign) || seen[j] {
+			return false
+		}
+		seen[j] = true
+	}
+	return true
+}
+
+// BruteForceMin exhaustively finds a minimum-cost assignment. It is
+// exponential and intended only to cross-validate the polynomial
+// solvers on small inputs in tests. It panics for n > 10.
+func BruteForceMin(cost [][]float64) ([]int, float64) {
+	n := len(cost)
+	if n > 10 {
+		panic("assignment: BruteForceMin limited to n <= 10")
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := append([]int(nil), perm...)
+	bestCost := TotalCost(cost, perm)
+	var recurse func(k int)
+	recurse = func(k int) {
+		if k == n {
+			if c := TotalCost(cost, perm); c < bestCost {
+				bestCost = c
+				copy(best, perm)
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			recurse(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	recurse(0)
+	return best, bestCost
+}
+
+// BruteForceMax is the maximizing counterpart of BruteForceMin.
+func BruteForceMax(cost [][]float64) ([]int, float64) {
+	n := len(cost)
+	neg := make([][]float64, n)
+	for i := range neg {
+		neg[i] = make([]float64, n)
+		for j := range neg[i] {
+			neg[i][j] = -cost[i][j]
+		}
+	}
+	assign, negTotal := BruteForceMin(neg)
+	return assign, -negTotal
+}

@@ -1,0 +1,346 @@
+package assignment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rng *rand.Rand, n int, lo, hi float64) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			m[i][j] = lo + rng.Float64()*(hi-lo)
+		}
+	}
+	return m
+}
+
+func TestSolveMinTiny(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	assign, total, err := SolveMin(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPermutation(assign) {
+		t.Fatalf("assignment %v is not a permutation", assign)
+	}
+	// Optimal is rows -> cols (1, 0, 2) with cost 1+2+2 = 5.
+	if total != 5 {
+		t.Errorf("total = %g, want 5 (assign %v)", total, assign)
+	}
+}
+
+func TestSolveMinOneByOne(t *testing.T) {
+	assign, total, err := SolveMin([][]float64{{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assign) != 1 || assign[0] != 0 || total != 7 {
+		t.Errorf("assign=%v total=%g", assign, total)
+	}
+}
+
+func TestSolveMinEmpty(t *testing.T) {
+	assign, total, err := SolveMin(nil)
+	if err != nil || len(assign) != 0 || total != 0 {
+		t.Errorf("empty: assign=%v total=%g err=%v", assign, total, err)
+	}
+}
+
+func TestSolveMinRejectsRagged(t *testing.T) {
+	if _, _, err := SolveMin([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}
+
+func TestSolveMinRejectsNaN(t *testing.T) {
+	if _, _, err := SolveMin([][]float64{{1, math.NaN()}, {3, 4}}); err == nil {
+		t.Error("NaN cost accepted")
+	}
+	if _, _, err := SolveMin([][]float64{{1, math.Inf(1)}, {3, 4}}); err == nil {
+		t.Error("Inf cost accepted")
+	}
+}
+
+func TestSolveMinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(7)
+		cost := randMatrix(rng, n, 0, 100)
+		assign, total, err := SolveMin(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsPermutation(assign) {
+			t.Fatalf("not a permutation: %v", assign)
+		}
+		_, want := BruteForceMin(cost)
+		if math.Abs(total-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("trial %d (n=%d): SolveMin=%g, brute force=%g", trial, n, total, want)
+		}
+		if got := TotalCost(cost, assign); math.Abs(got-total) > 1e-9 {
+			t.Fatalf("reported total %g != recomputed %g", total, got)
+		}
+	}
+}
+
+func TestSolveMaxMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(7)
+		cost := randMatrix(rng, n, -50, 50)
+		assign, total, err := SolveMax(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsPermutation(assign) {
+			t.Fatalf("not a permutation: %v", assign)
+		}
+		_, want := BruteForceMax(cost)
+		if math.Abs(total-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("trial %d (n=%d): SolveMax=%g, brute force=%g", trial, n, total, want)
+		}
+	}
+}
+
+func TestSolveMinForbiddenEdgeAvoided(t *testing.T) {
+	cost := [][]float64{
+		{Forbidden, 1},
+		{1, Forbidden},
+	}
+	assign, total, err := SolveMin(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[0] != 1 || assign[1] != 0 || total != 2 {
+		t.Errorf("assign=%v total=%g, want off-diagonal cost 2", assign, total)
+	}
+}
+
+func TestSolveMinAllForbiddenFails(t *testing.T) {
+	cost := [][]float64{
+		{Forbidden, Forbidden},
+		{1, 1},
+	}
+	if _, _, err := SolveMin(cost); err == nil {
+		t.Error("expected error when a row has only forbidden edges")
+	}
+}
+
+func TestSolveMinDegenerateEqualCosts(t *testing.T) {
+	n := 6
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			cost[i][j] = 3.5
+		}
+	}
+	assign, total, err := SolveMin(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPermutation(assign) || math.Abs(total-3.5*float64(n)) > 1e-9 {
+		t.Errorf("assign=%v total=%g", assign, total)
+	}
+}
+
+func TestSolveMinIdentityOptimal(t *testing.T) {
+	// Diagonal strictly dominates: identity must be chosen.
+	n := 8
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i == j {
+				cost[i][j] = 0
+			} else {
+				cost[i][j] = 10
+			}
+		}
+	}
+	assign, total, err := SolveMin(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range assign {
+		if i != j {
+			t.Fatalf("assign=%v, want identity", assign)
+		}
+	}
+	if total != 0 {
+		t.Errorf("total=%g, want 0", total)
+	}
+}
+
+func TestSolveMinPermutationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		cost := randMatrix(r, n, 0, 1000)
+		assign, _, err := SolveMin(cost)
+		return err == nil && IsPermutation(assign)
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveMinDualityCertificate(t *testing.T) {
+	// Optimality sanity: min assignment cost must be <= cost of any
+	// random permutation.
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(15)
+		cost := randMatrix(rng, n, 0, 10)
+		_, total, err := SolveMin(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := rng.Perm(n)
+		if other := TotalCost(cost, perm); other < total-1e-9 {
+			t.Fatalf("random permutation %v beats 'optimal': %g < %g", perm, other, total)
+		}
+	}
+}
+
+func TestIsPermutation(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want bool
+	}{
+		{[]int{0, 1, 2}, true},
+		{[]int{2, 0, 1}, true},
+		{[]int{0, 0, 1}, false},
+		{[]int{0, 1, 3}, false},
+		{[]int{-1, 1, 2}, false},
+		{[]int{}, true},
+	}
+	for _, c := range cases {
+		if got := IsPermutation(c.in); got != c.want {
+			t.Errorf("IsPermutation(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAuctionMaxMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(6)
+		benefit := randMatrix(rng, n, 0, 100)
+		assign, total, err := AuctionMax(benefit, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsPermutation(assign) {
+			t.Fatalf("not a permutation: %v", assign)
+		}
+		_, want := BruteForceMax(benefit)
+		// Auction is optimal to within n*eps; with continuous random
+		// costs ties are unlikely, so demand near-exactness.
+		if math.Abs(total-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: auction=%g, exact=%g", trial, total, want)
+		}
+	}
+}
+
+func TestAuctionMinMatchesSolveMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(12)
+		cost := randMatrix(rng, n, 0, 100)
+		_, jv, err := SolveMin(cost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, auc, err := AuctionMin(cost, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(jv-auc) > 1e-6*(1+math.Abs(jv)) {
+			t.Fatalf("trial %d (n=%d): SolveMin=%g, AuctionMin=%g", trial, n, jv, auc)
+		}
+	}
+}
+
+func TestAuctionSingle(t *testing.T) {
+	assign, total, err := AuctionMax([][]float64{{42}}, 0)
+	if err != nil || assign[0] != 0 || total != 42 {
+		t.Errorf("assign=%v total=%g err=%v", assign, total, err)
+	}
+}
+
+func TestAuctionRejectsBadInput(t *testing.T) {
+	if _, _, err := AuctionMax([][]float64{{1, 2}}, 0); err == nil {
+		t.Error("non-square matrix accepted")
+	}
+	if _, _, err := AuctionMin([][]float64{{1, 2}}, 0); err == nil {
+		t.Error("non-square matrix accepted by AuctionMin")
+	}
+}
+
+func TestBruteForcePanicsOnLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BruteForceMin(n=11) did not panic")
+		}
+	}()
+	BruteForceMin(make([][]float64, 11))
+}
+
+func BenchmarkSolveMin(b *testing.B) {
+	for _, n := range []int{10, 25, 50} {
+		b.Run(benchName(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			cost := randMatrix(rng, n, 0, 100)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := SolveMin(cost); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAuctionMin(b *testing.B) {
+	for _, n := range []int{10, 25, 50} {
+		b.Run(benchName(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			cost := randMatrix(rng, n, 0, 100)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := AuctionMin(cost, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(n int) string {
+	return "P" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

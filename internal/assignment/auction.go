@@ -1,0 +1,125 @@
+package assignment
+
+import (
+	"fmt"
+	"math"
+)
+
+// Auction solves the LAP with Bertsekas' auction algorithm under
+// ε-scaling. It is an alternative to the shortest-augmenting-path
+// solver with very different numerical behaviour, kept both as an
+// ablation subject (see DESIGN.md) and as an independent implementation
+// that the test suite cross-validates against SolveMin.
+//
+// The auction maximizes benefit; AuctionMin negates costs. With
+// ε-scaling down to ε < 1/n on integer-scaled benefits the result is
+// optimal; on arbitrary float costs it is optimal to within n·ε_final,
+// which the tests account for.
+
+// AuctionMax finds a (near-)maximum-benefit assignment of persons
+// (rows) to objects (columns). epsFinal controls the final optimality
+// gap: the returned assignment is within n*epsFinal of optimal. A
+// non-positive epsFinal picks a default based on the benefit range.
+func AuctionMax(benefit [][]float64, epsFinal float64) ([]int, float64, error) {
+	n, err := checkSquare(benefit)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+	// Benefit spread drives the starting ε.
+	lo, hi := benefit[0][0], benefit[0][0]
+	for _, row := range benefit {
+		for _, b := range row {
+			if b < lo {
+				lo = b
+			}
+			if b > hi {
+				hi = b
+			}
+		}
+	}
+	spread := hi - lo
+	if spread <= 0 {
+		spread = 1
+	}
+	if epsFinal <= 0 {
+		epsFinal = spread / float64(4*n*n)
+	}
+
+	price := make([]float64, n)
+	owner := make([]int, n) // object -> person, -1 when unowned
+	assigned := make([]int, n)
+
+	for eps := spread / 2; ; eps /= 4 {
+		if eps < epsFinal {
+			eps = epsFinal
+		}
+		for j := range owner {
+			owner[j] = -1
+		}
+		for i := range assigned {
+			assigned[i] = -1
+		}
+		unassigned := make([]int, n)
+		for i := range unassigned {
+			unassigned[i] = i
+		}
+		for len(unassigned) > 0 {
+			i := unassigned[len(unassigned)-1]
+			unassigned = unassigned[:len(unassigned)-1]
+
+			// Find the best and second-best net value for person i.
+			bestJ, bestV, secondV := -1, math.Inf(-1), math.Inf(-1)
+			for j := 0; j < n; j++ {
+				v := benefit[i][j] - price[j]
+				if v > bestV {
+					secondV = bestV
+					bestV, bestJ = v, j
+				} else if v > secondV {
+					secondV = v
+				}
+			}
+			if bestJ < 0 {
+				return nil, 0, fmt.Errorf("assignment: auction found no object for person %d", i)
+			}
+			bid := bestV - secondV + eps
+			if math.IsInf(secondV, -1) { // n == 1
+				bid = eps
+			}
+			price[bestJ] += bid
+			if prev := owner[bestJ]; prev >= 0 {
+				assigned[prev] = -1
+				unassigned = append(unassigned, prev)
+			}
+			owner[bestJ] = i
+			assigned[i] = bestJ
+		}
+		if eps <= epsFinal {
+			break
+		}
+	}
+	return assigned, TotalCost(benefit, assigned), nil
+}
+
+// AuctionMin finds a (near-)minimum-cost assignment via AuctionMax on
+// negated costs.
+func AuctionMin(cost [][]float64, epsFinal float64) ([]int, float64, error) {
+	n, err := checkSquare(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	neg := make([][]float64, n)
+	for i := range neg {
+		neg[i] = make([]float64, n)
+		for j := range neg[i] {
+			neg[i][j] = -cost[i][j]
+		}
+	}
+	assign, negTotal, err := AuctionMax(neg, epsFinal)
+	if err != nil {
+		return nil, 0, err
+	}
+	return assign, -negTotal, nil
+}

@@ -1,0 +1,45 @@
+package collective
+
+import (
+	"fmt"
+
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/sched"
+	"hetsched/internal/timing"
+)
+
+// AllGather schedules an all-to-all broadcast: every processor i holds
+// a block of blockSizes[i] bytes that every other processor must
+// receive. Because the paper's framework disallows combine-and-forward
+// relaying (Section 3.4), each block travels directly from its source
+// to every destination, which makes the pattern a total exchange with
+// source-dependent message sizes — so the total-exchange schedulers
+// apply unchanged.
+func AllGather(perf *netmodel.Perf, blockSizes []int64, scheduler sched.Scheduler) (*sched.Result, error) {
+	n := perf.N()
+	if len(blockSizes) != n {
+		return nil, fmt.Errorf("collective: %d block sizes for %d processors", len(blockSizes), n)
+	}
+	sizes := model.NewSizes(n)
+	for i := 0; i < n; i++ {
+		if blockSizes[i] < 0 {
+			return nil, fmt.Errorf("collective: negative block size at %d", i)
+		}
+		for j := 0; j < n; j++ {
+			if i != j {
+				sizes.Set(i, j, blockSizes[i])
+			}
+		}
+	}
+	m, err := model.Build(perf, sizes)
+	if err != nil {
+		return nil, err
+	}
+	return scheduler.Schedule(m)
+}
+
+// BroadcastDone returns when the last processor became informed (the
+// broadcast completion time). It is the schedule's completion time,
+// named for readability at call sites.
+func BroadcastDone(s *timing.Schedule) float64 { return s.CompletionTime() }

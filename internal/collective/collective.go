@@ -1,0 +1,224 @@
+// Package collective applies the paper's scheduling framework to
+// collective patterns beyond total exchange, demonstrating that the
+// approach — cost matrix from the directory, timing-diagram
+// constraints, adaptive event placement — "is a general one, and can
+// be used for different collective communication patterns"
+// (Section 3). It provides heterogeneity-aware one-to-all broadcast
+// (fastest-node-first) with homogeneous baselines (linear and binomial
+// tree), personalized scatter and gather with ordering policies, and
+// an all-gather adapter onto the total-exchange schedulers.
+package collective
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hetsched/internal/model"
+	"hetsched/internal/timing"
+)
+
+// BroadcastAlgorithm selects how a one-to-all broadcast is scheduled.
+type BroadcastAlgorithm int
+
+const (
+	// FastestNodeFirst greedily grows the informed set: at every step
+	// the (informed sender, uninformed receiver) pair with the earliest
+	// possible completion sends next. Informed nodes keep forwarding,
+	// so fast nodes become secondary roots — the standard
+	// heterogeneity-aware heuristic.
+	FastestNodeFirst BroadcastAlgorithm = iota
+	// LinearBroadcast has the root send to every node one after
+	// another — the naive baseline.
+	LinearBroadcast
+	// BinomialBroadcast is the homogeneous-optimal binomial tree laid
+	// out by processor index, oblivious to actual link speeds.
+	BinomialBroadcast
+)
+
+// String names the algorithm.
+func (a BroadcastAlgorithm) String() string {
+	switch a {
+	case FastestNodeFirst:
+		return "fastest-node-first"
+	case LinearBroadcast:
+		return "linear"
+	case BinomialBroadcast:
+		return "binomial"
+	default:
+		return fmt.Sprintf("BroadcastAlgorithm(%d)", int(a))
+	}
+}
+
+// Broadcast schedules a one-to-all broadcast of a single message from
+// root. m.At(i, j) is the time to forward the message from i to j
+// (every transfer carries the full message). The returned schedule
+// contains exactly P-1 events and respects the one-send/one-receive
+// model; receivers may forward after they are informed.
+func Broadcast(m *model.Matrix, root int, algo BroadcastAlgorithm) (*timing.Schedule, error) {
+	n := m.N()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("collective: root %d out of range for P=%d", root, n)
+	}
+	out := &timing.Schedule{N: n}
+	if n <= 1 {
+		return out, nil
+	}
+	switch algo {
+	case FastestNodeFirst:
+		informedAt := make([]float64, n) // when the node has the message
+		sendFree := make([]float64, n)
+		informed := make([]bool, n)
+		informed[root] = true
+		for count := 1; count < n; count++ {
+			bestS, bestR, bestFin := -1, -1, math.Inf(1)
+			for s := 0; s < n; s++ {
+				if !informed[s] {
+					continue
+				}
+				ready := math.Max(informedAt[s], sendFree[s])
+				for r := 0; r < n; r++ {
+					if informed[r] {
+						continue
+					}
+					fin := ready + m.At(s, r)
+					if fin < bestFin || (fin == bestFin && (s < bestS || (s == bestS && r < bestR))) {
+						bestS, bestR, bestFin = s, r, fin
+					}
+				}
+			}
+			start := math.Max(informedAt[bestS], sendFree[bestS])
+			out.Events = append(out.Events, timing.Event{Src: bestS, Dst: bestR, Start: start, Finish: bestFin})
+			sendFree[bestS] = bestFin
+			informed[bestR] = true
+			informedAt[bestR] = bestFin
+		}
+	case LinearBroadcast:
+		now := 0.0
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			fin := now + m.At(root, r)
+			out.Events = append(out.Events, timing.Event{Src: root, Dst: r, Start: now, Finish: fin})
+			now = fin
+		}
+	case BinomialBroadcast:
+		// Standard binomial tree on relative ranks: in round k, every
+		// informed node i sends to i + 2^k (relative to root), if that
+		// rank exists. Senders proceed as soon as they are informed and
+		// free — no barrier — but partner choice ignores link speeds.
+		informedAt := make([]float64, n)
+		sendFree := make([]float64, n)
+		rel := func(r int) int { return (root + r) % n }
+		for k := 1; k < n; k <<= 1 {
+			for r := 0; r < k && r+k < n; r++ {
+				s, d := rel(r), rel(r+k)
+				start := math.Max(informedAt[s], sendFree[s])
+				fin := start + m.At(s, d)
+				out.Events = append(out.Events, timing.Event{Src: s, Dst: d, Start: start, Finish: fin})
+				sendFree[s] = fin
+				informedAt[d] = fin
+			}
+		}
+	default:
+		return nil, fmt.Errorf("collective: unknown broadcast algorithm %v", algo)
+	}
+	return out, nil
+}
+
+// OrderPolicy selects the send (or receive) order for scatter/gather.
+// The root's port is the bottleneck in both patterns, so the makespan
+// is fixed; the policy trades average wait time instead.
+type OrderPolicy int
+
+const (
+	// ShortestFirst minimizes the mean completion time across
+	// receivers (the SPT rule).
+	ShortestFirst OrderPolicy = iota
+	// LongestFirst is the reverse — useful when the longest transfer
+	// gates a downstream pipeline.
+	LongestFirst
+	// IndexOrder is the oblivious baseline.
+	IndexOrder
+)
+
+// String names the policy.
+func (p OrderPolicy) String() string {
+	switch p {
+	case ShortestFirst:
+		return "shortest-first"
+	case LongestFirst:
+		return "longest-first"
+	case IndexOrder:
+		return "index-order"
+	default:
+		return fmt.Sprintf("OrderPolicy(%d)", int(p))
+	}
+}
+
+// Scatter schedules the root's personalized sends, one per other
+// processor, in the policy's order.
+func Scatter(m *model.Matrix, root int, policy OrderPolicy) (*timing.Schedule, error) {
+	return rootSequence(m, root, policy, true)
+}
+
+// Gather schedules every processor's send to the root; the root
+// receives them one at a time in the policy's order.
+func Gather(m *model.Matrix, root int, policy OrderPolicy) (*timing.Schedule, error) {
+	return rootSequence(m, root, policy, false)
+}
+
+func rootSequence(m *model.Matrix, root int, policy OrderPolicy, scatter bool) (*timing.Schedule, error) {
+	n := m.N()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("collective: root %d out of range for P=%d", root, n)
+	}
+	peers := make([]int, 0, n-1)
+	for p := 0; p < n; p++ {
+		if p != root {
+			peers = append(peers, p)
+		}
+	}
+	dur := func(p int) float64 {
+		if scatter {
+			return m.At(root, p)
+		}
+		return m.At(p, root)
+	}
+	switch policy {
+	case ShortestFirst:
+		sort.SliceStable(peers, func(a, b int) bool { return dur(peers[a]) < dur(peers[b]) })
+	case LongestFirst:
+		sort.SliceStable(peers, func(a, b int) bool { return dur(peers[a]) > dur(peers[b]) })
+	case IndexOrder:
+		// already index-ordered
+	default:
+		return nil, fmt.Errorf("collective: unknown order policy %v", policy)
+	}
+	out := &timing.Schedule{N: n}
+	now := 0.0
+	for _, p := range peers {
+		fin := now + dur(p)
+		e := timing.Event{Src: root, Dst: p, Start: now, Finish: fin}
+		if !scatter {
+			e = timing.Event{Src: p, Dst: root, Start: now, Finish: fin}
+		}
+		out.Events = append(out.Events, e)
+		now = fin
+	}
+	return out, nil
+}
+
+// MeanCompletion returns the average event finish time — the metric
+// the ordering policies trade.
+func MeanCompletion(s *timing.Schedule) float64 {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range s.Events {
+		sum += e.Finish
+	}
+	return sum / float64(len(s.Events))
+}

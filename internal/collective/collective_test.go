@@ -1,0 +1,473 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/sched"
+	"hetsched/internal/timing"
+)
+
+func randMatrix(t *testing.T, seed int64, n int) *model.Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	perf := netmodel.RandomPerf(rng, n, netmodel.GustoGuided())
+	m, err := model.BuildUniform(perf, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBroadcastAlgorithmsValid(t *testing.T) {
+	m := randMatrix(t, 1, 10)
+	for _, algo := range []BroadcastAlgorithm{FastestNodeFirst, LinearBroadcast, BinomialBroadcast} {
+		for _, root := range []int{0, 4, 9} {
+			s, err := Broadcast(m, root, algo)
+			if err != nil {
+				t.Fatalf("%v root %d: %v", algo, root, err)
+			}
+			if err := s.Validate(m); err != nil {
+				t.Fatalf("%v root %d: invalid schedule: %v", algo, root, err)
+			}
+			if len(s.Events) != 9 {
+				t.Fatalf("%v root %d: %d events, want 9", algo, root, len(s.Events))
+			}
+			informedAt := map[int]float64{root: 0}
+			for _, e := range s.ByStart() {
+				at, ok := informedAt[e.Src]
+				if !ok {
+					t.Fatalf("%v: %d sends before being informed", algo, e.Src)
+				}
+				if e.Start < at-1e-9 {
+					t.Fatalf("%v: %d forwards at %g before informed at %g", algo, e.Src, e.Start, at)
+				}
+				if _, dup := informedAt[e.Dst]; dup {
+					t.Fatalf("%v: %d informed twice", algo, e.Dst)
+				}
+				informedAt[e.Dst] = e.Finish
+			}
+			if len(informedAt) != 10 {
+				t.Fatalf("%v: only %d informed", algo, len(informedAt))
+			}
+		}
+	}
+}
+
+func TestBroadcastFNFBeatsBaselines(t *testing.T) {
+	// Averaged over instances, fastest-node-first must beat the linear
+	// chain and the index-ordered binomial tree on heterogeneous
+	// networks.
+	var fnf, lin, bin float64
+	for seed := int64(10); seed < 25; seed++ {
+		m := randMatrix(t, seed, 12)
+		a, err := Broadcast(m, 0, FastestNodeFirst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Broadcast(m, 0, LinearBroadcast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Broadcast(m, 0, BinomialBroadcast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fnf += a.CompletionTime()
+		lin += b.CompletionTime()
+		bin += c.CompletionTime()
+	}
+	if fnf >= lin {
+		t.Errorf("FNF (%g) not better than linear (%g)", fnf, lin)
+	}
+	if fnf >= bin {
+		t.Errorf("FNF (%g) not better than binomial (%g)", fnf, bin)
+	}
+}
+
+func TestBroadcastTrivial(t *testing.T) {
+	m := model.NewMatrix(1)
+	s, err := Broadcast(m, 0, FastestNodeFirst)
+	if err != nil || len(s.Events) != 0 {
+		t.Errorf("single-node broadcast: %v, %d events", err, len(s.Events))
+	}
+	if _, err := Broadcast(model.ExampleMatrix(), 7, FastestNodeFirst); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+	if _, err := Broadcast(model.ExampleMatrix(), 0, BroadcastAlgorithm(42)); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestBroadcastAlgorithmString(t *testing.T) {
+	if FastestNodeFirst.String() != "fastest-node-first" ||
+		LinearBroadcast.String() != "linear" ||
+		BinomialBroadcast.String() != "binomial" {
+		t.Error("algorithm names wrong")
+	}
+	if BroadcastAlgorithm(9).String() == "" {
+		t.Error("unknown algorithm should stringify")
+	}
+}
+
+func TestScatterPolicies(t *testing.T) {
+	m := randMatrix(t, 2, 8)
+	root := 3
+	var makespans []float64
+	for _, pol := range []OrderPolicy{ShortestFirst, LongestFirst, IndexOrder} {
+		s, err := Scatter(m, root, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Validate(m); err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if len(s.Events) != 7 {
+			t.Fatalf("%v: %d events", pol, len(s.Events))
+		}
+		for _, e := range s.Events {
+			if e.Src != root {
+				t.Fatalf("%v: scatter event from %d", pol, e.Src)
+			}
+		}
+		makespans = append(makespans, s.CompletionTime())
+	}
+	// Makespan is order-invariant: the root's port serializes.
+	for _, ms := range makespans[1:] {
+		if math.Abs(ms-makespans[0]) > 1e-9 {
+			t.Errorf("scatter makespan should not depend on order: %v", makespans)
+		}
+	}
+	// SPT minimizes mean completion.
+	spt, _ := Scatter(m, root, ShortestFirst)
+	lpt, _ := Scatter(m, root, LongestFirst)
+	if MeanCompletion(spt) >= MeanCompletion(lpt) {
+		t.Errorf("shortest-first mean (%g) should beat longest-first (%g)", MeanCompletion(spt), MeanCompletion(lpt))
+	}
+}
+
+func TestGather(t *testing.T) {
+	m := randMatrix(t, 3, 6)
+	s, err := Gather(m, 2, ShortestFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.Events {
+		if e.Dst != 2 {
+			t.Fatalf("gather event to %d", e.Dst)
+		}
+	}
+	// Completion equals the root's receive column sum.
+	if got, want := s.CompletionTime(), m.ColSum(2); math.Abs(got-want) > 1e-9 {
+		t.Errorf("gather completion = %g, want col sum %g", got, want)
+	}
+}
+
+func TestRootSequenceErrors(t *testing.T) {
+	m := model.ExampleMatrix()
+	if _, err := Scatter(m, -1, ShortestFirst); err == nil {
+		t.Error("negative root accepted")
+	}
+	if _, err := Gather(m, 0, OrderPolicy(77)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestOrderPolicyString(t *testing.T) {
+	if ShortestFirst.String() != "shortest-first" || LongestFirst.String() != "longest-first" || IndexOrder.String() != "index-order" {
+		t.Error("policy names wrong")
+	}
+	if OrderPolicy(9).String() == "" {
+		t.Error("unknown policy should stringify")
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	perf := netmodel.RandomPerf(rng, 8, netmodel.GustoGuided())
+	blocks := make([]int64, 8)
+	for i := range blocks {
+		blocks[i] = int64(1+i) * 1024
+	}
+	r, err := AllGather(perf, blocks, sched.NewOpenShop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := model.NewSizes(8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i != j {
+				sizes.Set(i, j, blocks[i])
+			}
+		}
+	}
+	m, err := model.Build(perf, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Schedule.ValidateTotalExchange(m); err != nil {
+		t.Fatalf("all-gather schedule invalid: %v", err)
+	}
+	if BroadcastDone(r.Schedule) != r.Schedule.CompletionTime() {
+		t.Error("BroadcastDone should equal completion time")
+	}
+}
+
+func TestAllGatherErrors(t *testing.T) {
+	perf := netmodel.Gusto()
+	if _, err := AllGather(perf, []int64{1, 2}, sched.NewOpenShop()); err == nil {
+		t.Error("wrong block count accepted")
+	}
+	if _, err := AllGather(perf, []int64{1, 2, 3, 4, -5}, sched.NewOpenShop()); err == nil {
+		t.Error("negative block accepted")
+	}
+}
+
+func TestMeanCompletionEmpty(t *testing.T) {
+	s, err := Broadcast(model.NewMatrix(1), 0, LinearBroadcast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MeanCompletion(s) != 0 {
+		t.Error("empty schedule mean should be 0")
+	}
+}
+
+func TestReduceValid(t *testing.T) {
+	m := randMatrix(t, 5, 9)
+	for _, algo := range []BroadcastAlgorithm{FastestNodeFirst, LinearBroadcast, BinomialBroadcast} {
+		for _, root := range []int{0, 4, 8} {
+			s, err := Reduce(m, root, algo)
+			if err != nil {
+				t.Fatalf("%v root %d: %v", algo, root, err)
+			}
+			if err := s.Validate(nil); err != nil {
+				t.Fatalf("%v root %d: port constraints: %v", algo, root, err)
+			}
+			if err := CheckReduction(s, root); err != nil {
+				t.Fatalf("%v root %d: %v", algo, root, err)
+			}
+		}
+	}
+}
+
+func TestReduceChargesTrueDirection(t *testing.T) {
+	// Asymmetric matrix: every reduce event's duration must equal the
+	// cost in its own (child → parent) direction.
+	m := model.NewMatrix(4)
+	v := 1.0
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				m.Set(i, j, v)
+				v += 0.5
+			}
+		}
+	}
+	s, err := Reduce(m, 0, FastestNodeFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.Events {
+		if got, want := e.Duration(), m.At(e.Src, e.Dst); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("event %d→%d duration %g, want %g", e.Src, e.Dst, got, want)
+		}
+	}
+}
+
+func TestReduceFNFBeatsLinear(t *testing.T) {
+	var fnf, lin float64
+	for seed := int64(30); seed < 42; seed++ {
+		m := randMatrix(t, seed, 12)
+		a, err := Reduce(m, 0, FastestNodeFirst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Reduce(m, 0, LinearBroadcast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fnf += a.CompletionTime()
+		lin += b.CompletionTime()
+	}
+	if fnf >= lin {
+		t.Errorf("FNF reduction (%g) not better than linear (%g)", fnf, lin)
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	m := randMatrix(t, 6, 8)
+	s, err := AllReduce(m, 3, FastestNodeFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 2*(8-1) {
+		t.Fatalf("%d events, want 14", len(s.Events))
+	}
+	red, err := Reduce(m, 3, FastestNodeFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := Broadcast(m, 3, FastestNodeFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := red.CompletionTime() + bc.CompletionTime()
+	if math.Abs(s.CompletionTime()-want) > 1e-9 {
+		t.Errorf("allreduce = %g, want reduce+broadcast = %g", s.CompletionTime(), want)
+	}
+}
+
+func TestCheckReductionCatchesViolations(t *testing.T) {
+	bad := &timing.Schedule{N: 3, Events: []timing.Event{
+		{Src: 0, Dst: 1, Start: 0, Finish: 1},
+	}}
+	if err := CheckReduction(bad, 1); err == nil {
+		t.Error("missing sender accepted")
+	}
+	rootSends := &timing.Schedule{N: 2, Events: []timing.Event{{Src: 0, Dst: 1, Start: 0, Finish: 1}}}
+	if err := CheckReduction(rootSends, 0); err == nil {
+		t.Error("root sending accepted")
+	}
+	early := &timing.Schedule{N: 3, Events: []timing.Event{
+		{Src: 2, Dst: 1, Start: 0, Finish: 5},
+		{Src: 1, Dst: 0, Start: 1, Finish: 2}, // sends before its receive completes
+	}}
+	if err := CheckReduction(early, 0); err == nil {
+		t.Error("premature combine accepted")
+	}
+	twice := &timing.Schedule{N: 3, Events: []timing.Event{
+		{Src: 1, Dst: 0, Start: 0, Finish: 1},
+		{Src: 1, Dst: 2, Start: 1, Finish: 2},
+		{Src: 2, Dst: 0, Start: 3, Finish: 4},
+	}}
+	if err := CheckReduction(twice, 0); err == nil {
+		t.Error("double send accepted")
+	}
+}
+
+func TestReduceTrivial(t *testing.T) {
+	s, err := Reduce(model.NewMatrix(1), 0, FastestNodeFirst)
+	if err != nil || len(s.Events) != 0 {
+		t.Errorf("single-node reduce: %v", err)
+	}
+	if _, err := Reduce(model.ExampleMatrix(), 9, FastestNodeFirst); err == nil {
+		t.Error("out-of-range root accepted")
+	}
+}
+
+func TestPipelinedBroadcastValid(t *testing.T) {
+	perf := netmodel.Gusto()
+	for _, segs := range []int{1, 2, 4, 8} {
+		s, err := PipelinedBroadcast(perf, 0, 8<<20, segs)
+		if err != nil {
+			t.Fatalf("segments=%d: %v", segs, err)
+		}
+		if err := s.Validate(nil); err != nil {
+			t.Fatalf("segments=%d: port constraints: %v", segs, err)
+		}
+		if len(s.Events) != 4*segs {
+			t.Fatalf("segments=%d: %d events, want %d", segs, len(s.Events), 4*segs)
+		}
+	}
+}
+
+func TestPipelinedBroadcastSegmentsHelpLargeMessages(t *testing.T) {
+	// For a multi-hop tree with big messages, pipelining must beat the
+	// unsegmented broadcast: depth no longer multiplies the full
+	// transfer time.
+	rng := rand.New(rand.NewSource(50))
+	perf := netmodel.RandomPerf(rng, 10, netmodel.GustoGuided())
+	plain, err := PipelinedBroadcast(perf, 0, 16<<20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := PipelinedBroadcast(perf, 0, 16<<20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if piped.CompletionTime() >= plain.CompletionTime() {
+		t.Errorf("pipelining (%g) did not beat whole-message broadcast (%g)",
+			piped.CompletionTime(), plain.CompletionTime())
+	}
+}
+
+func TestPipelinedBroadcastTooManySegmentsHurt(t *testing.T) {
+	// Start-up costs accumulate per segment: an absurd segment count
+	// must eventually cost more than a moderate one.
+	rng := rand.New(rand.NewSource(51))
+	perf := netmodel.RandomPerf(rng, 8, netmodel.GustoGuided())
+	moderate, err := PipelinedBroadcast(perf, 0, 1<<20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	absurd, err := PipelinedBroadcast(perf, 0, 1<<20, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if absurd.CompletionTime() <= moderate.CompletionTime() {
+		t.Errorf("512 segments (%g) should pay more start-up than 4 (%g)",
+			absurd.CompletionTime(), moderate.CompletionTime())
+	}
+}
+
+func TestPipelinedBroadcastSegmentOrdering(t *testing.T) {
+	// A relay must never forward a segment before holding it.
+	perf := netmodel.Gusto()
+	s, err := PipelinedBroadcast(perf, 2, 4<<20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Track per-(processor, segment) arrival using event order per edge:
+	// segments travel in order on each edge, so the k-th event of an
+	// edge carries segment k.
+	type edge struct{ src, dst int }
+	segOf := map[edge]int{}
+	arrival := map[[2]int]float64{} // (proc, seg) -> time
+	for k := 0; k < 4; k++ {
+		arrival[[2]int{2, k}] = 0
+	}
+	for _, e := range s.ByStart() {
+		ed := edge{e.Src, e.Dst}
+		k := segOf[ed]
+		segOf[ed] = k + 1
+		at, ok := arrival[[2]int{e.Src, k}]
+		if !ok {
+			t.Fatalf("%d forwards segment %d it never received", e.Src, k)
+		}
+		if e.Start < at-1e-9 {
+			t.Fatalf("%d forwards segment %d at %g before holding it at %g", e.Src, k, e.Start, at)
+		}
+		arrival[[2]int{e.Dst, k}] = e.Finish
+	}
+}
+
+func TestPipelinedBroadcastErrors(t *testing.T) {
+	perf := netmodel.Gusto()
+	if _, err := PipelinedBroadcast(perf, 9, 1, 1); err == nil {
+		t.Error("bad root accepted")
+	}
+	if _, err := PipelinedBroadcast(perf, 0, 1, 0); err == nil {
+		t.Error("zero segments accepted")
+	}
+	if _, err := PipelinedBroadcast(perf, 0, -1, 1); err == nil {
+		t.Error("negative size accepted")
+	}
+	// More segments than bytes clamps rather than errors.
+	s, err := PipelinedBroadcast(perf, 0, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 4*2 {
+		t.Errorf("segment clamp failed: %d events", len(s.Events))
+	}
+}

@@ -1,0 +1,94 @@
+package collective
+
+import (
+	"fmt"
+	"math"
+
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/timing"
+)
+
+// Pipelined broadcast. The framework forbids partitioning *collected
+// personalized* messages because each fragment pays the start-up cost
+// again (Section 3.4). For a large one-to-all broadcast the trade
+// flips: splitting the message into segments lets a relay forward
+// segment k while receiving segment k+1, overlapping the tree's depth
+// at the price of per-segment start-ups. PipelinedBroadcast builds a
+// fastest-node-first tree from whole-message costs and streams
+// segments down it; the segment count exposes exactly the
+// start-up-versus-overlap trade the paper's rule is about.
+
+// PipelinedBroadcast schedules a broadcast of size bytes from root
+// over perf, split into segments equal parts (the last segment takes
+// the remainder). segments = 1 degenerates to the plain
+// fastest-node-first broadcast. The returned schedule has one event
+// per (tree edge, segment).
+func PipelinedBroadcast(perf *netmodel.Perf, root int, size int64, segments int) (*timing.Schedule, error) {
+	n := perf.N()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("collective: root %d out of range for P=%d", root, n)
+	}
+	if segments < 1 {
+		return nil, fmt.Errorf("collective: segments %d, want ≥ 1", segments)
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("collective: negative size %d", size)
+	}
+	if int64(segments) > size && size > 0 {
+		segments = int(size)
+	}
+	out := &timing.Schedule{N: n}
+	if n <= 1 {
+		return out, nil
+	}
+
+	// Build the tree from whole-message costs with the FNF heuristic.
+	m, err := model.BuildUniform(perf, size)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := Broadcast(m, root, FastestNodeFirst)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-edge, per-segment streaming. Segment sizes: equal split with
+	// remainder on the last.
+	segSize := size / int64(segments)
+	segSizes := make([]int64, segments)
+	for k := range segSizes {
+		segSizes[k] = segSize
+	}
+	segSizes[segments-1] += size - segSize*int64(segments)
+
+	// hasSeg[p][k]: when processor p holds segment k.
+	hasSeg := make([][]float64, n)
+	for i := range hasSeg {
+		hasSeg[i] = make([]float64, segments)
+		for k := range hasSeg[i] {
+			hasSeg[i][k] = math.Inf(1)
+		}
+	}
+	for k := range segSizes {
+		hasSeg[root][k] = 0
+	}
+	sendFree := make([]float64, n)
+	recvFree := make([]float64, n)
+
+	// Stream down the tree edges in the order FNF created them. For
+	// each edge, forward the segments in order; each transfer waits for
+	// the segment's arrival at the parent and both ports.
+	for _, e := range tree.ByStart() {
+		for k := 0; k < segments; k++ {
+			start := math.Max(hasSeg[e.Src][k], math.Max(sendFree[e.Src], recvFree[e.Dst]))
+			d := perf.TransferTime(e.Src, e.Dst, segSizes[k])
+			fin := start + d
+			out.Events = append(out.Events, timing.Event{Src: e.Src, Dst: e.Dst, Start: start, Finish: fin})
+			sendFree[e.Src] = fin
+			recvFree[e.Dst] = fin
+			hasSeg[e.Dst][k] = fin
+		}
+	}
+	return out, nil
+}

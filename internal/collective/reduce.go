@@ -1,0 +1,99 @@
+package collective
+
+import (
+	"fmt"
+
+	"hetsched/internal/model"
+	"hetsched/internal/timing"
+)
+
+// Reduction. The framework's no-combining rule (Section 3.4) protects
+// voluminous *personalized* data; a reduction's combining operator
+// shrinks data at every hop by construction, so combine-and-forward
+// trees are exactly right for it. A heterogeneous reduction tree is
+// the time reversal of a broadcast tree: run the broadcast heuristic
+// on the transposed cost matrix from the same root, then play the
+// schedule backwards with the event directions flipped. Every node's
+// receives (its children's partial results) then complete before its
+// own send, and link costs are charged in the true transfer direction.
+
+// Reduce schedules an all-to-one reduction to root: every processor's
+// value is combined into root. The algo selects the underlying tree
+// (FastestNodeFirst gives the heterogeneity-aware tree; Linear and
+// Binomial are the oblivious baselines). Combining computation is
+// taken as free, per the communication-only model.
+func Reduce(m *model.Matrix, root int, algo BroadcastAlgorithm) (*timing.Schedule, error) {
+	fwd, err := Broadcast(m.Transpose(), root, algo)
+	if err != nil {
+		return nil, err
+	}
+	return reverse(fwd), nil
+}
+
+// reverse time-reverses a schedule and flips event directions, mapping
+// a broadcast tree into a reduction tree with identical makespan.
+func reverse(s *timing.Schedule) *timing.Schedule {
+	total := s.CompletionTime()
+	out := &timing.Schedule{N: s.N}
+	for _, e := range s.Events {
+		out.Events = append(out.Events, timing.Event{
+			Src:    e.Dst,
+			Dst:    e.Src,
+			Start:  total - e.Finish,
+			Finish: total - e.Start,
+		})
+	}
+	return out
+}
+
+// AllReduce schedules a reduction to root followed by a broadcast of
+// the combined result from root — the two-phase realization of
+// all-reduce under the model. The second phase begins when the
+// reduction completes.
+func AllReduce(m *model.Matrix, root int, algo BroadcastAlgorithm) (*timing.Schedule, error) {
+	red, err := Reduce(m, root, algo)
+	if err != nil {
+		return nil, err
+	}
+	bc, err := Broadcast(m, root, algo)
+	if err != nil {
+		return nil, err
+	}
+	offset := red.CompletionTime()
+	out := &timing.Schedule{N: m.N(), Events: append([]timing.Event(nil), red.Events...)}
+	for _, e := range bc.Events {
+		e.Start += offset
+		e.Finish += offset
+		out.Events = append(out.Events, e)
+	}
+	return out, nil
+}
+
+// CheckReduction verifies reduction structure: every non-root sends
+// exactly once, root never sends, and no processor sends before all
+// of its receives complete (children combine first).
+func CheckReduction(s *timing.Schedule, root int) error {
+	sendAt := make(map[int]float64, s.N)
+	lastRecv := make(map[int]float64, s.N)
+	for _, e := range s.Events {
+		if e.Src == root {
+			return fmt.Errorf("collective: root %d sends in a reduction", root)
+		}
+		if _, dup := sendAt[e.Src]; dup {
+			return fmt.Errorf("collective: %d sends twice in a reduction", e.Src)
+		}
+		sendAt[e.Src] = e.Start
+		if e.Finish > lastRecv[e.Dst] {
+			lastRecv[e.Dst] = e.Finish
+		}
+	}
+	if len(sendAt) != s.N-1 {
+		return fmt.Errorf("collective: %d senders in a %d-processor reduction", len(sendAt), s.N)
+	}
+	for p, at := range sendAt {
+		if lr, ok := lastRecv[p]; ok && at < lr-1e-9 {
+			return fmt.Errorf("collective: %d sends at %g before its last receive at %g", p, at, lr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+// Package comm is the application-level entry point the paper's
+// framework builds toward: "network-aware communication at the
+// application level" (Section 1). A Communicator owns a source of
+// network performance (a directory snapshotting function), plans
+// collective operations on demand, and — for the sensor-style
+// applications of Section 6.2 that repeat the same exchange — reuses
+// and incrementally repairs previous schedules instead of recomputing
+// them, falling back to a full recomputation when the network has
+// drifted too far.
+package comm
+
+import (
+	"fmt"
+	"math"
+
+	"hetsched/internal/incremental"
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/sched"
+	"hetsched/internal/timing"
+)
+
+// Source supplies current network performance — typically
+// DirectoryClient.Snapshot or Store.Snapshot wrapped in a closure.
+type Source func() (*netmodel.Perf, error)
+
+// StaticSource wraps a fixed table as a Source.
+func StaticSource(perf *netmodel.Perf) Source {
+	fixed := perf.Clone()
+	return func() (*netmodel.Perf, error) { return fixed.Clone(), nil }
+}
+
+// Config tunes a Communicator.
+type Config struct {
+	// Scheduler plans total exchanges; nil selects open shop.
+	Scheduler sched.Scheduler
+	// RepairScheduler plans the step schedules used for incremental
+	// repair; nil selects max matching.
+	RepairScheduler sched.Scheduler
+	// RepairThreshold is the relative per-pair cost change that marks
+	// a step dirty during repair; 0 selects 0.1.
+	RepairThreshold float64
+	// RecomputeFraction: when more than this fraction of the repair
+	// schedule's steps are dirty, repairing saves nothing — recompute
+	// from scratch instead. 0 selects 0.5.
+	RecomputeFraction float64
+}
+
+// Stats counts what the communicator did.
+type Stats struct {
+	Plans      int // schedules computed from scratch
+	Repairs    int // schedules produced by incremental repair
+	Recomputes int // repairs abandoned for a full recompute
+}
+
+// Communicator plans network-aware collective communication.
+type Communicator struct {
+	n      int
+	source Source
+	cfg    Config
+
+	// cached state for AllToAllRepeated
+	lastMatrix *model.Matrix
+	lastSteps  *timing.StepSchedule
+	stats      Stats
+}
+
+// New creates a communicator for an n-processor system.
+func New(n int, source Source, cfg Config) (*Communicator, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("comm: negative processor count")
+	}
+	if source == nil {
+		return nil, fmt.Errorf("comm: nil source")
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = sched.NewOpenShop()
+	}
+	if cfg.RepairScheduler == nil {
+		cfg.RepairScheduler = sched.MaxMatching{}
+	}
+	if cfg.RepairThreshold == 0 {
+		cfg.RepairThreshold = 0.1
+	}
+	if cfg.RepairThreshold < 0 {
+		return nil, fmt.Errorf("comm: negative repair threshold")
+	}
+	if cfg.RecomputeFraction == 0 {
+		cfg.RecomputeFraction = 0.5
+	}
+	if cfg.RecomputeFraction < 0 || cfg.RecomputeFraction > 1 {
+		return nil, fmt.Errorf("comm: recompute fraction %g outside [0,1]", cfg.RecomputeFraction)
+	}
+	return &Communicator{n: n, source: source, cfg: cfg}, nil
+}
+
+// Stats returns the planning counters.
+func (c *Communicator) Stats() Stats { return c.stats }
+
+// snapshotMatrix queries the source and builds the cost matrix.
+func (c *Communicator) snapshotMatrix(sizes *model.Sizes) (*model.Matrix, error) {
+	if sizes.N() != c.n {
+		return nil, fmt.Errorf("comm: sizes are for %d processors, communicator for %d", sizes.N(), c.n)
+	}
+	perf, err := c.source()
+	if err != nil {
+		return nil, fmt.Errorf("comm: directory query: %w", err)
+	}
+	if perf.N() != c.n {
+		return nil, fmt.Errorf("comm: directory reports %d processors, want %d", perf.N(), c.n)
+	}
+	return model.Build(perf, sizes)
+}
+
+// AllToAll plans a one-shot total exchange from a fresh directory
+// snapshot with the configured scheduler.
+func (c *Communicator) AllToAll(sizes *model.Sizes) (*sched.Result, error) {
+	m, err := c.snapshotMatrix(sizes)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.Plans++
+	return c.cfg.Scheduler.Schedule(m)
+}
+
+// AllToAllRepeated plans a total exchange for a workload that repeats:
+// the first call computes a step decomposition; later calls query the
+// directory and repair only the steps whose event costs drifted past
+// the threshold, recomputing from scratch when most steps are dirty.
+// The returned result always reflects current network conditions.
+func (c *Communicator) AllToAllRepeated(sizes *model.Sizes) (*sched.Result, error) {
+	m, err := c.snapshotMatrix(sizes)
+	if err != nil {
+		return nil, err
+	}
+	if c.lastSteps == nil || c.lastMatrix == nil {
+		return c.planRepeated(m)
+	}
+	repaired, st, err := incremental.Refine(c.lastSteps, c.lastMatrix, m,
+		incremental.Options{Threshold: c.cfg.RepairThreshold, Max: true})
+	if err != nil {
+		return nil, err
+	}
+	if st.Steps > 0 && float64(st.DirtySteps) > c.cfg.RecomputeFraction*float64(st.Steps) {
+		c.stats.Recomputes++
+		return c.planRepeated(m)
+	}
+	c.stats.Repairs++
+	c.lastMatrix = m
+	c.lastSteps = repaired
+	s, err := repaired.Evaluate(m)
+	if err != nil {
+		return nil, err
+	}
+	return &sched.Result{
+		Algorithm:  c.cfg.RepairScheduler.Name() + "+repair",
+		Steps:      repaired,
+		Schedule:   s,
+		LowerBound: m.LowerBound(),
+	}, nil
+}
+
+// planRepeated computes a fresh step decomposition and caches it.
+func (c *Communicator) planRepeated(m *model.Matrix) (*sched.Result, error) {
+	r, err := c.cfg.RepairScheduler.Schedule(m)
+	if err != nil {
+		return nil, err
+	}
+	if r.Steps == nil {
+		return nil, fmt.Errorf("comm: repair scheduler %q produced no step structure", c.cfg.RepairScheduler.Name())
+	}
+	c.stats.Plans++
+	c.lastMatrix = m
+	c.lastSteps = r.Steps
+	return r, nil
+}
+
+// Invalidate drops the cached schedule so the next repeated call
+// replans from scratch.
+func (c *Communicator) Invalidate() {
+	c.lastMatrix = nil
+	c.lastSteps = nil
+}
+
+// Quality returns a result's completion relative to its lower bound
+// (1 for degenerate empty problems).
+func (c *Communicator) Quality(r *sched.Result) float64 {
+	if r.LowerBound == 0 {
+		return 1
+	}
+	return r.CompletionTime() / r.LowerBound
+}
+
+// Drifted reports the largest relative per-pair cost change between
+// the cached matrix and a fresh snapshot built with the same sizes; it
+// returns 0 when nothing is cached. Applications can use it to decide
+// when to Invalidate.
+func (c *Communicator) Drifted(sizes *model.Sizes) (float64, error) {
+	if c.lastMatrix == nil {
+		return 0, nil
+	}
+	m, err := c.snapshotMatrix(sizes)
+	if err != nil {
+		return 0, err
+	}
+	worst := 0.0
+	for i := 0; i < c.n; i++ {
+		for j := 0; j < c.n; j++ {
+			if i == j {
+				continue
+			}
+			old := c.lastMatrix.At(i, j)
+			if old == 0 {
+				continue
+			}
+			if rel := math.Abs(m.At(i, j)-old) / old; rel > worst {
+				worst = rel
+			}
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,235 @@
+package comm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/sched"
+)
+
+func newComm(t *testing.T, perf *netmodel.Perf, cfg Config) *Communicator {
+	t.Helper()
+	c, err := New(perf.N(), StaticSource(perf), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, StaticSource(netmodel.Gusto()), Config{}); err == nil {
+		t.Error("negative n accepted")
+	}
+	if _, err := New(5, nil, Config{}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := New(5, StaticSource(netmodel.Gusto()), Config{RepairThreshold: -1}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+	if _, err := New(5, StaticSource(netmodel.Gusto()), Config{RecomputeFraction: 2}); err == nil {
+		t.Error("fraction > 1 accepted")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	c := newComm(t, netmodel.Gusto(), Config{})
+	sizes := model.UniformSizes(5, 1<<20)
+	r, err := c.AllToAll(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algorithm != "openshop" {
+		t.Errorf("default scheduler = %q", r.Algorithm)
+	}
+	if c.Quality(r) > 2+1e-9 {
+		t.Errorf("quality %g exceeds Theorem 3", c.Quality(r))
+	}
+	if c.Stats().Plans != 1 {
+		t.Errorf("stats = %+v", c.Stats())
+	}
+}
+
+func TestAllToAllSizeMismatch(t *testing.T) {
+	c := newComm(t, netmodel.Gusto(), Config{})
+	if _, err := c.AllToAll(model.UniformSizes(4, 1)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestAllToAllSourceError(t *testing.T) {
+	boom := errors.New("directory down")
+	c, err := New(5, func() (*netmodel.Perf, error) { return nil, boom }, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllToAll(model.UniformSizes(5, 1)); !errors.Is(err, boom) {
+		t.Errorf("source error lost: %v", err)
+	}
+}
+
+func TestAllToAllSourceShapeMismatch(t *testing.T) {
+	c, err := New(4, StaticSource(netmodel.Gusto()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllToAll(model.UniformSizes(4, 1)); err == nil {
+		t.Error("directory shape mismatch accepted")
+	}
+}
+
+func TestRepeatedStableNetworkRepairsCheaply(t *testing.T) {
+	c := newComm(t, netmodel.Gusto(), Config{})
+	sizes := model.UniformSizes(5, 1<<20)
+	first, err := c.AllToAllRepeated(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Algorithm != "maxmatch" {
+		t.Errorf("first plan should be the repair scheduler, got %q", first.Algorithm)
+	}
+	for k := 0; k < 3; k++ {
+		r, err := c.AllToAllRepeated(sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Algorithm != "maxmatch+repair" {
+			t.Errorf("call %d: algorithm %q", k, r.Algorithm)
+		}
+		if err := r.Schedule.ValidateTotalExchange(nil); err != nil {
+			t.Fatalf("call %d: %v", k, err)
+		}
+		if r.CompletionTime() != first.CompletionTime() {
+			t.Errorf("stable network changed the schedule: %g vs %g", r.CompletionTime(), first.CompletionTime())
+		}
+	}
+	st := c.Stats()
+	if st.Plans != 1 || st.Repairs != 3 || st.Recomputes != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRepeatedDriftTriggersRepairThenRecompute(t *testing.T) {
+	perf := netmodel.Gusto()
+	cur := perf.Clone()
+	c, err := New(5, func() (*netmodel.Perf, error) { return cur.Clone(), nil }, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := model.UniformSizes(5, 1<<20)
+	if _, err := c.AllToAllRepeated(sizes); err != nil {
+		t.Fatal(err)
+	}
+	// Small drift: one link slows 3× — repair.
+	pp := cur.At(0, 1)
+	pp.Bandwidth /= 3
+	cur.Set(0, 1, pp)
+	r, err := c.AllToAllRepeated(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algorithm != "maxmatch+repair" {
+		t.Errorf("small drift should repair, got %q", r.Algorithm)
+	}
+	if err := r.Schedule.ValidateTotalExchange(nil); err != nil {
+		t.Fatal(err)
+	}
+	// Massive drift: everything slows — recompute.
+	cur = cur.Scale(0.1)
+	r, err = c.AllToAllRepeated(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algorithm != "maxmatch" {
+		t.Errorf("large drift should recompute, got %q", r.Algorithm)
+	}
+	st := c.Stats()
+	if st.Repairs != 1 || st.Recomputes != 1 || st.Plans != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newComm(t, netmodel.Gusto(), Config{})
+	sizes := model.UniformSizes(5, 1<<20)
+	if _, err := c.AllToAllRepeated(sizes); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate()
+	r, err := c.AllToAllRepeated(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Algorithm != "maxmatch" {
+		t.Error("Invalidate should force a fresh plan")
+	}
+}
+
+func TestDrifted(t *testing.T) {
+	perf := netmodel.Gusto()
+	cur := perf.Clone()
+	c, err := New(5, func() (*netmodel.Perf, error) { return cur.Clone(), nil }, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := model.UniformSizes(5, 1<<20)
+	d, err := c.Drifted(sizes)
+	if err != nil || d != 0 {
+		t.Errorf("no cache should report drift 0: %g, %v", d, err)
+	}
+	if _, err := c.AllToAllRepeated(sizes); err != nil {
+		t.Fatal(err)
+	}
+	d, err = c.Drifted(sizes)
+	if err != nil || d > 1e-12 {
+		t.Errorf("stable network drift = %g", d)
+	}
+	pp := cur.At(0, 1)
+	pp.Bandwidth /= 2
+	cur.Set(0, 1, pp)
+	d, err = c.Drifted(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.5 {
+		t.Errorf("halved bandwidth should drift the cost ~2×, got %g", d)
+	}
+}
+
+func TestRepeatedRejectsStepLessRepairScheduler(t *testing.T) {
+	c := newComm(t, netmodel.Gusto(), Config{RepairScheduler: sched.NewOpenShop()})
+	if _, err := c.AllToAllRepeated(model.UniformSizes(5, 1<<20)); err == nil {
+		t.Error("openshop has no step structure; repair planning should fail loudly")
+	}
+}
+
+func TestCommUnderRandomDrift(t *testing.T) {
+	// Soak: repeated exchanges against a drifting network stay valid
+	// and track the moving lower bound within the matching quality band.
+	rng := rand.New(rand.NewSource(7))
+	base := netmodel.RandomPerf(rng, 8, netmodel.GustoGuided())
+	walker := netmodel.NewWalker(rng, base, netmodel.Drift{RelStep: 0.15, MinFactor: 0.3, MaxFactor: 3})
+	cur := base.Clone()
+	c, err := New(8, func() (*netmodel.Perf, error) { return cur.Clone(), nil }, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := model.UniformSizes(8, 1<<20)
+	for round := 0; round < 12; round++ {
+		r, err := c.AllToAllRepeated(sizes)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if q := c.Quality(r); q > 2.0 {
+			t.Fatalf("round %d: quality %g collapsed", round, q)
+		}
+		cur = walker.Step()
+	}
+	st := c.Stats()
+	if st.Plans+st.Repairs < 12 {
+		t.Errorf("stats don't add up: %+v", st)
+	}
+	t.Logf("drift soak stats: %+v", st)
+}

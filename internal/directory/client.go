@@ -1,0 +1,112 @@
+package directory
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hetsched/internal/netmodel"
+)
+
+// Client talks to a directory server over TCP. It is safe for
+// concurrent use; requests on one client are serialized over one
+// connection (the protocol is strictly request/response).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	rd   *bufio.Scanner
+	enc  *json.Encoder
+}
+
+// Dial connects to a directory server. timeout bounds the connection
+// attempt; zero means no timeout.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("directory: dial %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	return &Client{conn: conn, rd: sc, enc: json.NewEncoder(conn)}, nil
+}
+
+// Close shuts the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+func (c *Client) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("directory: send: %w", err)
+	}
+	if !c.rd.Scan() {
+		if err := c.rd.Err(); err != nil {
+			return response{}, fmt.Errorf("directory: receive: %w", err)
+		}
+		return response{}, errors.New("directory: connection closed by server")
+	}
+	var resp response
+	if err := json.Unmarshal(c.rd.Bytes(), &resp); err != nil {
+		return response{}, fmt.Errorf("directory: decode: %w", err)
+	}
+	if !resp.OK {
+		return response{}, fmt.Errorf("directory: server error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Query fetches the performance of one ordered pair.
+func (c *Client) Query(src, dst int) (netmodel.PairPerf, uint64, error) {
+	resp, err := c.roundTrip(request{Op: opQuery, Src: src, Dst: dst})
+	if err != nil {
+		return netmodel.PairPerf{}, 0, err
+	}
+	return netmodel.PairPerf{Latency: resp.Latency, Bandwidth: resp.Bandwidth}, resp.Version, nil
+}
+
+// Snapshot fetches the whole table, its processor names, and version.
+func (c *Client) Snapshot() (*netmodel.Perf, []string, uint64, error) {
+	resp, err := c.roundTrip(request{Op: opSnapshot})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if len(resp.LatTable) != resp.N || len(resp.BWTable) != resp.N {
+		return nil, nil, 0, errors.New("directory: malformed snapshot tables")
+	}
+	perf := netmodel.NewPerf(resp.N)
+	for i := 0; i < resp.N; i++ {
+		if len(resp.LatTable[i]) != resp.N || len(resp.BWTable[i]) != resp.N {
+			return nil, nil, 0, errors.New("directory: ragged snapshot tables")
+		}
+		for j := 0; j < resp.N; j++ {
+			perf.Set(i, j, netmodel.PairPerf{Latency: resp.LatTable[i][j], Bandwidth: resp.BWTable[i][j]})
+		}
+	}
+	return perf, resp.Names, resp.Version, nil
+}
+
+// UpdatePair publishes fresh performance for one ordered pair.
+func (c *Client) UpdatePair(src, dst int, pp netmodel.PairPerf) (uint64, error) {
+	resp, err := c.roundTrip(request{Op: opUpdatePair, Src: src, Dst: dst, Latency: pp.Latency, Bandwidth: pp.Bandwidth})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
+// Version fetches the store's version counter.
+func (c *Client) Version() (uint64, error) {
+	resp, err := c.roundTrip(request{Op: opVersion})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}

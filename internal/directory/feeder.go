@@ -1,0 +1,58 @@
+package directory
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hetsched/internal/netmodel"
+)
+
+// Feeder publishes a synthetic load model into a store: each tick
+// advances a bounded bandwidth random walk (netmodel.Walker) and
+// pushes the result, imitating the continuously varying conditions a
+// real directory service like MDS would report. Ticks are explicit so
+// tests and simulations stay deterministic; Run drives ticks from a
+// wall-clock ticker for the daemon.
+type Feeder struct {
+	store  *Store
+	walker *netmodel.Walker
+}
+
+// NewFeeder builds a feeder whose walk starts at the store's current
+// table.
+func NewFeeder(store *Store, rng *rand.Rand, drift netmodel.Drift) *Feeder {
+	base, _ := store.Snapshot()
+	return &Feeder{store: store, walker: netmodel.NewWalker(rng, base, drift)}
+}
+
+// Tick advances the walk one step and publishes it, returning the new
+// store version.
+func (f *Feeder) Tick() (uint64, error) {
+	next := f.walker.Step()
+	v, err := f.store.Update(next)
+	if err != nil {
+		return 0, fmt.Errorf("directory: feeder publish: %w", err)
+	}
+	return v, nil
+}
+
+// Run ticks at the given interval until stop is closed. Intended for
+// the directory daemon; simulations should call Tick directly.
+func (f *Feeder) Run(interval time.Duration, stop <-chan struct{}) error {
+	if interval <= 0 {
+		return fmt.Errorf("directory: non-positive feeder interval %v", interval)
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-t.C:
+			if _, err := f.Tick(); err != nil {
+				return err
+			}
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package directory
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"hetsched/internal/netmodel"
+)
+
+// Server exposes a Store over TCP with the JSON-line protocol. One
+// goroutine per connection; connections are independent and may issue
+// any number of requests.
+type Server struct {
+	store *Store
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a store.
+func NewServer(store *Store) *Server {
+	return &Server{store: store, conns: map[net.Conn]struct{}{}}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0")
+// and returns the bound address. Serving happens on background
+// goroutines; call Close to stop.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("directory: listen: %w", err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("directory: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req request
+		var resp response
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = response{Error: "malformed request: " + err.Error()}
+		} else {
+			resp = s.handle(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req request) response {
+	switch req.Op {
+	case opQuery:
+		pp, v, err := s.store.Query(req.Src, req.Dst)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true, Version: v, Latency: pp.Latency, Bandwidth: pp.Bandwidth}
+	case opSnapshot:
+		perf, v := s.store.Snapshot()
+		n := perf.N()
+		lat := make([][]float64, n)
+		bw := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			lat[i] = make([]float64, n)
+			bw[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				pp := perf.At(i, j)
+				lat[i][j] = pp.Latency
+				bw[i][j] = pp.Bandwidth
+			}
+		}
+		return response{OK: true, Version: v, N: n, Names: s.store.Names(), LatTable: lat, BWTable: bw}
+	case opUpdatePair:
+		v, err := s.store.UpdatePair(req.Src, req.Dst, netmodel.PairPerf{Latency: req.Latency, Bandwidth: req.Bandwidth})
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true, Version: v}
+	case opVersion:
+		return response{OK: true, Version: s.store.Version()}
+	default:
+		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+// Close stops the listener and all connections and waits for the
+// serving goroutines to drain. It is safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}

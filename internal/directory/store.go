@@ -1,0 +1,167 @@
+// Package directory implements the framework's directory service — the
+// component modelled on Globus MDS and the ReMoS API (Section 3.1)
+// that supplies applications with current end-to-end network
+// performance between every pair of processors. The package provides a
+// concurrency-safe in-memory store with versioned snapshots and change
+// subscriptions, a TCP server speaking a JSON-line protocol, and a
+// matching client, so schedules can be computed from fresh directory
+// queries exactly as the paper prescribes.
+package directory
+
+import (
+	"fmt"
+	"sync"
+
+	"hetsched/internal/netmodel"
+)
+
+// Store holds the current pairwise performance table. It is safe for
+// concurrent use. Every mutation bumps a version counter so pollers
+// can detect staleness cheaply.
+type Store struct {
+	mu      sync.RWMutex
+	perf    *netmodel.Perf
+	names   []string
+	version uint64
+	subs    map[uint64]chan uint64
+	nextSub uint64
+}
+
+// NewStore creates a store over an initial table. Names are optional
+// human-readable processor names; pass nil to auto-name P0..Pn-1.
+func NewStore(initial *netmodel.Perf, names []string) (*Store, error) {
+	if initial == nil {
+		return nil, fmt.Errorf("directory: nil initial table")
+	}
+	if err := initial.Validate(); err != nil {
+		return nil, err
+	}
+	if names == nil {
+		names = make([]string, initial.N())
+		for i := range names {
+			names[i] = fmt.Sprintf("P%d", i)
+		}
+	}
+	if len(names) != initial.N() {
+		return nil, fmt.Errorf("directory: %d names for %d processors", len(names), initial.N())
+	}
+	return &Store{
+		perf:  initial.Clone(),
+		names: append([]string(nil), names...),
+		subs:  map[uint64]chan uint64{},
+	}, nil
+}
+
+// N returns the number of processors.
+func (s *Store) N() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.perf.N()
+}
+
+// Names returns the processor names.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.names...)
+}
+
+// Version returns the current version counter.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
+// Snapshot returns a copy of the whole table and its version.
+func (s *Store) Snapshot() (*netmodel.Perf, uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.perf.Clone(), s.version
+}
+
+// Query returns the performance between one ordered pair.
+func (s *Store) Query(src, dst int) (netmodel.PairPerf, uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if src < 0 || src >= s.perf.N() || dst < 0 || dst >= s.perf.N() {
+		return netmodel.PairPerf{}, 0, fmt.Errorf("directory: pair (%d,%d) out of range", src, dst)
+	}
+	return s.perf.At(src, dst), s.version, nil
+}
+
+// Update replaces the whole table and returns the new version.
+func (s *Store) Update(perf *netmodel.Perf) (uint64, error) {
+	if err := perf.Validate(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	if perf.N() != s.perf.N() {
+		n := s.perf.N()
+		s.mu.Unlock()
+		return 0, fmt.Errorf("directory: update is %d×%d but store holds %d×%d", perf.N(), perf.N(), n, n)
+	}
+	s.perf = perf.Clone()
+	s.version++
+	v := s.version
+	s.notifyLocked(v)
+	s.mu.Unlock()
+	return v, nil
+}
+
+// UpdatePair changes one ordered pair and returns the new version.
+func (s *Store) UpdatePair(src, dst int, pp netmodel.PairPerf) (uint64, error) {
+	if !pp.Valid() {
+		return 0, fmt.Errorf("directory: invalid performance %+v", pp)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if src < 0 || src >= s.perf.N() || dst < 0 || dst >= s.perf.N() || src == dst {
+		return 0, fmt.Errorf("directory: pair (%d,%d) out of range", src, dst)
+	}
+	s.perf.Set(src, dst, pp)
+	s.version++
+	s.notifyLocked(s.version)
+	return s.version, nil
+}
+
+// Subscribe registers for version-change notifications. The returned
+// channel receives the new version after each update (dropping
+// intermediate versions when the subscriber lags). Call cancel to
+// release the subscription.
+func (s *Store) Subscribe() (<-chan uint64, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextSub
+	s.nextSub++
+	ch := make(chan uint64, 1)
+	s.subs[id] = ch
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if c, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(c)
+		}
+	}
+	return ch, cancel
+}
+
+// notifyLocked pushes the version to all subscribers without blocking:
+// a full buffer is drained first so the latest version always lands.
+func (s *Store) notifyLocked(v uint64) {
+	for _, ch := range s.subs {
+		select {
+		case ch <- v:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- v:
+			default:
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/sched"
+)
+
+func randMatrix(t *testing.T, seed int64, n int) *model.Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	perf := netmodel.RandomPerf(rng, n, netmodel.GustoGuided())
+	m, err := model.BuildUniform(perf, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSolveTrivial(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		res, err := Solve(model.NewMatrix(n), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal || res.Makespan != 0 || len(res.Schedule.Events) != 0 {
+			t.Errorf("n=%d: %+v", n, res)
+		}
+	}
+}
+
+func TestSolveTwoProcessors(t *testing.T) {
+	m := model.NewMatrix(2)
+	m.Set(0, 1, 3)
+	m.Set(1, 0, 7)
+	res, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal || res.Makespan != 7 {
+		t.Errorf("makespan = %g, want 7 (parallel)", res.Makespan)
+	}
+	if err := res.Schedule.ValidateTotalExchange(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveRunningExampleOptimal(t *testing.T) {
+	// The paper's running example: the matching schedule achieves the
+	// lower bound 11, so the optimum is 11; the solver must prove it.
+	m := model.ExampleMatrix()
+	res, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatal("running example should be provably solvable")
+	}
+	if math.Abs(res.Makespan-11) > 1e-9 {
+		t.Errorf("optimal makespan = %g, want 11", res.Makespan)
+	}
+	if err := res.Schedule.ValidateTotalExchange(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveNeverBeatsLowerBoundNorLosesToHeuristics(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		n := 3 + int(seed%2) // P in {3, 4}
+		m := randMatrix(t, seed, n)
+		res, err := Solve(m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal {
+			t.Fatalf("seed %d: tiny instance not solved to optimality", seed)
+		}
+		if err := res.Schedule.ValidateTotalExchange(m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Makespan < m.LowerBound()-1e-9 {
+			t.Fatalf("seed %d: optimum %g beats the lower bound %g", seed, res.Makespan, m.LowerBound())
+		}
+		for _, s := range sched.All() {
+			hr, err := s.Schedule(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hr.CompletionTime() < res.Makespan-1e-9 {
+				t.Fatalf("seed %d: heuristic %s (%g) beats the 'optimum' (%g)",
+					seed, s.Name(), hr.CompletionTime(), res.Makespan)
+			}
+		}
+	}
+}
+
+func TestHeuristicsNearOptimalOnSmallInstances(t *testing.T) {
+	// Quantifies the paper's quality claims against true optima: on
+	// random P=4 instances openshop and the matchings should be within
+	// a few percent of optimal.
+	var osSum, mmSum, optSum float64
+	for seed := int64(20); seed < 35; seed++ {
+		m := randMatrix(t, seed, 4)
+		res, err := Solve(m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal {
+			t.Fatalf("seed %d not solved", seed)
+		}
+		osr, err := sched.NewOpenShop().Schedule(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mmr, err := sched.MaxMatching{}.Schedule(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optSum += res.Makespan
+		osSum += osr.CompletionTime()
+		mmSum += mmr.CompletionTime()
+	}
+	if osSum > optSum*1.15 {
+		t.Errorf("openshop %.1f%% above optimal on P=4", (osSum/optSum-1)*100)
+	}
+	if mmSum > optSum*1.15 {
+		t.Errorf("maxmatch %.1f%% above optimal on P=4", (mmSum/optSum-1)*100)
+	}
+}
+
+func TestSolveNodeCap(t *testing.T) {
+	m := randMatrix(t, 3, 5)
+	res, err := Solve(m, Options{MaxNodes: 5, InitialUpper: m.TotalVolume()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimal {
+		t.Error("5-node budget cannot prove optimality for P=5")
+	}
+	if res.Nodes > 5 {
+		t.Errorf("expanded %d nodes with budget 5", res.Nodes)
+	}
+}
+
+func TestSolveInitialUpperPrunes(t *testing.T) {
+	m := model.ExampleMatrix()
+	// Prime with the heuristic makespan: search should still find 11
+	// and typically expand fewer nodes than unprimed.
+	osr, err := sched.NewOpenShop().Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unprimed, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	primed, err := Solve(m, Options{InitialUpper: osr.CompletionTime()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(primed.Makespan-unprimed.Makespan) > 1e-9 {
+		t.Errorf("priming changed the optimum: %g vs %g", primed.Makespan, unprimed.Makespan)
+	}
+	if primed.Nodes > unprimed.Nodes {
+		t.Errorf("priming should not expand more nodes: %d vs %d", primed.Nodes, unprimed.Nodes)
+	}
+}
+
+func TestSolveRejectsInvalid(t *testing.T) {
+	bad := model.NewMatrix(2)
+	bad.Set(0, 1, -1)
+	if _, err := Solve(bad, Options{}); err == nil {
+		t.Error("invalid matrix accepted")
+	}
+	if _, err := Solve(model.NewMatrix(2), Options{MaxNodes: -1}); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	m := randMatrix(t, 9, 4)
+	a, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Nodes != b.Nodes {
+		t.Error("nondeterministic search")
+	}
+}

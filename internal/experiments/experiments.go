@@ -1,0 +1,198 @@
+// Package experiments regenerates the paper's evaluation (Figures 9-12
+// and the running example) and the extension studies listed in
+// DESIGN.md. Every experiment is deterministic given its seed and
+// reports ratios to the lower bound and speedups over the baseline —
+// the quantities the paper's figures convey — as structured values,
+// text tables, and CSV.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hetsched/internal/model"
+	"hetsched/internal/sched"
+	"hetsched/internal/stats"
+	"hetsched/internal/workload"
+)
+
+// Config parameterizes one figure-style sweep.
+type Config struct {
+	Kind   workload.Kind // which message-size pattern (Figure 9, 10, 11 or 12)
+	Ps     []int         // processor counts on the x axis
+	Trials int           // random instances averaged per point
+	Seed   int64         // base seed; trial t of size P uses a derived seed
+}
+
+// DefaultPs mirrors "systems with up to 50 processors were
+// considered": 5 to 50 in steps of 5.
+func DefaultPs() []int {
+	var ps []int
+	for p := 5; p <= 50; p += 5 {
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// DefaultConfig returns the sweep the paper ran for the given figure.
+func DefaultConfig(kind workload.Kind) Config {
+	return Config{Kind: kind, Ps: DefaultPs(), Trials: 5, Seed: 1998}
+}
+
+// Cell is one (P, algorithm) aggregate.
+type Cell struct {
+	P           int
+	Algorithm   string
+	MeanTime    float64 // mean completion time in seconds
+	MeanRatio   float64 // mean t_max / t_lb
+	MeanSpeedup float64 // mean baseline t_max / this t_max (geometric)
+}
+
+// FigureResult is a whole sweep.
+type FigureResult struct {
+	Kind       workload.Kind
+	Algorithms []string
+	Cells      []Cell // ordered by P, then algorithm registry order
+}
+
+// RunFigure executes the sweep: for each processor count, Trials
+// random GUSTO-guided instances of the workload are drawn and every
+// scheduler in sched.All runs on each.
+func RunFigure(cfg Config) (*FigureResult, error) {
+	if cfg.Trials < 1 {
+		return nil, fmt.Errorf("experiments: trials = %d, want ≥ 1", cfg.Trials)
+	}
+	if len(cfg.Ps) == 0 {
+		return nil, fmt.Errorf("experiments: no processor counts")
+	}
+	schedulers := sched.All()
+	res := &FigureResult{Kind: cfg.Kind}
+	for _, s := range schedulers {
+		res.Algorithms = append(res.Algorithms, s.Name())
+	}
+	for _, p := range cfg.Ps {
+		if p < 2 {
+			return nil, fmt.Errorf("experiments: processor count %d too small", p)
+		}
+		times := make(map[string][]float64)
+		ratios := make(map[string][]float64)
+		speedups := make(map[string][]float64)
+		for trial := 0; trial < cfg.Trials; trial++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*1_000_003 + int64(trial)))
+			m, _, _, err := workload.Problem(rng, workload.DefaultSpec(cfg.Kind, p))
+			if err != nil {
+				return nil, err
+			}
+			var base float64
+			for k, s := range schedulers {
+				r, err := s.Schedule(m)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s on P=%d: %w", s.Name(), p, err)
+				}
+				t := r.CompletionTime()
+				if k == 0 {
+					base = t
+				}
+				times[s.Name()] = append(times[s.Name()], t)
+				ratios[s.Name()] = append(ratios[s.Name()], r.Ratio())
+				speedups[s.Name()] = append(speedups[s.Name()], stats.Ratio(base, t))
+			}
+		}
+		for _, s := range schedulers {
+			res.Cells = append(res.Cells, Cell{
+				P:           p,
+				Algorithm:   s.Name(),
+				MeanTime:    stats.Mean(times[s.Name()]),
+				MeanRatio:   stats.Mean(ratios[s.Name()]),
+				MeanSpeedup: stats.GeoMean(speedups[s.Name()]),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Cell returns the aggregate for (p, algorithm), or false.
+func (r *FigureResult) Cell(p int, algorithm string) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.P == p && c.Algorithm == algorithm {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// FormatTable renders the sweep as a fixed-width table of mean
+// ratio-to-lower-bound per algorithm and P, with mean absolute
+// completion in a second block — the information content of the
+// paper's figure for this workload.
+func (r *FigureResult) FormatTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workload: %s (ratio to lower bound; mean over trials)\n", r.Kind)
+	fmt.Fprintf(&sb, "%4s", "P")
+	for _, a := range r.Algorithms {
+		fmt.Fprintf(&sb, " %16s", a)
+	}
+	sb.WriteByte('\n')
+	seen := map[int]bool{}
+	for _, c := range r.Cells {
+		if seen[c.P] {
+			continue
+		}
+		seen[c.P] = true
+		fmt.Fprintf(&sb, "%4d", c.P)
+		for _, a := range r.Algorithms {
+			cell, _ := r.Cell(c.P, a)
+			fmt.Fprintf(&sb, " %16.3f", cell.MeanRatio)
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("\nspeedup over asynchronous baseline (geometric mean)\n")
+	fmt.Fprintf(&sb, "%4s", "P")
+	for _, a := range r.Algorithms {
+		fmt.Fprintf(&sb, " %16s", a)
+	}
+	sb.WriteByte('\n')
+	seen = map[int]bool{}
+	for _, c := range r.Cells {
+		if seen[c.P] {
+			continue
+		}
+		seen[c.P] = true
+		fmt.Fprintf(&sb, "%4d", c.P)
+		for _, a := range r.Algorithms {
+			cell, _ := r.Cell(c.P, a)
+			fmt.Fprintf(&sb, " %16.3f", cell.MeanSpeedup)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// FormatCSV renders the sweep as CSV: kind,p,algorithm,mean_time,
+// mean_ratio,mean_speedup.
+func (r *FigureResult) FormatCSV() string {
+	var sb strings.Builder
+	sb.WriteString("workload,p,algorithm,mean_time,mean_ratio,mean_speedup\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&sb, "%s,%d,%s,%g,%g,%g\n", r.Kind, c.P, c.Algorithm, c.MeanTime, c.MeanRatio, c.MeanSpeedup)
+	}
+	return sb.String()
+}
+
+// RunningExample reproduces the paper's running example (Figures 3,
+// 4, 6, 7, 8): every scheduler on the fixed 5-processor matrix, with
+// rendered timing diagrams.
+func RunningExample() (string, error) {
+	m := model.ExampleMatrix()
+	results, err := sched.Compare(m)
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	sb.WriteString("running example matrix (seconds):\n")
+	sb.WriteString(model.FormatString(m))
+	sb.WriteByte('\n')
+	sb.WriteString(sched.FormatComparison(results))
+	return sb.String(), nil
+}

@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"hetsched/internal/workload"
+)
+
+func smallConfig(kind workload.Kind) Config {
+	return Config{Kind: kind, Ps: []int{5, 10}, Trials: 2, Seed: 7}
+}
+
+func TestRunFigureAllWorkloads(t *testing.T) {
+	for _, kind := range workload.Kinds() {
+		res, err := RunFigure(smallConfig(kind))
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(res.Cells) != 2*len(res.Algorithms) {
+			t.Fatalf("%s: %d cells", kind, len(res.Cells))
+		}
+		for _, c := range res.Cells {
+			if c.MeanRatio < 1-1e-9 {
+				t.Errorf("%s: %s P=%d mean ratio %g < 1", kind, c.Algorithm, c.P, c.MeanRatio)
+			}
+			if c.MeanTime <= 0 {
+				t.Errorf("%s: %s P=%d non-positive time", kind, c.Algorithm, c.P)
+			}
+		}
+		// Openshop should clearly dominate the lockstep baseline on
+		// ratio (the asynchronous baseline can win individual small
+		// draws, so it is not asserted here).
+		os, _ := res.Cell(10, "openshop")
+		barrier, _ := res.Cell(10, "baseline-barrier")
+		if os.MeanRatio > barrier.MeanRatio+1e-9 {
+			t.Errorf("%s: openshop ratio %g worse than lockstep baseline %g", kind, os.MeanRatio, barrier.MeanRatio)
+		}
+	}
+}
+
+func TestRunFigureDeterministic(t *testing.T) {
+	a, err := RunFigure(smallConfig(workload.Mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFigure(smallConfig(workload.Mixed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a.Cells {
+		if a.Cells[k] != b.Cells[k] {
+			t.Fatal("same config produced different cells")
+		}
+	}
+}
+
+func TestRunFigureValidation(t *testing.T) {
+	if _, err := RunFigure(Config{Kind: workload.Small, Ps: []int{5}, Trials: 0}); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := RunFigure(Config{Kind: workload.Small, Trials: 1}); err == nil {
+		t.Error("empty Ps accepted")
+	}
+	if _, err := RunFigure(Config{Kind: workload.Small, Ps: []int{1}, Trials: 1}); err == nil {
+		t.Error("P=1 accepted")
+	}
+}
+
+func TestFigureFormats(t *testing.T) {
+	res, err := RunFigure(smallConfig(workload.Servers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.FormatTable()
+	if !strings.Contains(table, "servers") || !strings.Contains(table, "openshop") {
+		t.Errorf("table missing content:\n%s", table)
+	}
+	csv := res.FormatCSV()
+	if !strings.HasPrefix(csv, "workload,p,algorithm") {
+		t.Errorf("csv header missing: %q", csv[:40])
+	}
+	if strings.Count(csv, "\n") != len(res.Cells)+1 {
+		t.Error("csv row count wrong")
+	}
+	if _, ok := res.Cell(99, "openshop"); ok {
+		t.Error("Cell invented data")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig(workload.Large)
+	if len(cfg.Ps) != 10 || cfg.Ps[0] != 5 || cfg.Ps[9] != 50 {
+		t.Errorf("DefaultPs = %v", cfg.Ps)
+	}
+	if cfg.Trials < 1 {
+		t.Error("default trials")
+	}
+}
+
+func TestRunningExample(t *testing.T) {
+	out, err := RunningExample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"baseline", "openshop", "maxmatch", "lower bound"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("running example output missing %q", want)
+		}
+	}
+}
+
+func TestRunTightness(t *testing.T) {
+	rs, err := RunTightness([]int{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatal("wrong result count")
+	}
+	for _, r := range rs {
+		if r.BaselineRatio < float64(r.P-1)/2*0.9 {
+			t.Errorf("P=%d: baseline ratio %g below expected blowup", r.P, r.BaselineRatio)
+		}
+		if r.OpenShopRatio > 2.01 {
+			t.Errorf("P=%d: openshop ratio %g exceeds Theorem 3", r.P, r.OpenShopRatio)
+		}
+	}
+	if out := FormatTightness(rs); !strings.Contains(out, "baseline") {
+		t.Error("tightness table malformed")
+	}
+}
+
+func TestRunAlphaSweep(t *testing.T) {
+	rs, err := RunAlphaSweep(8, 2, 3, []float64{0, 0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatal("wrong result count")
+	}
+	for k := 1; k < len(rs); k++ {
+		if rs[k].MeanFinish < rs[k-1].MeanFinish-1e-9 {
+			t.Errorf("completion should not improve as α grows: %+v", rs)
+		}
+	}
+	if out := FormatAlpha(rs); !strings.Contains(out, "alpha") {
+		t.Error("alpha table malformed")
+	}
+}
+
+func TestRunIncremental(t *testing.T) {
+	rs, err := RunIncremental(8, 2, 5, []float64{0.05, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatal("wrong result count")
+	}
+	if rs[0].MeanDirtySteps > rs[1].MeanDirtySteps {
+		t.Errorf("more change should dirty more steps: %+v", rs)
+	}
+	for _, r := range rs {
+		if r.RepairRatio > 1.5 {
+			t.Errorf("repair quality collapsed: %+v", r)
+		}
+	}
+	if out := FormatIncremental(rs); !strings.Contains(out, "dirty steps") {
+		t.Error("incremental table malformed")
+	}
+}
+
+func TestRunCheckpointStudy(t *testing.T) {
+	rs, err := RunCheckpointStudy(8, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatal("wrong arm count")
+	}
+	byArm := map[string]float64{}
+	for _, r := range rs {
+		byArm[r.Policy+"/"+r.Replan] = r.MeanTime
+	}
+	// Rescheduling should beat keeping the stale order at the same
+	// checkpoint cadence.
+	if byArm["every-8/openshop"] > byArm["every-8/keep"]*1.02 {
+		t.Errorf("adaptive arm worse than stale arm: %+v", byArm)
+	}
+	if out := FormatCheckpoint(rs); !strings.Contains(out, "replan") {
+		t.Error("checkpoint table malformed")
+	}
+}
+
+func TestRunQoSStudy(t *testing.T) {
+	rs, err := RunQoSStudy(8, 4, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatal("wrong policy count")
+	}
+	var edf, ms QoSResult
+	for _, r := range rs {
+		if r.Policy == "edf" {
+			edf = r
+		} else {
+			ms = r
+		}
+	}
+	if edf.MeanMissed > ms.MeanMissed {
+		t.Errorf("EDF missed more deadlines (%g) than makespan-only (%g)", edf.MeanMissed, ms.MeanMissed)
+	}
+	if out := FormatQoS(rs); !strings.Contains(out, "missed") {
+		t.Error("qos table malformed")
+	}
+}
+
+func TestRunCriticalStudy(t *testing.T) {
+	rs, err := RunCriticalStudy(9, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crit, os CriticalStudyResult
+	for _, r := range rs {
+		if r.Scheduler == "critical-first" {
+			crit = r
+		} else {
+			os = r
+		}
+	}
+	if crit.CriticalDone > os.CriticalDone+1e-9 {
+		t.Errorf("critical-first releases the critical node later (%g) than openshop (%g)", crit.CriticalDone, os.CriticalDone)
+	}
+	if out := FormatCritical(rs); !strings.Contains(out, "critical") {
+		t.Error("critical table malformed")
+	}
+}
+
+func TestRunStagingStudy(t *testing.T) {
+	rs, err := RunStagingStudy(10, 2, 12, 4, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 {
+		t.Fatal("wrong policy count")
+	}
+	var staged, direct StagingStudyResult
+	for _, r := range rs {
+		if r.Policy == "staged" {
+			staged = r
+		} else {
+			direct = r
+		}
+	}
+	if staged.MeanResponse > direct.MeanResponse*1.0001 {
+		t.Errorf("staging mean response %g worse than direct %g", staged.MeanResponse, direct.MeanResponse)
+	}
+	if staged.MeanMissed > direct.MeanMissed {
+		t.Errorf("staging missed more deadlines (%g) than direct (%g)", staged.MeanMissed, direct.MeanMissed)
+	}
+	if out := FormatStaging(rs); !strings.Contains(out, "staged") {
+		t.Error("staging table malformed")
+	}
+}
+
+func TestRunStagingStudyValidation(t *testing.T) {
+	if _, err := RunStagingStudy(4, 4, 5, 1, 1); err == nil {
+		t.Error("repos >= machines accepted")
+	}
+}
+
+func TestRunOptimalityGap(t *testing.T) {
+	rs, err := RunOptimalityGap(4, 5, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.MeanGap < -1e-9 {
+			t.Errorf("%s: negative gap %g — heuristic beat the 'optimum'", r.Algorithm, r.MeanGap)
+		}
+		if r.MaxGap > 3 {
+			t.Errorf("%s: implausible gap %g", r.Algorithm, r.MaxGap)
+		}
+	}
+	if out := FormatGap(rs, 4); !strings.Contains(out, "mean gap") {
+		t.Error("gap table malformed")
+	}
+}
+
+func TestRunOptimalityGapRejectsLargeP(t *testing.T) {
+	if _, err := RunOptimalityGap(10, 1, 1); err == nil {
+		t.Error("P=10 exact solving accepted")
+	}
+}
+
+func TestRunMultinetStudy(t *testing.T) {
+	rs, err := RunMultinetStudy(8, 3, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 9 {
+		t.Fatalf("expected 3 workloads x 3 techniques, got %d", len(rs))
+	}
+	byKey := map[string]float64{}
+	for _, r := range rs {
+		byKey[r.Workload+"/"+r.Technique] = r.MeanTime
+	}
+	for _, wl := range []string{"small", "large", "mixed"} {
+		if byKey[wl+"/pbps"] > byKey[wl+"/single-fastest"]*(1+1e-9) {
+			t.Errorf("%s: PBPS worse than static choice", wl)
+		}
+		if byKey[wl+"/aggregation"] > byKey[wl+"/pbps"]*(1+1e-9) {
+			t.Errorf("%s: aggregation worse than PBPS", wl)
+		}
+	}
+	// PBPS's headline: small messages avoid ATM's start-up.
+	if byKey["small/pbps"] >= byKey["small/single-fastest"] {
+		t.Error("PBPS should strictly win on small messages")
+	}
+	if out := FormatMultinet(rs); !strings.Contains(out, "aggregation") {
+		t.Error("multinet table malformed")
+	}
+}
+
+func TestRunIndirectStudy(t *testing.T) {
+	rs, err := RunIndirectStudy(16, 3, 51, []int64{1 << 8, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("expected 2 sizes x 2 algorithms, got %d", len(rs))
+	}
+	byKey := map[string]IndirectResult{}
+	for _, r := range rs {
+		byKey[fmt.Sprintf("%d/%s", r.Size, r.Algorithm)] = r
+	}
+	// The regime split: combining wins tiny messages, loses megabyte
+	// ones; its volume inflation is ≈ log2(P)/2.
+	if byKey["256/bruck-combining"].MeanTime >= byKey["256/direct-openshop"].MeanTime {
+		t.Error("combining should win 256-byte messages")
+	}
+	if byKey["1048576/bruck-combining"].MeanTime <= byKey["1048576/direct-openshop"].MeanTime {
+		t.Error("direct should win 1 MB messages — the paper's rule")
+	}
+	if infl := byKey["1048576/bruck-combining"].Inflation; infl < 1.5 {
+		t.Errorf("combining inflation %g implausibly low", infl)
+	}
+	if out := FormatIndirect(rs); !strings.Contains(out, "bruck") {
+		t.Error("indirect table malformed")
+	}
+}
+
+func TestRunBufferSweep(t *testing.T) {
+	rs, err := RunBufferSweep(8, 2, 61, []int{1, 2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 3 {
+		t.Fatal("wrong result count")
+	}
+	for _, r := range rs {
+		if r.MeanFinish <= 0 {
+			t.Errorf("capacity %d: non-positive completion", r.Capacity)
+		}
+	}
+	// Larger buffers never hurt on the same plan.
+	if rs[2].MeanFinish > rs[0].MeanFinish*(1+1e-9) {
+		t.Errorf("capacity 8 (%g) worse than capacity 1 (%g)", rs[2].MeanFinish, rs[0].MeanFinish)
+	}
+	if out := FormatBuffer(rs); !strings.Contains(out, "capacity") {
+		t.Error("buffer table malformed")
+	}
+}

@@ -1,0 +1,544 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hetsched/internal/exact"
+	"hetsched/internal/incremental"
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/qos"
+	"hetsched/internal/sched"
+	"hetsched/internal/sim"
+	"hetsched/internal/stats"
+	"hetsched/internal/workload"
+)
+
+// This file holds the extension experiments of DESIGN.md: the
+// Section 6 model enhancements and adaptivity mechanisms, plus the
+// Theorem 2 tightness family.
+
+// TightnessResult is experiment X1: the adversarial family driving the
+// baseline toward its (P/2)·t_lb worst case while adaptive schedules
+// stay near the bound.
+type TightnessResult struct {
+	P             int
+	BaselineRatio float64
+	OpenShopRatio float64
+	MatchingRatio float64
+}
+
+// RunTightness evaluates the Theorem 2 family at the given sizes.
+func RunTightness(ps []int) ([]TightnessResult, error) {
+	var out []TightnessResult
+	for _, p := range ps {
+		m := Theorem2Family(p, 1e-6)
+		lb := m.LowerBound()
+		br, err := sched.Baseline{}.Schedule(m)
+		if err != nil {
+			return nil, err
+		}
+		or, err := sched.NewOpenShop().Schedule(m)
+		if err != nil {
+			return nil, err
+		}
+		mr, err := sched.MaxMatching{}.Schedule(m)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TightnessResult{
+			P:             p,
+			BaselineRatio: br.CompletionTime() / lb,
+			OpenShopRatio: or.CompletionTime() / lb,
+			MatchingRatio: mr.CompletionTime() / lb,
+		})
+	}
+	return out, nil
+}
+
+// Theorem2Family builds the adversarial instance behind Theorem 2's
+// tightness claim, adapted to a zero diagonal: a staircase of P−1
+// unit-time events forming a single dependence chain in the
+// caterpillar schedule while every processor sends and receives at
+// most two of them, so t_lb ≈ 2 but the baseline needs ≈ P−1.
+func Theorem2Family(n int, eps float64) *model.Matrix {
+	m := model.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.Set(i, j, eps)
+			}
+		}
+	}
+	a := n - 1
+	for j := 1; j < n; j++ {
+		i := ((a-(j-1)/2)%n + n) % n
+		r := (i + j) % n
+		if i != r {
+			m.Set(i, r, 1)
+		}
+	}
+	return m
+}
+
+// FormatTightness renders X1.
+func FormatTightness(rs []TightnessResult) string {
+	var sb strings.Builder
+	sb.WriteString("Theorem 2 tightness family (ratio to lower bound)\n")
+	fmt.Fprintf(&sb, "%4s %10s %10s %10s %10s\n", "P", "P/2", "baseline", "openshop", "maxmatch")
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%4d %10.2f %10.2f %10.2f %10.2f\n", r.P, float64(r.P)/2, r.BaselineRatio, r.OpenShopRatio, r.MatchingRatio)
+	}
+	return sb.String()
+}
+
+// AlphaResult is experiment X3: completion under the interleaved
+// receive model as the context-switch overhead grows.
+type AlphaResult struct {
+	Alpha      float64
+	MeanFinish float64 // mean completion across trials, seconds
+}
+
+// RunAlphaSweep executes an openshop plan under the interleaved
+// receive model for each α, on mixed-size workloads.
+func RunAlphaSweep(p, trials int, seed int64, alphas []float64) ([]AlphaResult, error) {
+	finishes := make([][]float64, len(alphas))
+	for t := 0; t < trials; t++ {
+		rng := rand.New(rand.NewSource(seed + int64(t)))
+		m, perf, sizes, err := workload.Problem(rng, workload.DefaultSpec(workload.Mixed, p))
+		if err != nil {
+			return nil, err
+		}
+		r, err := sched.NewOpenShop().Schedule(m)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := sim.PlanFromSchedule(r.Schedule, sizes)
+		if err != nil {
+			return nil, err
+		}
+		net := sim.NewStatic(perf)
+		for k, alpha := range alphas {
+			res, err := sim.RunInterleaved(net, plan, alpha)
+			if err != nil {
+				return nil, err
+			}
+			finishes[k] = append(finishes[k], res.Finish)
+		}
+	}
+	var out []AlphaResult
+	for k, alpha := range alphas {
+		out = append(out, AlphaResult{Alpha: alpha, MeanFinish: stats.Mean(finishes[k])})
+	}
+	return out, nil
+}
+
+// FormatAlpha renders X3.
+func FormatAlpha(rs []AlphaResult) string {
+	var sb strings.Builder
+	sb.WriteString("interleaved receives: completion vs context-switch overhead α\n")
+	fmt.Fprintf(&sb, "%8s %14s\n", "alpha", "mean t (s)")
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%8.2f %14.4f\n", r.Alpha, r.MeanFinish)
+	}
+	return sb.String()
+}
+
+// BufferResult is the buffered half of experiment X3: completion under
+// the finite-receive-buffer model as capacity grows.
+type BufferResult struct {
+	Capacity   int
+	MeanFinish float64
+}
+
+// RunBufferSweep executes an openshop plan under the finite-buffer
+// model for each capacity, on mixed-size workloads.
+func RunBufferSweep(p, trials int, seed int64, capacities []int) ([]BufferResult, error) {
+	finishes := make([][]float64, len(capacities))
+	for t := 0; t < trials; t++ {
+		rng := rand.New(rand.NewSource(seed + int64(t)))
+		m, perf, sizes, err := workload.Problem(rng, workload.DefaultSpec(workload.Mixed, p))
+		if err != nil {
+			return nil, err
+		}
+		r, err := sched.NewOpenShop().Schedule(m)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := sim.PlanFromSchedule(r.Schedule, sizes)
+		if err != nil {
+			return nil, err
+		}
+		net := sim.NewStatic(perf)
+		for k, capacity := range capacities {
+			res, err := sim.RunBuffered(net, plan, capacity)
+			if err != nil {
+				return nil, err
+			}
+			finishes[k] = append(finishes[k], res.Finish)
+		}
+	}
+	var out []BufferResult
+	for k, capacity := range capacities {
+		out = append(out, BufferResult{Capacity: capacity, MeanFinish: stats.Mean(finishes[k])})
+	}
+	return out, nil
+}
+
+// FormatBuffer renders the buffered sweep.
+func FormatBuffer(rs []BufferResult) string {
+	var sb strings.Builder
+	sb.WriteString("finite receive buffers: completion vs capacity\n")
+	fmt.Fprintf(&sb, "%10s %14s\n", "capacity", "mean t (s)")
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%10d %14.4f\n", r.Capacity, r.MeanFinish)
+	}
+	return sb.String()
+}
+
+// IncrementalResult is experiment X4: schedule repair vs full
+// recomputation under partial bandwidth change.
+type IncrementalResult struct {
+	ChangedFraction float64
+	MeanDirtySteps  float64
+	MeanMatchings   float64 // assignments solved by the repair
+	FullMatchings   float64 // assignments a recompute would solve (= P)
+	RepairRatio     float64 // repaired completion / recomputed completion
+}
+
+// RunIncremental measures repair effort and quality as the fraction of
+// changed links grows.
+func RunIncremental(p, trials int, seed int64, fractions []float64) ([]IncrementalResult, error) {
+	var out []IncrementalResult
+	for _, frac := range fractions {
+		var dirty, matchings, ratio []float64
+		for t := 0; t < trials; t++ {
+			rng := rand.New(rand.NewSource(seed + int64(t) + int64(frac*1e6)))
+			perf := netmodel.RandomPerf(rng, p, netmodel.GustoGuided())
+			old, err := model.BuildUniform(perf, workload.LargeMessage)
+			if err != nil {
+				return nil, err
+			}
+			prev, err := sched.MaxMatching{}.Schedule(old)
+			if err != nil {
+				return nil, err
+			}
+			cur := old.Clone()
+			for i := 0; i < p; i++ {
+				for j := 0; j < p; j++ {
+					if i != j && rng.Float64() < frac {
+						cur.Set(i, j, old.At(i, j)*(0.2+rng.Float64()*5))
+					}
+				}
+			}
+			repaired, st, err := incremental.Refine(prev.Steps, old, cur, incremental.DefaultOptions())
+			if err != nil {
+				return nil, err
+			}
+			rs, err := repaired.Evaluate(cur)
+			if err != nil {
+				return nil, err
+			}
+			full, err := sched.MaxMatching{}.Schedule(cur)
+			if err != nil {
+				return nil, err
+			}
+			dirty = append(dirty, float64(st.DirtySteps))
+			matchings = append(matchings, float64(st.Matchings))
+			ratio = append(ratio, stats.Ratio(rs.CompletionTime(), full.CompletionTime()))
+		}
+		out = append(out, IncrementalResult{
+			ChangedFraction: frac,
+			MeanDirtySteps:  stats.Mean(dirty),
+			MeanMatchings:   stats.Mean(matchings),
+			FullMatchings:   float64(p),
+			RepairRatio:     stats.Mean(ratio),
+		})
+	}
+	return out, nil
+}
+
+// FormatIncremental renders X4.
+func FormatIncremental(rs []IncrementalResult) string {
+	var sb strings.Builder
+	sb.WriteString("incremental repair vs full recompute\n")
+	fmt.Fprintf(&sb, "%10s %12s %12s %12s %14s\n", "changed", "dirty steps", "matchings", "full (=P)", "t_rep/t_full")
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%9.0f%% %12.1f %12.1f %12.0f %14.3f\n",
+			r.ChangedFraction*100, r.MeanDirtySteps, r.MeanMatchings, r.FullMatchings, r.RepairRatio)
+	}
+	return sb.String()
+}
+
+// CheckpointResult is experiment X5: mid-exchange rescheduling under a
+// bandwidth shift.
+type CheckpointResult struct {
+	Policy   string
+	Replan   string
+	MeanTime float64
+}
+
+// RunCheckpointStudy compares checkpoint policies × replanners when a
+// fifth of the links lose 10× bandwidth a quarter of the way in.
+func RunCheckpointStudy(p, trials int, seed int64) ([]CheckpointResult, error) {
+	type arm struct {
+		policy sim.CheckpointPolicy
+		replan sim.Replanner
+		rname  string
+	}
+	arms := []arm{
+		{sim.NoCheckpoints{}, sim.KeepOrder, "keep"},
+		{sim.EveryEvents{K: p}, sim.KeepOrder, "keep"},
+		{sim.EveryEvents{K: p}, sim.ReplanOpenShop, "openshop"},
+		{sim.Halving{}, sim.ReplanOpenShop, "openshop"},
+	}
+	sums := make([]float64, len(arms))
+	for t := 0; t < trials; t++ {
+		rng := rand.New(rand.NewSource(seed + int64(t)))
+		before := netmodel.RandomPerf(rng, p, netmodel.GustoGuided())
+		after := before.Clone()
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				if i != j && rng.Float64() < 0.2 {
+					pp := after.At(i, j)
+					pp.Bandwidth /= 10
+					after.Set(i, j, pp)
+				}
+			}
+		}
+		sizes := model.UniformSizes(p, workload.LargeMessage)
+		m, err := model.Build(before, sizes)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sched.NewOpenShop().Schedule(m)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := sim.PlanFromSchedule(r.Schedule, sizes)
+		if err != nil {
+			return nil, err
+		}
+		pw, err := sim.NewPiecewise([]sim.Epoch{{Start: 0, Perf: before}, {Start: r.CompletionTime() / 4, Perf: after}})
+		if err != nil {
+			return nil, err
+		}
+		for k, a := range arms {
+			res, err := sim.RunCheckpointed(pw, pw.At, plan, a.policy, a.replan)
+			if err != nil {
+				return nil, err
+			}
+			sums[k] += res.Finish
+		}
+	}
+	var out []CheckpointResult
+	for k, a := range arms {
+		out = append(out, CheckpointResult{Policy: a.policy.Name(), Replan: a.rname, MeanTime: sums[k] / float64(trials)})
+	}
+	return out, nil
+}
+
+// FormatCheckpoint renders X5.
+func FormatCheckpoint(rs []CheckpointResult) string {
+	var sb strings.Builder
+	sb.WriteString("checkpoint rescheduling under a mid-exchange bandwidth shift\n")
+	fmt.Fprintf(&sb, "%12s %10s %14s\n", "checkpoints", "replan", "mean t (s)")
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%12s %10s %14.3f\n", r.Policy, r.Replan, r.MeanTime)
+	}
+	return sb.String()
+}
+
+// QoSResult is experiment X6: deadline performance of EDF vs the
+// deadline-blind list scheduler.
+type QoSResult struct {
+	Policy      string
+	MeanMissed  float64
+	MeanMaxLate float64
+	MeanSpan    float64
+}
+
+// RunQoSStudy builds random deadline-constrained exchanges and
+// schedules them under both policies.
+func RunQoSStudy(p, trials int, seed int64) ([]QoSResult, error) {
+	policies := []qos.Policy{qos.EDF, qos.MakespanOnly}
+	missed := make([][]float64, len(policies))
+	late := make([][]float64, len(policies))
+	span := make([][]float64, len(policies))
+	for t := 0; t < trials; t++ {
+		rng := rand.New(rand.NewSource(seed + int64(t)))
+		perf := netmodel.RandomPerf(rng, p, netmodel.GustoGuided())
+		m, err := model.BuildUniform(perf, workload.LargeMessage)
+		if err != nil {
+			return nil, err
+		}
+		prob := &qos.Problem{N: p}
+		lb := m.LowerBound()
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				if i == j {
+					continue
+				}
+				prob.Messages = append(prob.Messages, qos.Message{
+					Src: i, Dst: j,
+					Duration: m.At(i, j),
+					Deadline: m.At(i, j) + rng.Float64()*lb,
+					Priority: rng.Intn(2),
+				})
+			}
+		}
+		for k, pol := range policies {
+			res, err := qos.Schedule(prob, pol)
+			if err != nil {
+				return nil, err
+			}
+			met := res.Metrics()
+			missed[k] = append(missed[k], float64(met.Missed))
+			late[k] = append(late[k], met.MaxLateness)
+			span[k] = append(span[k], met.Makespan)
+		}
+	}
+	var out []QoSResult
+	for k, pol := range policies {
+		out = append(out, QoSResult{
+			Policy:      pol.String(),
+			MeanMissed:  stats.Mean(missed[k]),
+			MeanMaxLate: stats.Mean(late[k]),
+			MeanSpan:    stats.Mean(span[k]),
+		})
+	}
+	return out, nil
+}
+
+// FormatQoS renders X6.
+func FormatQoS(rs []QoSResult) string {
+	var sb strings.Builder
+	sb.WriteString("QoS scheduling: deadlines and priorities\n")
+	fmt.Fprintf(&sb, "%16s %12s %14s %12s\n", "policy", "missed", "max lateness", "makespan")
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%16s %12.1f %14.3f %12.3f\n", r.Policy, r.MeanMissed, r.MeanMaxLate, r.MeanSpan)
+	}
+	return sb.String()
+}
+
+// GapResult is experiment X10: heuristic quality measured against the
+// true optimum from the branch-and-bound solver (computable only for
+// small P, since Theorem 1 makes the problem NP-complete).
+type GapResult struct {
+	Algorithm string
+	// MeanGap is mean(t_heuristic / t_optimal) - 1, as a fraction.
+	MeanGap float64
+	// MaxGap is the worst instance's gap.
+	MaxGap float64
+}
+
+// RunOptimalityGap solves random P-processor instances exactly and
+// measures every heuristic against the optimum. P beyond 5 is
+// impractical.
+func RunOptimalityGap(p, trials int, seed int64) ([]GapResult, error) {
+	if p > 5 {
+		return nil, fmt.Errorf("experiments: exact solving beyond P=5 is impractical (got %d)", p)
+	}
+	schedulers := sched.All()
+	gaps := make([][]float64, len(schedulers))
+	for t := 0; t < trials; t++ {
+		rng := rand.New(rand.NewSource(seed + int64(t)))
+		perf := netmodel.RandomPerf(rng, p, netmodel.GustoGuided())
+		m, err := model.BuildUniform(perf, workload.LargeMessage)
+		if err != nil {
+			return nil, err
+		}
+		// Prime the search with the best heuristic for speed.
+		osr, err := sched.NewOpenShop().Schedule(m)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := exact.Solve(m, exact.Options{InitialUpper: osr.CompletionTime() * (1 + 1e-9)})
+		if err != nil {
+			return nil, err
+		}
+		if !opt.Optimal {
+			return nil, fmt.Errorf("experiments: exact solver capped at P=%d", p)
+		}
+		optSpan := opt.Makespan
+		if opt.Schedule == nil {
+			// The primed incumbent was already optimal.
+			optSpan = osr.CompletionTime()
+		}
+		for k, s := range schedulers {
+			r, err := s.Schedule(m)
+			if err != nil {
+				return nil, err
+			}
+			gaps[k] = append(gaps[k], r.CompletionTime()/optSpan-1)
+		}
+	}
+	var out []GapResult
+	for k, s := range schedulers {
+		sum := stats.Summarize(gaps[k])
+		out = append(out, GapResult{Algorithm: s.Name(), MeanGap: sum.Mean, MaxGap: sum.Max})
+	}
+	return out, nil
+}
+
+// FormatGap renders X10.
+func FormatGap(rs []GapResult, p int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "heuristics vs exact optimum (P=%d)\n", p)
+	fmt.Fprintf(&sb, "%-18s %12s %12s\n", "algorithm", "mean gap", "max gap")
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%-18s %11.2f%% %11.2f%%\n", r.Algorithm, r.MeanGap*100, r.MaxGap*100)
+	}
+	return sb.String()
+}
+
+// CriticalStudyResult is experiment X7.
+type CriticalStudyResult struct {
+	Scheduler    string
+	CriticalDone float64 // mean time the critical processor is released
+	Makespan     float64
+}
+
+// RunCriticalStudy compares the critical-resource scheduler against
+// openshop on when the designated processor finishes.
+func RunCriticalStudy(p, trials int, seed int64) ([]CriticalStudyResult, error) {
+	var critDone, critSpan, osDone, osSpan []float64
+	for t := 0; t < trials; t++ {
+		rng := rand.New(rand.NewSource(seed + int64(t)))
+		perf := netmodel.RandomPerf(rng, p, netmodel.GustoGuided())
+		m, err := model.BuildUniform(perf, workload.LargeMessage)
+		if err != nil {
+			return nil, err
+		}
+		critical := 0
+		cr, err := qos.ScheduleCritical(m, critical)
+		if err != nil {
+			return nil, err
+		}
+		or, err := sched.NewOpenShop().Schedule(m)
+		if err != nil {
+			return nil, err
+		}
+		critDone = append(critDone, cr.CriticalDone)
+		critSpan = append(critSpan, cr.Schedule.CompletionTime())
+		osDone = append(osDone, qos.CriticalDone(or.Schedule, critical))
+		osSpan = append(osSpan, or.CompletionTime())
+	}
+	return []CriticalStudyResult{
+		{Scheduler: "critical-first", CriticalDone: stats.Mean(critDone), Makespan: stats.Mean(critSpan)},
+		{Scheduler: "openshop", CriticalDone: stats.Mean(osDone), Makespan: stats.Mean(osSpan)},
+	}, nil
+}
+
+// FormatCritical renders X7.
+func FormatCritical(rs []CriticalStudyResult) string {
+	var sb strings.Builder
+	sb.WriteString("critical-resource scheduling (P0 is the critical node)\n")
+	fmt.Fprintf(&sb, "%16s %16s %12s\n", "scheduler", "critical done", "makespan")
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%16s %16.3f %12.3f\n", r.Scheduler, r.CriticalDone, r.Makespan)
+	}
+	return sb.String()
+}

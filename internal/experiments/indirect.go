@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"hetsched/internal/indirect"
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/sched"
+	"hetsched/internal/stats"
+)
+
+// Experiment X12: the Section 3.4 design rule measured. The paper
+// excludes combine-and-forward schedules because relaying inflates the
+// traffic volume of voluminous data; the Bruck log-round algorithm is
+// exactly such a schedule. Sweeping the message size shows the
+// crossover: combining wins start-up-bound exchanges and loses
+// bandwidth-bound ones, which is why a metacomputing framework moving
+// megabytes keeps messages direct.
+
+// IndirectResult is one (size, algorithm) aggregate.
+type IndirectResult struct {
+	Size      int64
+	Algorithm string
+	MeanTime  float64
+	Inflation float64 // mean moved-volume / payload (1 for direct)
+}
+
+// RunIndirectStudy compares the direct open shop schedule with the
+// Bruck combining schedule across message sizes.
+func RunIndirectStudy(p, trials int, seed int64, msgSizes []int64) ([]IndirectResult, error) {
+	if len(msgSizes) == 0 {
+		msgSizes = []int64{1 << 8, 1 << 12, 1 << 16, 1 << 20}
+	}
+	var out []IndirectResult
+	for _, size := range msgSizes {
+		var direct, bruck, infl []float64
+		for t := 0; t < trials; t++ {
+			rng := rand.New(rand.NewSource(seed + int64(t)))
+			perf := netmodel.RandomPerf(rng, p, netmodel.GustoGuided())
+			sizes := model.UniformSizes(p, size)
+			m, err := model.Build(perf, sizes)
+			if err != nil {
+				return nil, err
+			}
+			dr, err := sched.NewOpenShop().Schedule(m)
+			if err != nil {
+				return nil, err
+			}
+			br, err := indirect.Bruck(perf, sizes)
+			if err != nil {
+				return nil, err
+			}
+			direct = append(direct, dr.CompletionTime())
+			bruck = append(bruck, br.CompletionTime())
+			infl = append(infl, br.VolumeInflation())
+		}
+		out = append(out,
+			IndirectResult{Size: size, Algorithm: "direct-openshop", MeanTime: stats.Mean(direct), Inflation: 1},
+			IndirectResult{Size: size, Algorithm: "bruck-combining", MeanTime: stats.Mean(bruck), Inflation: stats.Mean(infl)},
+		)
+	}
+	return out, nil
+}
+
+// FormatIndirect renders X12.
+func FormatIndirect(rs []IndirectResult) string {
+	var sb strings.Builder
+	sb.WriteString("direct vs combine-and-forward (Bruck) total exchange\n")
+	fmt.Fprintf(&sb, "%12s %18s %12s %10s\n", "msg bytes", "algorithm", "mean t (s)", "volume x")
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "%12d %18s %12.4f %10.2f\n", r.Size, r.Algorithm, r.MeanTime, r.Inflation)
+	}
+	return sb.String()
+}

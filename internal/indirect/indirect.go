@@ -1,0 +1,159 @@
+// Package indirect implements combine-and-forward total exchange — the
+// alternative the paper's framework deliberately rejects. Section 3.4
+// rules out "indirect schedules where messages from different sources
+// are combined at intermediate nodes" because relaying multiplies the
+// volume of voluminous metacomputing data. The classic counterpoint is
+// the Bruck log-round algorithm: every processor sends ⌈log₂P⌉
+// combined messages instead of P−1 direct ones, trading ~(P/2)·log₂P
+// total volume for a start-up count that drops from P−1 to ⌈log₂P⌉ per
+// node. Implementing it makes the paper's design rule measurable: the
+// indirect schedule wins start-up-bound exchanges (tiny messages, high
+// latency) and loses bandwidth-bound ones — exactly the regime split
+// the paper argues from.
+package indirect
+
+import (
+	"fmt"
+	"math"
+
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/timing"
+)
+
+// Result reports a Bruck execution.
+type Result struct {
+	// Schedule holds the combined-message transfers with their times.
+	Schedule *timing.Schedule
+	// Rounds is ⌈log₂ P⌉.
+	Rounds int
+	// Messages is the total number of transfers (≈ P·rounds).
+	Messages int
+	// Volume is the total bytes moved, including re-forwarded data.
+	Volume int64
+	// DirectVolume is the payload the direct algorithms would move, for
+	// the volume-inflation ratio.
+	DirectVolume int64
+}
+
+// CompletionTime returns the schedule's completion time.
+func (r *Result) CompletionTime() float64 { return r.Schedule.CompletionTime() }
+
+// VolumeInflation returns Volume / DirectVolume (1 when no payload).
+func (r *Result) VolumeInflation() float64 {
+	if r.DirectVolume == 0 {
+		return 1
+	}
+	return float64(r.Volume) / float64(r.DirectVolume)
+}
+
+// Bruck schedules a total exchange with the log-round combining
+// algorithm under the paper's model (one send and one receive per
+// node; transfer time T + m/B from perf). In round k every processor i
+// forwards to (i + 2^k) mod P one combined message holding every item
+// whose remaining routing distance has bit k set; after ⌈log₂P⌉ rounds
+// every item sits at its destination. Item (src→dst) starts at src
+// with distance (dst−src) mod P.
+func Bruck(perf *netmodel.Perf, sizes *model.Sizes) (*Result, error) {
+	n := perf.N()
+	if sizes.N() != n {
+		return nil, fmt.Errorf("indirect: sizes are for %d processors, perf for %d", sizes.N(), n)
+	}
+	res := &Result{Schedule: &timing.Schedule{N: n}}
+	if n <= 1 {
+		return res, nil
+	}
+	rounds := 0
+	for 1<<rounds < n {
+		rounds++
+	}
+	res.Rounds = rounds
+
+	// held[i] lists items currently at processor i; an item is its
+	// origin, final destination and size. Remaining distance derives
+	// from the current holder.
+	type item struct {
+		dst  int
+		size int64
+	}
+	held := make([][]item, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && sizes.At(i, j) > 0 {
+				held[i] = append(held[i], item{dst: j, size: sizes.At(i, j)})
+				res.DirectVolume += sizes.At(i, j)
+			}
+		}
+	}
+
+	sendReady := make([]float64, n)
+	recvReady := make([]float64, n)
+	for k := 0; k < rounds; k++ {
+		hop := 1 << k
+		moving := make([][]item, n)  // items leaving each sender this round
+		staying := make([][]item, n) // items that wait
+		for i := 0; i < n; i++ {
+			for _, it := range held[i] {
+				dist := ((it.dst-i)%n + n) % n
+				if dist&hop != 0 {
+					moving[i] = append(moving[i], it)
+				} else {
+					staying[i] = append(staying[i], it)
+				}
+			}
+		}
+		// One permutation step: i → (i+hop) mod n, skipped when i has
+		// nothing to forward. Asynchronous semantics as everywhere:
+		// start at max(sender ready, receiver ready).
+		type pending struct {
+			finish float64
+			items  []item
+		}
+		arrivals := make([]pending, n)
+		starts := make([]float64, n)
+		for i := 0; i < n; i++ {
+			if len(moving[i]) == 0 {
+				continue
+			}
+			j := (i + hop) % n
+			var bytes int64
+			for _, it := range moving[i] {
+				bytes += it.size
+			}
+			start := math.Max(sendReady[i], recvReady[j])
+			fin := start + perf.TransferTime(i, j, bytes)
+			res.Schedule.Events = append(res.Schedule.Events,
+				timing.Event{Src: i, Dst: j, Start: start, Finish: fin})
+			res.Messages++
+			res.Volume += bytes
+			starts[i] = start
+			arrivals[j] = pending{finish: fin, items: moving[i]}
+		}
+		// Commit port times and hand items over.
+		for i := 0; i < n; i++ {
+			if len(moving[i]) != 0 {
+				j := (i + hop) % n
+				fin := arrivals[j].finish
+				sendReady[i] = fin
+				recvReady[j] = fin
+			}
+			held[i] = staying[i]
+		}
+		for j := 0; j < n; j++ {
+			held[j] = append(held[j], arrivals[j].items...)
+		}
+	}
+
+	// Every item must have arrived.
+	for i := 0; i < n; i++ {
+		for _, it := range held[i] {
+			if it.dst != i {
+				return nil, fmt.Errorf("indirect: item for %d stranded at %d after %d rounds", it.dst, i, rounds)
+			}
+		}
+	}
+	if err := res.Schedule.Validate(nil); err != nil {
+		return nil, fmt.Errorf("indirect: produced invalid schedule: %w", err)
+	}
+	return res, nil
+}

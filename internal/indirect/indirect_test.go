@@ -1,0 +1,148 @@
+package indirect
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/sched"
+	"hetsched/internal/workload"
+)
+
+func TestBruckDeliversEverything(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 13, 16} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		perf := netmodel.RandomPerf(rng, n, netmodel.GustoGuided())
+		sizes := model.UniformSizes(n, 1<<10)
+		res, err := Bruck(perf, sizes)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		wantRounds := 0
+		for 1<<wantRounds < n {
+			wantRounds++
+		}
+		if res.Rounds != wantRounds {
+			t.Errorf("n=%d: rounds=%d want %d", n, res.Rounds, wantRounds)
+		}
+		// Each node sends at most one message per round.
+		if res.Messages > n*res.Rounds {
+			t.Errorf("n=%d: %d messages exceeds n·rounds", n, res.Messages)
+		}
+		if res.Volume < res.DirectVolume {
+			t.Errorf("n=%d: combined volume %d below direct payload %d", n, res.Volume, res.DirectVolume)
+		}
+	}
+}
+
+func TestBruckTrivial(t *testing.T) {
+	res, err := Bruck(netmodel.NewPerf(1), model.NewSizes(1))
+	if err != nil || len(res.Schedule.Events) != 0 {
+		t.Errorf("single node: %v", err)
+	}
+	if _, err := Bruck(netmodel.Gusto(), model.NewSizes(3)); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+func TestBruckVolumeInflation(t *testing.T) {
+	// The paper's objection quantified: combining inflates the moved
+	// volume by roughly log₂(P)/2 for uniform sizes.
+	rng := rand.New(rand.NewSource(1))
+	n := 16
+	perf := netmodel.RandomPerf(rng, n, netmodel.GustoGuided())
+	res, err := Bruck(perf, model.UniformSizes(n, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	infl := res.VolumeInflation()
+	if infl < 1.5 || infl > 3 {
+		t.Errorf("uniform P=16 inflation = %g, expected ≈ 2", infl)
+	}
+}
+
+func TestBruckWinsStartupBoundLosesBandwidthBound(t *testing.T) {
+	// The regime split behind Section 3.4. Small messages: log P
+	// start-ups beat P−1. Large messages: doubled volume loses.
+	rng := rand.New(rand.NewSource(2))
+	n := 32
+	perf := netmodel.RandomPerf(rng, n, netmodel.GustoGuided())
+
+	small := model.UniformSizes(n, workload.SmallMessage)
+	mSmall, err := model.Build(perf, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directSmall, err := sched.NewOpenShop().Schedule(mSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bruckSmall, err := Bruck(perf, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bruckSmall.CompletionTime() >= directSmall.CompletionTime() {
+		t.Errorf("small messages: Bruck (%g) should beat direct (%g)",
+			bruckSmall.CompletionTime(), directSmall.CompletionTime())
+	}
+
+	large := model.UniformSizes(n, workload.LargeMessage)
+	mLarge, err := model.Build(perf, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directLarge, err := sched.NewOpenShop().Schedule(mLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bruckLarge, err := Bruck(perf, large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bruckLarge.CompletionTime() <= directLarge.CompletionTime() {
+		t.Errorf("large messages: direct (%g) should beat Bruck (%g) — the paper's rule",
+			directLarge.CompletionTime(), bruckLarge.CompletionTime())
+	}
+}
+
+func TestBruckValidityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		perf := netmodel.RandomPerf(rng, n, netmodel.GustoGuided())
+		sizes := workload.Sizes(rng, workload.DefaultSpec(workload.Mixed, n))
+		res, err := Bruck(perf, sizes)
+		if err != nil {
+			return false
+		}
+		// Port validity is checked inside Bruck; confirm the volume
+		// accounting is self-consistent.
+		return res.Volume >= res.DirectVolume && res.Messages == len(res.Schedule.Events)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBruckZeroSizeItemsSkipped(t *testing.T) {
+	// Zero-size pairs contribute no items, but the exchange still
+	// routes the rest.
+	n := 6
+	sizes := model.NewSizes(n)
+	sizes.Set(0, 3, 1024)
+	sizes.Set(5, 1, 2048)
+	rng := rand.New(rand.NewSource(3))
+	perf := netmodel.RandomPerf(rng, n, netmodel.GustoGuided())
+	res, err := Bruck(perf, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirectVolume != 1024+2048 {
+		t.Errorf("direct volume = %d", res.DirectVolume)
+	}
+	if res.Volume < res.DirectVolume {
+		t.Error("volume accounting wrong")
+	}
+}

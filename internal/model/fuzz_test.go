@@ -1,0 +1,40 @@
+package model
+
+import (
+	"testing"
+)
+
+// FuzzParse exercises the text-format parser with arbitrary input: it
+// must never panic, and anything it accepts must be a valid matrix
+// that round-trips through Format.
+func FuzzParse(f *testing.F) {
+	f.Add("2\n0 1\n1 0\n")
+	f.Add("# comment\n\n3\n0 1 2\n3 0 4\n5 6 0\n")
+	f.Add("0\n")
+	f.Add("1\n0\n")
+	f.Add("2\n0 1e300\n1 0\n")
+	f.Add("-1")
+	f.Add("x y z")
+	f.Add("2\n0 nan\n1 0\n")
+	f.Add("2\n0 inf\n1 0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid matrix: %v\ninput: %q", err, src)
+		}
+		back, err := ParseString(FormatString(m))
+		if err != nil {
+			t.Fatalf("formatted matrix failed to re-parse: %v", err)
+		}
+		for i := 0; i < m.N(); i++ {
+			for j := 0; j < m.N(); j++ {
+				if back.At(i, j) != m.At(i, j) {
+					t.Fatalf("round trip changed (%d,%d)", i, j)
+				}
+			}
+		}
+	})
+}

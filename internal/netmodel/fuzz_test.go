@@ -1,0 +1,34 @@
+package netmodel
+
+import "testing"
+
+// FuzzUnmarshalPerf exercises the JSON decoder: no panics, and
+// anything accepted must be a valid table that round-trips.
+func FuzzUnmarshalPerf(f *testing.F) {
+	seed, _ := MarshalPerf(Gusto(), GustoSites)
+	f.Add(string(seed))
+	f.Add(`{"n":0,"latency":[],"bandwidth":[]}`)
+	f.Add(`{"n":1,"latency":[[0]],"bandwidth":[[0]]}`)
+	f.Add(`{`)
+	f.Add(`{"n":2,"latency":[[0,1],[1,0]],"bandwidth":[[0,1],[1,0]]}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		p, names, err := UnmarshalPerf([]byte(src))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid table: %v", err)
+		}
+		data, err := MarshalPerf(p, names)
+		if err != nil {
+			t.Fatalf("accepted table failed to re-encode: %v", err)
+		}
+		back, _, err := UnmarshalPerf(data)
+		if err != nil {
+			t.Fatalf("re-encoded table failed to decode: %v", err)
+		}
+		if back.N() != p.N() {
+			t.Fatal("round trip changed size")
+		}
+	})
+}

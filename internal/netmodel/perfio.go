@@ -1,0 +1,76 @@
+package netmodel
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON serialization for performance tables, used to save and restore
+// directory state and to feed the simulator CLI. The shape matches the
+// directory wire protocol's snapshot response:
+//
+//	{"n":5,"names":["AMES",...],"latency":[[...]],"bandwidth":[[...]]}
+//
+// Units are SI (seconds, bytes/second).
+
+// perfJSON is the stable on-disk shape.
+type perfJSON struct {
+	N         int         `json:"n"`
+	Names     []string    `json:"names,omitempty"`
+	Latency   [][]float64 `json:"latency"`
+	Bandwidth [][]float64 `json:"bandwidth"`
+}
+
+// MarshalPerf encodes a table (and optional processor names) as JSON.
+func MarshalPerf(p *Perf, names []string) ([]byte, error) {
+	if p == nil {
+		return nil, fmt.Errorf("netmodel: nil table")
+	}
+	if names != nil && len(names) != p.N() {
+		return nil, fmt.Errorf("netmodel: %d names for %d processors", len(names), p.N())
+	}
+	out := perfJSON{N: p.N(), Names: names}
+	out.Latency = make([][]float64, p.N())
+	out.Bandwidth = make([][]float64, p.N())
+	for i := 0; i < p.N(); i++ {
+		out.Latency[i] = make([]float64, p.N())
+		out.Bandwidth[i] = make([]float64, p.N())
+		for j := 0; j < p.N(); j++ {
+			pp := p.At(i, j)
+			out.Latency[i][j] = pp.Latency
+			out.Bandwidth[i][j] = pp.Bandwidth
+		}
+	}
+	return json.MarshalIndent(out, "", " ")
+}
+
+// UnmarshalPerf decodes a table written by MarshalPerf, validating
+// shape and entries.
+func UnmarshalPerf(data []byte) (*Perf, []string, error) {
+	var in perfJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, nil, fmt.Errorf("netmodel: decode: %w", err)
+	}
+	if in.N < 0 {
+		return nil, nil, fmt.Errorf("netmodel: negative size %d", in.N)
+	}
+	if len(in.Latency) != in.N || len(in.Bandwidth) != in.N {
+		return nil, nil, fmt.Errorf("netmodel: tables are %d×? and %d×?, want %d", len(in.Latency), len(in.Bandwidth), in.N)
+	}
+	if in.Names != nil && len(in.Names) != in.N {
+		return nil, nil, fmt.Errorf("netmodel: %d names for %d processors", len(in.Names), in.N)
+	}
+	p := NewPerf(in.N)
+	for i := 0; i < in.N; i++ {
+		if len(in.Latency[i]) != in.N || len(in.Bandwidth[i]) != in.N {
+			return nil, nil, fmt.Errorf("netmodel: ragged row %d", i)
+		}
+		for j := 0; j < in.N; j++ {
+			p.Set(i, j, PairPerf{Latency: in.Latency[i][j], Bandwidth: in.Bandwidth[i][j]})
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return p, in.Names, nil
+}

@@ -1,0 +1,76 @@
+package netmodel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMarshalPerfRoundTrip(t *testing.T) {
+	p := Gusto()
+	data, err := MarshalPerf(p, GustoSites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, names, err := UnmarshalPerf(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 5 || names[0] != "AMES" {
+		t.Errorf("names = %v", names)
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if back.At(i, j) != p.At(i, j) {
+				t.Fatalf("round trip mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMarshalPerfNoNames(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := RandomPerf(rng, 7, GustoGuided())
+	data, err := MarshalPerf(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"names"`) {
+		t.Error("names should be omitted when nil")
+	}
+	back, names, err := UnmarshalPerf(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names != nil {
+		t.Error("expected nil names")
+	}
+	if back.N() != 7 {
+		t.Error("size lost")
+	}
+}
+
+func TestMarshalPerfErrors(t *testing.T) {
+	if _, err := MarshalPerf(nil, nil); err == nil {
+		t.Error("nil table accepted")
+	}
+	if _, err := MarshalPerf(Gusto(), []string{"x"}); err == nil {
+		t.Error("name count mismatch accepted")
+	}
+}
+
+func TestUnmarshalPerfErrors(t *testing.T) {
+	cases := []string{
+		`{`,                                    // malformed
+		`{"n":-1,"latency":[],"bandwidth":[]}`, // negative
+		`{"n":2,"latency":[[0,1]],"bandwidth":[[0,1],[1,0]]}`,                     // short table
+		`{"n":2,"latency":[[0,1],[1,0]],"bandwidth":[[0,1],[1]]}`,                 // ragged
+		`{"n":2,"names":["a"],"latency":[[0,1],[1,0]],"bandwidth":[[0,1],[1,0]]}`, // bad names
+		`{"n":2,"latency":[[0,-1],[1,0]],"bandwidth":[[0,1],[1,0]]}`,              // invalid entry
+	}
+	for k, src := range cases {
+		if _, _, err := UnmarshalPerf([]byte(src)); err == nil {
+			t.Errorf("case %d accepted", k)
+		}
+	}
+}

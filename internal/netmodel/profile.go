@@ -1,0 +1,79 @@
+package netmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Load profiles: deterministic, time-of-day-style bandwidth variation
+// for adaptivity experiments. Where Walker models jittery short-term
+// load as a random walk, a Profile models the slow, predictable
+// component — the diurnal swell of shared-network traffic the paper's
+// metacomputing environment would see — as a smooth multiplicative
+// curve per pair. Sampling a profile over a horizon yields the
+// piecewise epochs the simulator consumes.
+
+// Profile maps a time to a bandwidth multiplier for one ordered pair.
+// Multipliers must be positive.
+type Profile func(src, dst int, t float64) float64
+
+// FlatProfile is the identity: no variation.
+func FlatProfile(int, int, float64) float64 { return 1 }
+
+// DiurnalProfile returns a sinusoidal day/night load curve: bandwidth
+// swings between (1-depth) and (1+depth) of its base value with the
+// given period, phase-shifted per source site so that sites peak at
+// different times (phases spread evenly over the period).
+func DiurnalProfile(n int, period, depth float64) (Profile, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("netmodel: non-positive period %g", period)
+	}
+	if depth < 0 || depth >= 1 {
+		return nil, fmt.Errorf("netmodel: depth %g outside [0,1)", depth)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("netmodel: non-positive size %d", n)
+	}
+	return func(src, _ int, t float64) float64 {
+		phase := 2 * math.Pi * float64(src) / float64(n)
+		return 1 + depth*math.Sin(2*math.Pi*t/period+phase)
+	}, nil
+}
+
+// SampleProfile applies the profile to a base table at a single time.
+func SampleProfile(base *Perf, p Profile, t float64) *Perf {
+	out := base.Clone()
+	n := base.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			pp := out.At(i, j)
+			pp.Bandwidth = base.At(i, j).Bandwidth * p(i, j, t)
+			out.Set(i, j, pp)
+		}
+	}
+	return out
+}
+
+// ProfileSeries samples the profile at the given times, producing one
+// table per sample — ready to become simulator epochs. Times must be
+// strictly increasing.
+func ProfileSeries(base *Perf, p Profile, times []float64) ([]*Perf, error) {
+	if len(times) == 0 {
+		return nil, fmt.Errorf("netmodel: no sample times")
+	}
+	out := make([]*Perf, 0, len(times))
+	for k, t := range times {
+		if k > 0 && t <= times[k-1] {
+			return nil, fmt.Errorf("netmodel: sample times not increasing at index %d", k)
+		}
+		sampled := SampleProfile(base, p, t)
+		if err := sampled.Validate(); err != nil {
+			return nil, fmt.Errorf("netmodel: profile produced invalid table at t=%g: %w", t, err)
+		}
+		out = append(out, sampled)
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package netmodel
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Random problem generation. The paper's simulator "generates random
+// performance characteristics for pairwise network performance, using
+// information from the GUSTO directory service as a guideline". This
+// file reproduces that generator: latencies and bandwidths are drawn
+// uniformly from the ranges observed in Tables 1 and 2, independently
+// per pair (or symmetrically, matching the symmetric GUSTO tables).
+
+// GenConfig controls random pairwise performance generation. All units
+// are SI (seconds, bytes/second).
+type GenConfig struct {
+	MinLatency   float64
+	MaxLatency   float64
+	MinBandwidth float64
+	MaxBandwidth float64
+	// Symmetric makes perf(i,j) == perf(j,i), as in the GUSTO tables.
+	Symmetric bool
+}
+
+// GustoGuided returns the generator configuration the paper uses: the
+// latency and bandwidth ranges observed in the GUSTO tables, with
+// symmetric pairs.
+func GustoGuided() GenConfig {
+	minLat, maxLat, minBW, maxBW := GustoRanges()
+	return GenConfig{
+		MinLatency:   minLat,
+		MaxLatency:   maxLat,
+		MinBandwidth: minBW,
+		MaxBandwidth: maxBW,
+		Symmetric:    true,
+	}
+}
+
+// validate panics on nonsensical configuration; generation is used in
+// tight experiment loops so misconfiguration should fail loudly.
+func (c GenConfig) validate() {
+	if c.MinLatency < 0 || c.MaxLatency < c.MinLatency {
+		panic(fmt.Sprintf("netmodel: invalid latency range [%g, %g]", c.MinLatency, c.MaxLatency))
+	}
+	if c.MinBandwidth <= 0 || c.MaxBandwidth < c.MinBandwidth {
+		panic(fmt.Sprintf("netmodel: invalid bandwidth range [%g, %g]", c.MinBandwidth, c.MaxBandwidth))
+	}
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	if hi == lo {
+		return lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// RandomPerf generates an n×n performance table with entries drawn
+// uniformly from the configured ranges. Diagonal entries get the free
+// local-copy performance. The generator is fully determined by rng.
+func RandomPerf(rng *rand.Rand, n int, cfg GenConfig) *Perf {
+	cfg.validate()
+	p := NewPerf(n)
+	for i := 0; i < n; i++ {
+		p.Set(i, i, PairPerf{Latency: 0, Bandwidth: localBandwidth})
+		for j := i + 1; j < n; j++ {
+			a := PairPerf{
+				Latency:   uniform(rng, cfg.MinLatency, cfg.MaxLatency),
+				Bandwidth: uniform(rng, cfg.MinBandwidth, cfg.MaxBandwidth),
+			}
+			b := a
+			if !cfg.Symmetric {
+				b = PairPerf{
+					Latency:   uniform(rng, cfg.MinLatency, cfg.MaxLatency),
+					Bandwidth: uniform(rng, cfg.MinBandwidth, cfg.MaxBandwidth),
+				}
+			}
+			p.Set(i, j, a)
+			p.Set(j, i, b)
+		}
+	}
+	return p
+}
+
+// Drift perturbs bandwidths with a bounded multiplicative random walk,
+// modelling the continuously changing network conditions of a shared
+// metacomputing environment (Section 1 of the paper). Each step
+// multiplies every off-diagonal bandwidth by a factor drawn uniformly
+// from [1-RelStep, 1+RelStep], clamped so the bandwidth stays within
+// [MinFactor, MaxFactor] times its original value.
+type Drift struct {
+	RelStep   float64 // per-step relative change, e.g. 0.1 for ±10%
+	MinFactor float64 // lower clamp relative to the base table, e.g. 0.25
+	MaxFactor float64 // upper clamp relative to the base table, e.g. 4.0
+}
+
+// DefaultDrift is a moderate load model: ±10% per step, bounded to
+// [1/4, 4] of the base bandwidth.
+func DefaultDrift() Drift { return Drift{RelStep: 0.10, MinFactor: 0.25, MaxFactor: 4.0} }
+
+// Walker carries the evolving state of a bandwidth random walk over a
+// base performance table.
+type Walker struct {
+	base    *Perf
+	current *Perf
+	drift   Drift
+	rng     *rand.Rand
+}
+
+// NewWalker starts a random walk at the given base table.
+func NewWalker(rng *rand.Rand, base *Perf, drift Drift) *Walker {
+	if drift.RelStep < 0 || drift.RelStep >= 1 {
+		panic(fmt.Sprintf("netmodel: invalid drift step %g", drift.RelStep))
+	}
+	if drift.MinFactor <= 0 || drift.MaxFactor < drift.MinFactor {
+		panic(fmt.Sprintf("netmodel: invalid drift clamp [%g, %g]", drift.MinFactor, drift.MaxFactor))
+	}
+	return &Walker{base: base.Clone(), current: base.Clone(), drift: drift, rng: rng}
+}
+
+// Current returns a copy of the present table.
+func (w *Walker) Current() *Perf { return w.current.Clone() }
+
+// Step advances the walk once and returns a copy of the new table.
+func (w *Walker) Step() *Perf {
+	n := w.current.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			pp := w.current.At(i, j)
+			base := w.base.At(i, j).Bandwidth
+			f := 1 + (w.rng.Float64()*2-1)*w.drift.RelStep
+			bw := pp.Bandwidth * f
+			if min := base * w.drift.MinFactor; bw < min {
+				bw = min
+			}
+			if max := base * w.drift.MaxFactor; bw > max {
+				bw = max
+			}
+			pp.Bandwidth = bw
+			w.current.Set(i, j, pp)
+		}
+	}
+	return w.Current()
+}

@@ -1,0 +1,183 @@
+package optimize
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/sched"
+)
+
+func problem(t *testing.T, seed int64, n int) *model.Matrix {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	perf := netmodel.RandomPerf(rng, n, netmodel.GustoGuided())
+	m, err := model.BuildUniform(perf, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestImproveNeverHurtsAndStaysValid(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		m := problem(t, seed, 8)
+		base, err := sched.Baseline{}.Schedule(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, st, err := Improve(base.Steps, m, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.After > st.Before+1e-9 {
+			t.Fatalf("seed %d: optimization made it worse: %g -> %g", seed, st.Before, st.After)
+		}
+		if !out.CoversTotalExchange() {
+			t.Fatalf("seed %d: event set changed", seed)
+		}
+		s, err := out.Evaluate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ValidateTotalExchange(m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestImproveHelpsGreedySchedules(t *testing.T) {
+	// Greedy schedules have incomplete steps with real slack; the
+	// search should recover a measurable (if small) share. That the
+	// matching schedules admit no improving move at all is asserted in
+	// TestMatchingSchedulesLocallyOptimal — a finding in its own right.
+	var before, after float64
+	for seed := int64(10); seed < 20; seed++ {
+		m := problem(t, seed, 10)
+		base, err := sched.NewGreedy().Schedule(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := Improve(base.Steps, m, Options{MaxMoves: 400, Candidates: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before += st.Before
+		after += st.After
+	}
+	if after >= before {
+		t.Errorf("local search recovered nothing on greedy schedules: before %g, after %g", before, after)
+	}
+}
+
+func TestMatchingSchedulesLocallyOptimal(t *testing.T) {
+	// The measured ablation: max-weight matching decompositions admit
+	// no improving relocation, exchange, or rectangle swap. If this
+	// ever starts failing, the decomposition has regressed.
+	for seed := int64(10); seed < 16; seed++ {
+		m := problem(t, seed, 10)
+		r, err := sched.MaxMatching{}.Schedule(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := Improve(r.Steps, m, Options{MaxMoves: 100, Candidates: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.After < st.Before-1e-9 {
+			t.Logf("seed %d: matching schedule improved %g -> %g (unusual but legal)", seed, st.Before, st.After)
+		}
+		if st.After > st.Before+1e-9 {
+			t.Fatalf("seed %d: optimization made it worse", seed)
+		}
+	}
+}
+
+func TestImproveOnOptimalScheduleIsNoOp(t *testing.T) {
+	// The running example's matching schedule already meets the lower
+	// bound; no move can improve it.
+	m := model.ExampleMatrix()
+	r, err := sched.MaxMatching{}.Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := Improve(r.Steps, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Moves != 0 {
+		t.Errorf("optimal schedule accepted %d moves", st.Moves)
+	}
+	if st.After != st.Before {
+		t.Error("completion changed without moves")
+	}
+}
+
+func TestImproveBudget(t *testing.T) {
+	m := problem(t, 20, 10)
+	base, err := sched.Baseline{}.Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := Improve(base.Steps, m, Options{MaxMoves: 2, Candidates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Moves > 2 {
+		t.Errorf("budget exceeded: %d moves", st.Moves)
+	}
+}
+
+func TestImproveInputUntouched(t *testing.T) {
+	m := problem(t, 21, 6)
+	base, err := sched.Baseline{}.Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lens := make([]int, len(base.Steps.Steps))
+	for i, s := range base.Steps.Steps {
+		lens[i] = len(s)
+	}
+	if _, _, err := Improve(base.Steps, m, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range base.Steps.Steps {
+		if len(s) != lens[i] {
+			t.Fatal("Improve mutated its input")
+		}
+	}
+}
+
+func TestImproveErrors(t *testing.T) {
+	m := model.ExampleMatrix()
+	r, err := sched.Baseline{}.Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Improve(r.Steps, model.NewMatrix(3), DefaultOptions()); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if _, _, err := Improve(r.Steps, m, Options{MaxMoves: -1}); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestImproveDeterministic(t *testing.T) {
+	m := problem(t, 22, 8)
+	base, err := sched.Baseline{}.Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, a, err := Improve(base.Steps, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := Improve(base.Steps, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.After != b.After || a.Moves != b.Moves {
+		t.Error("nondeterministic optimization")
+	}
+}

@@ -1,0 +1,102 @@
+package sched
+
+import (
+	"sort"
+
+	"hetsched/internal/model"
+	"hetsched/internal/timing"
+)
+
+// Greedy is the O(P³) approximation to the matching technique
+// (Section 4.4). Each processor rank-orders its outgoing events by
+// decreasing communication time. Steps are then composed one at a
+// time: processors take turns picking, from their rank-ordered list,
+// the first destination not yet used by them in an earlier step and
+// not already receiving in the current step. A processor that finds no
+// destination idles for the step. For fairness, a processor that idled
+// picks first in the next step; otherwise the last processor to pick
+// goes first next (Rotate). Because steps can be incomplete, the
+// schedule may need more than P steps.
+type Greedy struct {
+	// Rotate enables the paper's fairness rule. Disabling it keeps a
+	// fixed 0..P-1 pick order every step; the difference is measured as
+	// an ablation (see DESIGN.md).
+	Rotate bool
+}
+
+// NewGreedy returns the greedy scheduler as described in the paper,
+// with the fairness rotation enabled.
+func NewGreedy() Greedy { return Greedy{Rotate: true} }
+
+// Name implements Scheduler.
+func (g Greedy) Name() string {
+	if g.Rotate {
+		return "greedy"
+	}
+	return "greedy-norotate"
+}
+
+// Schedule implements Scheduler.
+func (g Greedy) Schedule(m *model.Matrix) (*Result, error) {
+	n := m.N()
+	ss := &timing.StepSchedule{N: n}
+
+	// Rank-ordered destination lists, longest event first. Ties break
+	// by destination id for determinism.
+	lists := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				lists[i] = append(lists[i], j)
+			}
+		}
+		src := i
+		sort.SliceStable(lists[i], func(a, b int) bool {
+			return m.At(src, lists[src][a]) > m.At(src, lists[src][b])
+		})
+	}
+
+	remaining := n * (n - 1)
+	first := 0 // processor that picks first this step
+	for remaining > 0 {
+		recvBusy := make([]bool, n)
+		step := make(timing.Step, 0, n)
+		firstIdle := -1
+		lastPicker := first
+		for k := 0; k < n; k++ {
+			i := (first + k) % n
+			if g.Rotate {
+				lastPicker = i
+			}
+			picked := -1
+			for idx, j := range lists[i] {
+				if !recvBusy[j] {
+					picked = idx
+					break
+				}
+			}
+			if picked < 0 {
+				if firstIdle < 0 && len(lists[i]) > 0 {
+					firstIdle = i
+				}
+				continue
+			}
+			j := lists[i][picked]
+			lists[i] = append(lists[i][:picked], lists[i][picked+1:]...)
+			recvBusy[j] = true
+			step = append(step, timing.Pair{Src: i, Dst: j})
+			remaining--
+		}
+		if len(step) > 0 {
+			ss.Steps = append(ss.Steps, step)
+		}
+		if g.Rotate {
+			if firstIdle >= 0 {
+				first = firstIdle
+			} else {
+				first = lastPicker
+			}
+		}
+	}
+	return finishResult(g.Name(), ss, m)
+}

@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"fmt"
+
+	"hetsched/internal/model"
+	"hetsched/internal/timing"
+)
+
+// OpenShop is the O(P³) heuristic of Section 4.5, derived from open
+// shop scheduling (Shmoys, Stein & Wein). Every processor is split
+// into a sender and a receiver entity. Senders are processed in
+// increasing order of their next availability time; an available
+// sender greedily picks the earliest-available receiver from its
+// remaining receiver set, and the event is scheduled at
+// max(sendavail, recvavail). Idle time appears in a sender's column
+// only when every one of its remaining receivers is busy, which is the
+// key fact behind Theorem 3: the completion time is within twice the
+// lower bound.
+type OpenShop struct {
+	// TieBreak selects among receivers with equal availability.
+	TieBreak TieBreak
+}
+
+// TieBreak chooses among equally available receivers in the open shop
+// heuristic. The paper leaves the choice unspecified ("an arbitrary
+// order"); the variants are kept for the ablation benches.
+type TieBreak int
+
+const (
+	// TieLowestID picks the receiver with the smallest index —
+	// deterministic and the default.
+	TieLowestID TieBreak = iota
+	// TieMostLoaded picks the receiver with the largest remaining
+	// inbound work, a longest-processing-time-style rule.
+	TieMostLoaded
+	// TieLongestEvent picks the receiver whose event from this sender
+	// is longest.
+	TieLongestEvent
+)
+
+// String names the tie-break rule.
+func (tb TieBreak) String() string {
+	switch tb {
+	case TieLowestID:
+		return "lowest-id"
+	case TieMostLoaded:
+		return "most-loaded"
+	case TieLongestEvent:
+		return "longest-event"
+	default:
+		return fmt.Sprintf("TieBreak(%d)", int(tb))
+	}
+}
+
+// NewOpenShop returns the open shop scheduler with the default
+// tie-break rule.
+func NewOpenShop() OpenShop { return OpenShop{TieBreak: TieLowestID} }
+
+// Name implements Scheduler.
+func (o OpenShop) Name() string {
+	if o.TieBreak == TieLowestID {
+		return "openshop"
+	}
+	return "openshop-" + o.TieBreak.String()
+}
+
+// Schedule implements Scheduler.
+func (o OpenShop) Schedule(m *model.Matrix) (*Result, error) {
+	n := m.N()
+	out := &timing.Schedule{N: n}
+
+	sendAvail := make([]float64, n)
+	recvAvail := make([]float64, n)
+	// Remaining receiver sets; receivers[i][j] true when i still has to
+	// send to j.
+	receivers := make([][]bool, n)
+	pending := make([]int, n)
+	for i := range receivers {
+		receivers[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				receivers[i][j] = true
+				pending[i]++
+			}
+		}
+	}
+	// Remaining inbound work per receiver, for the most-loaded rule.
+	inbound := make([]float64, n)
+	for j := 0; j < n; j++ {
+		inbound[j] = m.ColSum(j)
+	}
+
+	remaining := n * (n - 1)
+	for remaining > 0 {
+		// Next sender: smallest availability among senders with work
+		// left; ties by id, matching "processed in an arbitrary order"
+		// but deterministic.
+		i := -1
+		for s := 0; s < n; s++ {
+			if pending[s] == 0 {
+				continue
+			}
+			if i < 0 || sendAvail[s] < sendAvail[i] {
+				i = s
+			}
+		}
+		if i < 0 {
+			return nil, fmt.Errorf("sched: openshop has %d events left but no sender", remaining)
+		}
+		// Earliest available receiver in R_i.
+		j := -1
+		for r := 0; r < n; r++ {
+			if !receivers[i][r] {
+				continue
+			}
+			if j < 0 || recvAvail[r] < recvAvail[j]-tieEps {
+				j = r
+				continue
+			}
+			if recvAvail[r] > recvAvail[j]+tieEps {
+				continue
+			}
+			// Tie: apply the configured rule.
+			switch o.TieBreak {
+			case TieMostLoaded:
+				if inbound[r] > inbound[j] {
+					j = r
+				}
+			case TieLongestEvent:
+				if m.At(i, r) > m.At(i, j) {
+					j = r
+				}
+			}
+		}
+		start := sendAvail[i]
+		if recvAvail[j] > start {
+			start = recvAvail[j]
+		}
+		finish := start + m.At(i, j)
+		out.Events = append(out.Events, timing.Event{Src: i, Dst: j, Start: start, Finish: finish})
+		sendAvail[i] = finish
+		recvAvail[j] = finish
+		receivers[i][j] = false
+		pending[i]--
+		inbound[j] -= m.At(i, j)
+		remaining--
+	}
+	return &Result{
+		Algorithm:  o.Name(),
+		Schedule:   out,
+		LowerBound: m.LowerBound(),
+	}, nil
+}
+
+// tieEps treats availability times within this tolerance as equal when
+// applying tie-break rules.
+const tieEps = 1e-12

@@ -1,0 +1,45 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"hetsched/internal/model"
+)
+
+// Compare runs every scheduler in All on the matrix and returns the
+// results in registry order. Any scheduler error aborts the
+// comparison; with a valid matrix none of the paper's algorithms can
+// fail.
+func Compare(m *model.Matrix) ([]*Result, error) {
+	var out []*Result
+	for _, s := range All() {
+		r, err := s.Schedule(m)
+		if err != nil {
+			return nil, fmt.Errorf("sched: %s: %w", s.Name(), err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// FormatComparison renders results as a fixed-width text table with
+// completion times, ratios to the lower bound, and speedup over the
+// first result (conventionally the baseline).
+func FormatComparison(results []*Result) string {
+	var sb strings.Builder
+	if len(results) == 0 {
+		return "(no results)\n"
+	}
+	ref := results[0].CompletionTime()
+	fmt.Fprintf(&sb, "%-22s %12s %10s %10s\n", "algorithm", "t_max", "t/t_lb", "speedup")
+	fmt.Fprintf(&sb, "%-22s %12s %10s %10s\n", "lower bound", fmt.Sprintf("%.6g", results[0].LowerBound), "1.000", "")
+	for _, r := range results {
+		speedup := ""
+		if r.CompletionTime() > 0 {
+			speedup = fmt.Sprintf("%.3f", ref/r.CompletionTime())
+		}
+		fmt.Fprintf(&sb, "%-22s %12.6g %10.3f %10s\n", r.Algorithm, r.CompletionTime(), r.Ratio(), speedup)
+	}
+	return sb.String()
+}

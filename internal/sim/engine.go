@@ -1,0 +1,251 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"hetsched/internal/timing"
+)
+
+// This file implements the execution engine for the paper's base
+// communication model (Section 3.2): a processor participates in at
+// most one send and one receive at a time, and when several senders
+// contend for one receiver their messages are serialized in the order
+// the control messages arrive (first come, first served; ties broken
+// by sender id). Senders walk their plan's destination list in order,
+// blocking while the next destination is busy — exactly the
+// control-message/acknowledgement protocol the paper describes.
+
+// State carries processor availability across engine phases, letting
+// checkpointed executions resume without inserting a barrier.
+type State struct {
+	SendFree []float64 // earliest time each sender may start a send
+	RecvFree []float64 // earliest time each receiver may start a receive
+}
+
+// NewState returns a State with all processors available at time 0.
+func NewState(n int) *State {
+	return &State{SendFree: make([]float64, n), RecvFree: make([]float64, n)}
+}
+
+// Clone deep-copies the state.
+func (st *State) Clone() *State {
+	return &State{
+		SendFree: append([]float64(nil), st.SendFree...),
+		RecvFree: append([]float64(nil), st.RecvFree...),
+	}
+}
+
+// ExecResult reports one engine run.
+type ExecResult struct {
+	// Schedule holds the executed events with their actual times.
+	Schedule *timing.Schedule
+	// Finish is the time the last executed event completed (0 when
+	// nothing ran).
+	Finish float64
+	// Remaining holds sends that were not dispatched because the
+	// dispatch budget ran out; nil when the plan completed.
+	Remaining *Plan
+	// State is processor availability after the run, for resumption.
+	State *State
+	// Dispatched counts transfers started during this run.
+	Dispatched int
+}
+
+// event kinds, ordered so simultaneous events process deterministically:
+// transfer completions before fresh sender arrivals at the same instant,
+// so that already-queued waiters win ties, mirroring the
+// acknowledgement protocol.
+const (
+	evTransferEnd = iota
+	evRecvAvail
+	evSenderReady
+)
+
+type event struct {
+	time float64
+	kind int
+	src  int
+	dst  int // receiver for transferEnd; unused for senderReady
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(a, b int) bool {
+	if h[a].time != h[b].time {
+		return h[a].time < h[b].time
+	}
+	if h[a].kind != h[b].kind {
+		return h[a].kind < h[b].kind
+	}
+	if h[a].src != h[b].src {
+		return h[a].src < h[b].src
+	}
+	return h[a].dst < h[b].dst
+}
+func (h eventHeap) Swap(a, b int)       { h[a], h[b] = h[b], h[a] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// waiter is a queued receive request.
+type waiter struct {
+	reqTime float64
+	sender  int
+}
+
+// Run executes the whole plan on the network under the base model,
+// starting from an all-idle state.
+func Run(net Network, plan *Plan) (*ExecResult, error) {
+	return RunBudget(net, plan, nil, -1)
+}
+
+// RunBudget executes at most budget transfers of the plan (all of them
+// when budget < 0), starting from st (all-idle when nil). In-flight
+// transfers always complete; senders whose next transfer was not
+// dispatched appear in Remaining.
+func RunBudget(net Network, plan *Plan, st *State, budget int) (*ExecResult, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if net.N() != plan.N {
+		return nil, fmt.Errorf("sim: network has %d processors, plan %d", net.N(), plan.N)
+	}
+	n := plan.N
+	if st == nil {
+		st = NewState(n)
+	}
+	if len(st.SendFree) != n || len(st.RecvFree) != n {
+		return nil, fmt.Errorf("sim: state shape mismatch")
+	}
+
+	idx := make([]int, n) // next unqueued destination per sender
+	recvFree := append([]float64(nil), st.RecvFree...)
+	queues := make([][]waiter, n) // waiting senders per receiver
+	waiting := make([]bool, n)    // sender currently queued at a receiver
+	inFlight := make([]int, n)    // transfers currently headed to each receiver
+	woken := make([]bool, n)      // a receiver-available wake event is pending
+	out := &timing.Schedule{N: n}
+	dispatched := 0
+	finish := 0.0
+
+	h := &eventHeap{}
+	for i := 0; i < n; i++ {
+		if len(plan.Order[i]) > 0 {
+			heap.Push(h, event{time: st.SendFree[i], kind: evSenderReady, src: i})
+		}
+	}
+	sendFree := append([]float64(nil), st.SendFree...)
+
+	flowNet, _ := net.(FlowAware)
+
+	// start begins the transfer i→j at time t. The caller has verified
+	// receiver j is free.
+	start := func(i, j int, t float64) {
+		if flowNet != nil {
+			flowNet.BeginFlow(i, j, t)
+		}
+		d := net.TransferTime(i, j, plan.Sizes.At(i, j), t)
+		e := timing.Event{Src: i, Dst: j, Start: t, Finish: t + d}
+		out.Events = append(out.Events, e)
+		if e.Finish > finish {
+			finish = e.Finish
+		}
+		sendFree[i] = e.Finish
+		recvFree[j] = e.Finish
+		dispatched++
+		inFlight[j]++
+		heap.Push(h, event{time: e.Finish, kind: evTransferEnd, src: i, dst: j})
+	}
+
+	// request is sender i asking to send its next destination at time t.
+	request := func(i int, t float64) {
+		if idx[i] >= len(plan.Order[i]) {
+			return
+		}
+		if budget >= 0 && dispatched >= budget {
+			return // budget exhausted: leave the send for a later phase
+		}
+		j := plan.Order[i][idx[i]]
+		if recvFree[j] <= t && len(queues[j]) == 0 {
+			idx[i]++
+			start(i, j, t)
+			return
+		}
+		queues[j] = append(queues[j], waiter{reqTime: t, sender: i})
+		waiting[i] = true
+		// A receiver inherited busy from a previous phase has no
+		// in-flight transfer here to wake its queue; schedule one.
+		if inFlight[j] == 0 && !woken[j] {
+			woken[j] = true
+			heap.Push(h, event{time: recvFree[j], kind: evRecvAvail, dst: j})
+		}
+	}
+
+	// grant hands receiver j to the earliest waiting request: smallest
+	// request time, ties by sender id (FIFO acknowledgement order).
+	grant := func(j int, t float64) {
+		if len(queues[j]) == 0 || (budget >= 0 && dispatched >= budget) {
+			return
+		}
+		best := 0
+		for k := 1; k < len(queues[j]); k++ {
+			w, b := queues[j][k], queues[j][best]
+			if w.reqTime < b.reqTime || (w.reqTime == b.reqTime && w.sender < b.sender) {
+				best = k
+			}
+		}
+		w := queues[j][best]
+		queues[j] = append(queues[j][:best], queues[j][best+1:]...)
+		waiting[w.sender] = false
+		idx[w.sender]++
+		start(w.sender, j, t)
+	}
+
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(event)
+		switch ev.kind {
+		case evSenderReady:
+			request(ev.src, ev.time)
+		case evRecvAvail:
+			woken[ev.dst] = false
+			grant(ev.dst, ev.time)
+		case evTransferEnd:
+			inFlight[ev.dst]--
+			if flowNet != nil {
+				flowNet.EndFlow(ev.src, ev.dst, ev.time)
+			}
+			// Receiver grant first, then the freed sender's next request,
+			// so already-queued waiters win ties at the same instant.
+			grant(ev.dst, ev.time)
+			if !waiting[ev.src] {
+				request(ev.src, ev.time)
+			}
+		}
+	}
+
+	res := &ExecResult{
+		Schedule:   out,
+		Finish:     finish,
+		Dispatched: dispatched,
+		State:      &State{SendFree: sendFree, RecvFree: recvFree},
+	}
+	// Collect undispatched sends (queued waiters have not advanced idx,
+	// so slicing at idx covers them too).
+	rem := &Plan{N: n, Sizes: plan.Sizes.Clone(), Order: make([][]int, n)}
+	left := 0
+	for i := 0; i < n; i++ {
+		rem.Order[i] = append([]int(nil), plan.Order[i][idx[i]:]...)
+		left += len(rem.Order[i])
+	}
+	if left > 0 {
+		res.Remaining = rem
+	}
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+
+	"hetsched/internal/netmodel"
+)
+
+// Dynamic shared-link bandwidth division. Section 3.1 of the paper:
+// "if the paths between two distinct node pairs share a common link,
+// the bandwidth of the common link is divided among these
+// communicating pairs." netmodel.Topology.SharedPerf applies that rule
+// to a static flow set; TopologyNetwork applies it during execution:
+// the engine announces flow starts and ends, and each transfer's
+// duration is computed from the link shares in effect at its start
+// (and held for its lifetime — the same freeze-at-start simplification
+// the piecewise network uses).
+
+// FlowAware is an optional Network extension. When the exclusive
+// engine sees it, it brackets every transfer with BeginFlow/EndFlow so
+// the network can track concurrent flows.
+type FlowAware interface {
+	Network
+	// BeginFlow announces that a transfer src→dst starts at time now.
+	// The engine calls it before querying TransferTime for that
+	// transfer, so the flow counts toward its own sharing.
+	BeginFlow(src, dst int, now float64)
+	// EndFlow announces that the transfer completed.
+	EndFlow(src, dst int, now float64)
+}
+
+// TopologyNetwork is a FlowAware network over a routed multi-site
+// topology: concurrent flows crossing a common link split its
+// bandwidth equally.
+type TopologyNetwork struct {
+	topo   *netmodel.Topology
+	paths  map[[2]int][]netmodel.Link
+	active map[string]int // link name -> concurrent flow count
+}
+
+// NewTopologyNetwork precomputes all pairwise routes. It fails if any
+// host pair is unroutable.
+func NewTopologyNetwork(topo *netmodel.Topology) (*TopologyNetwork, error) {
+	t := &TopologyNetwork{
+		topo:   topo,
+		paths:  make(map[[2]int][]netmodel.Link),
+		active: make(map[string]int),
+	}
+	n := topo.Hosts()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			path, err := topo.Path(i, j)
+			if err != nil {
+				return nil, fmt.Errorf("sim: topology network: %w", err)
+			}
+			t.paths[[2]int{i, j}] = path
+		}
+	}
+	return t, nil
+}
+
+// N implements Network.
+func (t *TopologyNetwork) N() int { return t.topo.Hosts() }
+
+// TransferTime implements Network: the path latency plus the size over
+// the bottleneck share, where every link's bandwidth is divided by the
+// number of flows currently crossing it (at least one, this flow).
+func (t *TopologyNetwork) TransferTime(src, dst int, size int64, _ float64) float64 {
+	if src == dst {
+		return 0
+	}
+	path := t.paths[[2]int{src, dst}]
+	latency := 0.0
+	bottleneck := 0.0
+	first := true
+	for _, l := range path {
+		latency += l.Latency
+		share := float64(t.active[l.Name])
+		if share < 1 {
+			share = 1
+		}
+		bw := l.Bandwidth / share
+		if first || bw < bottleneck {
+			bottleneck = bw
+			first = false
+		}
+	}
+	if size <= 0 {
+		return latency
+	}
+	return latency + float64(size)/bottleneck
+}
+
+// BeginFlow implements FlowAware.
+func (t *TopologyNetwork) BeginFlow(src, dst int, _ float64) {
+	for _, l := range t.paths[[2]int{src, dst}] {
+		t.active[l.Name]++
+	}
+}
+
+// EndFlow implements FlowAware.
+func (t *TopologyNetwork) EndFlow(src, dst int, _ float64) {
+	for _, l := range t.paths[[2]int{src, dst}] {
+		if t.active[l.Name] > 0 {
+			t.active[l.Name]--
+		}
+	}
+}
+
+// ActiveFlows reports the current flow count on a link, for tests and
+// instrumentation.
+func (t *TopologyNetwork) ActiveFlows(linkName string) int { return t.active[linkName] }

@@ -1,0 +1,108 @@
+// Package sim executes communication schedules on a simulated
+// heterogeneous network. Where package timing evaluates a schedule's
+// planned times analytically, sim plays a plan out event by event the
+// way the paper's own software simulator does: senders work through
+// their ordered destination lists, contending receives are arbitrated
+// first-come-first-served (the control-message/acknowledgement
+// protocol of Section 3.2), and transfer durations are drawn from a
+// network whose bandwidth may drift while the exchange runs. The
+// package also implements the Section 6.1 model enhancements
+// (interleaved receives with context-switch overhead α, finite receive
+// buffers) and the Section 6.3 checkpoint-based rescheduling.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"hetsched/internal/netmodel"
+)
+
+// Network supplies transfer durations to the engine. Implementations
+// may vary with simulation time; the engine samples conditions at the
+// moment a transfer starts and holds them for its duration (a transfer
+// straddling a change keeps its start-time conditions).
+type Network interface {
+	// N returns the number of processors.
+	N() int
+	// TransferTime returns the duration of moving size bytes from src
+	// to dst if the transfer starts at time now.
+	TransferTime(src, dst int, size int64, now float64) float64
+}
+
+// Static is a Network with time-invariant performance.
+type Static struct {
+	perf *netmodel.Perf
+}
+
+// NewStatic wraps a performance table as an unchanging network.
+func NewStatic(perf *netmodel.Perf) *Static { return &Static{perf: perf.Clone()} }
+
+// N implements Network.
+func (s *Static) N() int { return s.perf.N() }
+
+// TransferTime implements Network.
+func (s *Static) TransferTime(src, dst int, size int64, _ float64) float64 {
+	return s.perf.TransferTime(src, dst, size)
+}
+
+// Perf returns a copy of the underlying table.
+func (s *Static) Perf() *netmodel.Perf { return s.perf.Clone() }
+
+// Epoch is one segment of a piecewise-constant network: conditions
+// Perf hold from Start until the next epoch begins.
+type Epoch struct {
+	Start float64
+	Perf  *netmodel.Perf
+}
+
+// Piecewise is a Network whose performance changes at fixed times,
+// modelling load shifts in a shared environment. Epochs must be
+// sorted by start time, begin at or before 0, and share one size.
+type Piecewise struct {
+	epochs []Epoch
+}
+
+// NewPiecewise validates and wraps a sequence of epochs.
+func NewPiecewise(epochs []Epoch) (*Piecewise, error) {
+	if len(epochs) == 0 {
+		return nil, fmt.Errorf("sim: piecewise network needs at least one epoch")
+	}
+	if epochs[0].Start > 0 {
+		return nil, fmt.Errorf("sim: first epoch starts at %g, want ≤ 0", epochs[0].Start)
+	}
+	n := epochs[0].Perf.N()
+	for i := 1; i < len(epochs); i++ {
+		if epochs[i].Start < epochs[i-1].Start {
+			return nil, fmt.Errorf("sim: epochs out of order at index %d", i)
+		}
+		if epochs[i].Perf.N() != n {
+			return nil, fmt.Errorf("sim: epoch %d has %d processors, want %d", i, epochs[i].Perf.N(), n)
+		}
+	}
+	cp := make([]Epoch, len(epochs))
+	for i, e := range epochs {
+		cp[i] = Epoch{Start: e.Start, Perf: e.Perf.Clone()}
+	}
+	return &Piecewise{epochs: cp}, nil
+}
+
+// N implements Network.
+func (p *Piecewise) N() int { return p.epochs[0].Perf.N() }
+
+// At returns a copy of the performance table in effect at time t —
+// what a directory query at that moment would report.
+func (p *Piecewise) At(t float64) *netmodel.Perf { return p.at(t).Clone() }
+
+func (p *Piecewise) at(t float64) *netmodel.Perf {
+	idx := sort.Search(len(p.epochs), func(i int) bool { return p.epochs[i].Start > t }) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return p.epochs[idx].Perf
+}
+
+// TransferTime implements Network.
+func (p *Piecewise) TransferTime(src, dst int, size int64, now float64) float64 {
+	return p.at(now).TransferTime(src, dst, size)
+}

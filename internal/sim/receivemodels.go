@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"hetsched/internal/timing"
+)
+
+// Section 6.1 model enhancements. The base model serializes receives;
+// the paper sketches two relaxations, both implemented here:
+//
+//   - Interleaved receives: multithreaded communication (as in Nexus)
+//     lets a node receive several messages at once at the price of a
+//     context-switch overhead α. The paper's calibration point is that
+//     two messages received simultaneously take (1+α)(t1+t2) in total.
+//     We realize this as processor sharing: when k ≥ 2 receives are
+//     active at a node, they share an aggregate service rate 1/(1+α)
+//     equally; a lone receive proceeds at full rate. For equal-length
+//     simultaneous messages this matches the paper's formula exactly;
+//     for unequal lengths it interpolates between it and ideal
+//     processor sharing (see DESIGN.md).
+//
+//   - Finite receive buffers: a sender only waits until its message is
+//     stored in the receiver's buffer, not until the application-level
+//     receive completes. The wire transfer occupies the sender for the
+//     modelled duration; the application receive occupies the receiver
+//     for the same duration, drained FIFO from the buffer. When the
+//     receiver is idle with an empty buffer the transfer cuts through
+//     (sender and receiver overlap as in the base model). A sender
+//     blocks while the buffer is full.
+
+// RunInterleaved executes the plan under the interleaved-receive model
+// with context-switch overhead alpha ≥ 0. Receivers accept any number
+// of concurrent messages; there is no receive queueing. The returned
+// schedule's events carry each message's sender-occupancy interval
+// (start of transmission to completion of the shared receive); they
+// intentionally do not satisfy the base model's receiver exclusivity.
+func RunInterleaved(net Network, plan *Plan, alpha float64) (*ExecResult, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if net.N() != plan.N {
+		return nil, fmt.Errorf("sim: network has %d processors, plan %d", net.N(), plan.N)
+	}
+	if alpha < 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		return nil, fmt.Errorf("sim: invalid alpha %v", alpha)
+	}
+	n := plan.N
+
+	type msg struct {
+		src, dst  int
+		start     float64
+		remaining float64 // seconds of solo-rate service left
+	}
+	var active []*msg
+	perRecv := make([]int, n) // active receive count per node
+
+	rate := func(dst int) float64 {
+		k := perRecv[dst]
+		if k <= 1 {
+			return 1
+		}
+		return 1 / ((1 + alpha) * float64(k))
+	}
+
+	idx := make([]int, n)
+	ready := &eventHeap{}
+	for i := 0; i < n; i++ {
+		if len(plan.Order[i]) > 0 {
+			heap.Push(ready, event{time: 0, kind: evSenderReady, src: i})
+		}
+	}
+
+	out := &timing.Schedule{N: n}
+	now := 0.0
+	finish := 0.0
+	dispatched := 0
+
+	advance := func(to float64) {
+		dt := to - now
+		if dt > 0 {
+			for _, m := range active {
+				m.remaining -= dt * rate(m.dst)
+			}
+		}
+		now = to
+	}
+	nextCompletion := func() (float64, int) {
+		best, bi := math.Inf(1), -1
+		for i, m := range active {
+			t := now + m.remaining/rate(m.dst)
+			if t < best || (t == best && (m.src < active[bi].src || (m.src == active[bi].src && m.dst < active[bi].dst))) {
+				best, bi = t, i
+			}
+		}
+		return best, bi
+	}
+
+	for len(active) > 0 || ready.Len() > 0 {
+		tc, ci := nextCompletion()
+		if ready.Len() > 0 {
+			ev := (*ready)[0]
+			if ci < 0 || ev.time <= tc {
+				heap.Pop(ready)
+				advance(ev.time)
+				i := ev.src
+				if idx[i] < len(plan.Order[i]) {
+					j := plan.Order[i][idx[i]]
+					idx[i]++
+					d := net.TransferTime(i, j, plan.Sizes.At(i, j), now)
+					active = append(active, &msg{src: i, dst: j, start: now, remaining: d})
+					perRecv[j]++
+					dispatched++
+				}
+				continue
+			}
+		}
+		if ci < 0 {
+			break
+		}
+		advance(tc)
+		m := active[ci]
+		active = append(active[:ci], active[ci+1:]...)
+		perRecv[m.dst]--
+		out.Events = append(out.Events, timing.Event{Src: m.src, Dst: m.dst, Start: m.start, Finish: now})
+		if now > finish {
+			finish = now
+		}
+		if idx[m.src] < len(plan.Order[m.src]) {
+			heap.Push(ready, event{time: now, kind: evSenderReady, src: m.src})
+		}
+	}
+
+	st := NewState(n)
+	for i := 0; i < n; i++ {
+		st.SendFree[i] = finish
+		st.RecvFree[i] = finish
+	}
+	return &ExecResult{Schedule: out, Finish: finish, Dispatched: dispatched, State: st}, nil
+}
+
+// RunBuffered executes the plan under the finite-buffer model with the
+// given per-receiver buffer capacity (in messages, ≥ 1). The returned
+// schedule's events carry the wire-transfer intervals (the sender's
+// occupancy); application receives are tracked internally for the
+// completion time.
+func RunBuffered(net Network, plan *Plan, capacity int) (*ExecResult, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	if net.N() != plan.N {
+		return nil, fmt.Errorf("sim: network has %d processors, plan %d", net.N(), plan.N)
+	}
+	if capacity < 1 {
+		return nil, fmt.Errorf("sim: buffer capacity %d, want ≥ 1", capacity)
+	}
+	n := plan.N
+
+	type bufMsg struct {
+		src      int
+		duration float64
+	}
+	appFree := make([]float64, n)   // application receive availability
+	buffered := make([][]bufMsg, n) // FIFO buffer contents per receiver
+	inFlight := make([]int, n)      // wire transfers headed to the receiver
+	direct := make([]bool, n)       // receiver currently in a cut-through receive
+	queues := make([][]waiter, n)   // senders blocked on a full buffer
+	waiting := make([]bool, n)
+	idx := make([]int, n)
+
+	out := &timing.Schedule{N: n}
+	finish := 0.0
+	dispatched := 0
+
+	const (
+		evWireEnd = evSenderReady + 1 // distinct from the engine's event kinds
+		evAppEnd  = evSenderReady + 2
+	)
+	h := &eventHeap{}
+	for i := 0; i < n; i++ {
+		if len(plan.Order[i]) > 0 {
+			heap.Push(h, event{time: 0, kind: evSenderReady, src: i})
+		}
+	}
+
+	bump := func(t float64) {
+		if t > finish {
+			finish = t
+		}
+	}
+
+	// admit and startApp are mutually recursive: draining a buffer slot
+	// admits a blocked sender, and admitting can trigger a drain.
+	var admit func(j int, t float64)
+
+	// startApp begins the application receive of the next buffered
+	// message at receiver j, if any and if the application is idle.
+	var startApp func(j int, t float64)
+	startApp = func(j int, t float64) {
+		if direct[j] || appFree[j] > t || len(buffered[j]) == 0 {
+			return
+		}
+		m := buffered[j][0]
+		buffered[j] = buffered[j][1:]
+		appFree[j] = t + m.duration
+		bump(appFree[j])
+		heap.Push(h, event{time: appFree[j], kind: evAppEnd, src: m.src, dst: j})
+		// Draining freed a buffer slot: admit a blocked sender.
+		admit(j, t)
+	}
+
+	// slotsUsed counts occupied and reserved buffer slots at j.
+	slotsUsed := func(j int) int { return len(buffered[j]) + inFlight[j] }
+
+	startWire := func(i, j int, t float64) {
+		d := net.TransferTime(i, j, plan.Sizes.At(i, j), t)
+		out.Events = append(out.Events, timing.Event{Src: i, Dst: j, Start: t, Finish: t + d})
+		bump(t + d)
+		dispatched++
+		if !direct[j] && appFree[j] <= t && len(buffered[j]) == 0 {
+			// Cut-through: application receives as the data arrives.
+			direct[j] = true
+			appFree[j] = t + d
+			heap.Push(h, event{time: t + d, kind: evAppEnd, src: i, dst: j})
+		} else {
+			inFlight[j]++
+			heap.Push(h, event{time: t + d, kind: evWireEnd, src: i, dst: j})
+		}
+	}
+
+	request := func(i int, t float64) {
+		if idx[i] >= len(plan.Order[i]) {
+			return
+		}
+		j := plan.Order[i][idx[i]]
+		canDirect := !direct[j] && appFree[j] <= t && len(buffered[j]) == 0 && inFlight[j] == 0 && len(queues[j]) == 0
+		if canDirect || (slotsUsed(j) < capacity && len(queues[j]) == 0) {
+			idx[i]++
+			startWire(i, j, t)
+			return
+		}
+		queues[j] = append(queues[j], waiter{reqTime: t, sender: i})
+		waiting[i] = true
+	}
+
+	admit = func(j int, t float64) {
+		for len(queues[j]) > 0 && slotsUsed(j) < capacity {
+			best := 0
+			for k := 1; k < len(queues[j]); k++ {
+				w, b := queues[j][k], queues[j][best]
+				if w.reqTime < b.reqTime || (w.reqTime == b.reqTime && w.sender < b.sender) {
+					best = k
+				}
+			}
+			w := queues[j][best]
+			queues[j] = append(queues[j][:best], queues[j][best+1:]...)
+			waiting[w.sender] = false
+			idx[w.sender]++
+			startWire(w.sender, j, t)
+		}
+	}
+
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(event)
+		switch ev.kind {
+		case evSenderReady:
+			request(ev.src, ev.time)
+		case evWireEnd:
+			j := ev.dst
+			inFlight[j]--
+			d := lastDuration(out, ev.src, j)
+			buffered[j] = append(buffered[j], bufMsg{src: ev.src, duration: d})
+			startApp(j, ev.time)
+			if !waiting[ev.src] {
+				request(ev.src, ev.time)
+			}
+		case evAppEnd:
+			j := ev.dst
+			if direct[j] {
+				direct[j] = false
+				if !waiting[ev.src] {
+					request(ev.src, ev.time)
+				}
+			}
+			startApp(j, ev.time)
+			admit(j, ev.time)
+		}
+	}
+
+	st := NewState(n)
+	for i := 0; i < n; i++ {
+		st.SendFree[i] = finish
+		st.RecvFree[i] = finish
+	}
+	return &ExecResult{Schedule: out, Finish: finish, Dispatched: dispatched, State: st}, nil
+}
+
+// lastDuration finds the duration of the most recent wire event i→j.
+func lastDuration(s *timing.Schedule, i, j int) float64 {
+	for k := len(s.Events) - 1; k >= 0; k-- {
+		e := s.Events[k]
+		if e.Src == i && e.Dst == j {
+			return e.Duration()
+		}
+	}
+	return 0
+}

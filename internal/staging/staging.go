@@ -1,0 +1,287 @@
+// Package staging implements the data staging problem the paper draws
+// from the DARPA BADD program (Sections 2 and 6.4, citing Tan,
+// Theys, Siegel et al.): data items reside at source machines in a
+// distributed heterogeneous network, and requests ask for items to be
+// delivered to destination machines by real-time deadlines with
+// priorities. Unlike the collective schedulers, staging may relay an
+// item through intermediate machines — every copy made along the way
+// stays resident and can serve later requests, which is the essence of
+// "staging" data forward.
+//
+// The scheduler is a multiple-source shortest-path heuristic in the
+// spirit of the cited work: requests are ranked by priority then
+// deadline; each request runs a time-dependent Dijkstra from every
+// current holder of its item, where the label of a machine is the
+// earliest time the item can arrive there given present port
+// commitments (one send and one receive at a time, as everywhere in
+// this library). The winning path's transfers are committed and its
+// intermediate copies recorded.
+package staging
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hetsched/internal/netmodel"
+	"hetsched/internal/timing"
+)
+
+// Item is a named piece of data with its size and initial locations.
+type Item struct {
+	Name    string
+	Size    int64
+	Sources []int // machines initially holding the item
+}
+
+// Request asks for an item at a destination by a deadline.
+type Request struct {
+	Item     string
+	Dst      int
+	Deadline float64 // absolute; +Inf when soft
+	Priority int     // larger first
+}
+
+// Problem is a data staging instance over an n-machine network.
+type Problem struct {
+	N        int
+	Perf     *netmodel.Perf
+	Items    []Item
+	Requests []Request
+}
+
+// Validate checks shapes and references.
+func (p *Problem) Validate() error {
+	if p.Perf == nil || p.Perf.N() != p.N {
+		return fmt.Errorf("staging: performance table missing or wrong size")
+	}
+	names := make(map[string]bool, len(p.Items))
+	for _, it := range p.Items {
+		if it.Name == "" {
+			return fmt.Errorf("staging: item with empty name")
+		}
+		if names[it.Name] {
+			return fmt.Errorf("staging: duplicate item %q", it.Name)
+		}
+		names[it.Name] = true
+		if it.Size < 0 {
+			return fmt.Errorf("staging: item %q has negative size", it.Name)
+		}
+		if len(it.Sources) == 0 {
+			return fmt.Errorf("staging: item %q has no sources", it.Name)
+		}
+		for _, s := range it.Sources {
+			if s < 0 || s >= p.N {
+				return fmt.Errorf("staging: item %q source %d out of range", it.Name, s)
+			}
+		}
+	}
+	for k, r := range p.Requests {
+		if !names[r.Item] {
+			return fmt.Errorf("staging: request %d references unknown item %q", k, r.Item)
+		}
+		if r.Dst < 0 || r.Dst >= p.N {
+			return fmt.Errorf("staging: request %d destination %d out of range", k, r.Dst)
+		}
+		if math.IsNaN(r.Deadline) {
+			return fmt.Errorf("staging: request %d has NaN deadline", k)
+		}
+	}
+	return nil
+}
+
+// Delivery reports how one request was satisfied.
+type Delivery struct {
+	Request
+	ArrivedAt float64        // when the item reached the destination
+	Path      []int          // machines traversed, starting at the chosen source
+	Hops      []timing.Event // the committed transfers, in order
+}
+
+// Missed reports whether the delivery finished after its deadline.
+func (d Delivery) Missed() bool { return d.ArrivedAt > d.Deadline }
+
+// Result is a staged schedule plus its deliveries.
+type Result struct {
+	Deliveries []Delivery
+	Schedule   *timing.Schedule // all committed transfers
+}
+
+// Metrics aggregates deadline performance.
+type Metrics struct {
+	Requests     int
+	Missed       int
+	MaxLateness  float64
+	MeanResponse float64 // mean arrival time
+	Transfers    int     // total committed hops (extra copies = staging work)
+}
+
+// Metrics computes the result's statistics.
+func (r *Result) Metrics() Metrics {
+	m := Metrics{Requests: len(r.Deliveries), Transfers: len(r.Schedule.Events)}
+	sum := 0.0
+	for _, d := range r.Deliveries {
+		sum += d.ArrivedAt
+		if d.Missed() {
+			m.Missed++
+			if l := d.ArrivedAt - d.Deadline; l > m.MaxLateness {
+				m.MaxLateness = l
+			}
+		}
+	}
+	if len(r.Deliveries) > 0 {
+		m.MeanResponse = sum / float64(len(r.Deliveries))
+	}
+	return m
+}
+
+// Policy selects the routing flexibility.
+type Policy int
+
+const (
+	// Staged allows relaying through intermediate machines; every copy
+	// stays resident for later requests.
+	Staged Policy = iota
+	// DirectOnly ships each item straight from a holder to the
+	// destination — the control arm showing what staging buys.
+	DirectOnly
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == DirectOnly {
+		return "direct-only"
+	}
+	return "staged"
+}
+
+// Schedule satisfies every request, committing transfers in priority
+// order (larger Priority first, then earlier Deadline, then request
+// order). It returns the deliveries in the order they were scheduled.
+func Schedule(p *Problem, policy Policy) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	items := make(map[string]*Item, len(p.Items))
+	holders := make(map[string]map[int]float64, len(p.Items)) // item -> machine -> available-at
+	for k := range p.Items {
+		it := &p.Items[k]
+		items[it.Name] = it
+		hs := make(map[int]float64, len(it.Sources))
+		for _, s := range it.Sources {
+			hs[s] = 0
+		}
+		holders[it.Name] = hs
+	}
+
+	order := make([]int, len(p.Requests))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := p.Requests[order[a]], p.Requests[order[b]]
+		if ra.Priority != rb.Priority {
+			return ra.Priority > rb.Priority
+		}
+		return ra.Deadline < rb.Deadline
+	})
+
+	sendFree := make([]float64, p.N)
+	recvFree := make([]float64, p.N)
+	res := &Result{Schedule: &timing.Schedule{N: p.N}}
+
+	for _, ri := range order {
+		req := p.Requests[ri]
+		it := items[req.Item]
+		hs := holders[req.Item]
+
+		if at, ok := hs[req.Dst]; ok {
+			// Already resident: delivered the moment it is available.
+			res.Deliveries = append(res.Deliveries, Delivery{
+				Request: req, ArrivedAt: at, Path: []int{req.Dst},
+			})
+			continue
+		}
+
+		arrive, prev, err := dijkstra(p, it, hs, sendFree, recvFree, policy, req.Dst)
+		if err != nil {
+			return nil, err
+		}
+		if math.IsInf(arrive[req.Dst], 1) {
+			return nil, fmt.Errorf("staging: request for %q at %d unroutable", req.Item, req.Dst)
+		}
+
+		// Walk the path back from the destination and commit hops.
+		var path []int
+		for v := req.Dst; v != -1; v = prev[v] {
+			path = append(path, v)
+		}
+		for a, b := 0, len(path)-1; a < b; a, b = a+1, b-1 {
+			path[a], path[b] = path[b], path[a]
+		}
+		d := Delivery{Request: req, ArrivedAt: arrive[req.Dst], Path: path}
+		for k := 0; k+1 < len(path); k++ {
+			u, v := path[k], path[k+1]
+			start := math.Max(arrive[u], math.Max(sendFree[u], recvFree[v]))
+			fin := start + p.Perf.TransferTime(u, v, it.Size)
+			ev := timing.Event{Src: u, Dst: v, Start: start, Finish: fin}
+			d.Hops = append(d.Hops, ev)
+			res.Schedule.Events = append(res.Schedule.Events, ev)
+			sendFree[u] = fin
+			recvFree[v] = fin
+			if _, ok := hs[v]; !ok || hs[v] > fin {
+				hs[v] = fin // the copy stays resident
+			}
+		}
+		if len(d.Hops) > 0 {
+			d.ArrivedAt = d.Hops[len(d.Hops)-1].Finish
+		}
+		res.Deliveries = append(res.Deliveries, d)
+	}
+	return res, nil
+}
+
+// dijkstra computes, per machine, the earliest time the item can
+// arrive there starting from its current holders, honouring present
+// port commitments. prev reconstructs the path (-1 at holders).
+func dijkstra(p *Problem, it *Item, holders map[int]float64, sendFree, recvFree []float64, policy Policy, dst int) ([]float64, []int, error) {
+	n := p.N
+	arrive := make([]float64, n)
+	prev := make([]int, n)
+	done := make([]bool, n)
+	for i := range arrive {
+		arrive[i] = math.Inf(1)
+		prev[i] = -1
+	}
+	for h, at := range holders {
+		arrive[h] = at
+	}
+	for {
+		u, best := -1, math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !done[i] && arrive[i] < best {
+				u, best = i, arrive[i]
+			}
+		}
+		if u == -1 || u == dst {
+			break
+		}
+		done[u] = true
+		_, uHolds := holders[u]
+		if policy == DirectOnly && !uHolds {
+			continue // relaying forbidden: only holders may send
+		}
+		for v := 0; v < n; v++ {
+			if v == u || done[v] {
+				continue
+			}
+			start := math.Max(arrive[u], math.Max(sendFree[u], recvFree[v]))
+			t := start + p.Perf.TransferTime(u, v, it.Size)
+			if t < arrive[v] {
+				arrive[v] = t
+				prev[v] = u
+			}
+		}
+	}
+	return arrive, prev, nil
+}

@@ -1,0 +1,277 @@
+package staging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hetsched/internal/netmodel"
+)
+
+// triangle builds a 3-machine network where relaying 0→1→2 beats the
+// direct 0→2 link: the direct pair is slow, both legs are fast.
+func triangle() *netmodel.Perf {
+	p := netmodel.NewPerf(3)
+	fast := netmodel.PairPerf{Latency: 0.001, Bandwidth: 1e6}
+	slow := netmodel.PairPerf{Latency: 0.001, Bandwidth: 1e4}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i == j {
+				p.Set(i, j, netmodel.PairPerf{Latency: 0, Bandwidth: 1e12})
+				continue
+			}
+			p.Set(i, j, fast)
+		}
+	}
+	p.Set(0, 2, slow)
+	p.Set(2, 0, slow)
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	good := &Problem{
+		N: 3, Perf: triangle(),
+		Items:    []Item{{Name: "a", Size: 100, Sources: []int{0}}},
+		Requests: []Request{{Item: "a", Dst: 2, Deadline: math.Inf(1)}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Problem{
+		{N: 3, Perf: netmodel.NewPerf(2)},
+		{N: 3, Perf: triangle(), Items: []Item{{Name: "", Size: 1, Sources: []int{0}}}},
+		{N: 3, Perf: triangle(), Items: []Item{{Name: "a", Size: 1, Sources: []int{0}}, {Name: "a", Size: 1, Sources: []int{1}}}},
+		{N: 3, Perf: triangle(), Items: []Item{{Name: "a", Size: -1, Sources: []int{0}}}},
+		{N: 3, Perf: triangle(), Items: []Item{{Name: "a", Size: 1, Sources: nil}}},
+		{N: 3, Perf: triangle(), Items: []Item{{Name: "a", Size: 1, Sources: []int{9}}}},
+		{N: 3, Perf: triangle(), Items: []Item{{Name: "a", Size: 1, Sources: []int{0}}}, Requests: []Request{{Item: "b", Dst: 1}}},
+		{N: 3, Perf: triangle(), Items: []Item{{Name: "a", Size: 1, Sources: []int{0}}}, Requests: []Request{{Item: "a", Dst: 7}}},
+		{N: 3, Perf: triangle(), Items: []Item{{Name: "a", Size: 1, Sources: []int{0}}}, Requests: []Request{{Item: "a", Dst: 1, Deadline: math.NaN()}}},
+	}
+	for k, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", k)
+		}
+	}
+}
+
+func TestStagingBeatsDirectOnTriangle(t *testing.T) {
+	prob := &Problem{
+		N: 3, Perf: triangle(),
+		Items:    []Item{{Name: "map", Size: 1 << 20, Sources: []int{0}}},
+		Requests: []Request{{Item: "map", Dst: 2, Deadline: math.Inf(1)}},
+	}
+	staged, err := Schedule(prob, Staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Schedule(prob, DirectOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staged.Deliveries[0].ArrivedAt >= direct.Deliveries[0].ArrivedAt {
+		t.Errorf("staging (%g) should beat direct (%g) on the triangle",
+			staged.Deliveries[0].ArrivedAt, direct.Deliveries[0].ArrivedAt)
+	}
+	if len(staged.Deliveries[0].Path) != 3 {
+		t.Errorf("staged path = %v, want relay via 1", staged.Deliveries[0].Path)
+	}
+	if len(direct.Deliveries[0].Path) != 2 {
+		t.Errorf("direct path = %v, want one hop", direct.Deliveries[0].Path)
+	}
+}
+
+func TestResidentCopyServesLaterRequests(t *testing.T) {
+	// First request stages the item to machine 2; a second request at 2
+	// is then free, and a request at 1 can source from the relay copy.
+	prob := &Problem{
+		N: 3, Perf: triangle(),
+		Items: []Item{{Name: "map", Size: 1 << 20, Sources: []int{0}}},
+		Requests: []Request{
+			{Item: "map", Dst: 2, Deadline: math.Inf(1), Priority: 1},
+			{Item: "map", Dst: 2, Deadline: math.Inf(1)},
+		},
+	}
+	res, err := Schedule(prob, Staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Deliveries) != 2 {
+		t.Fatal("missing delivery")
+	}
+	second := res.Deliveries[1]
+	if len(second.Hops) != 0 {
+		t.Errorf("second request should be served from the resident copy, hops=%v", second.Hops)
+	}
+	if second.ArrivedAt != res.Deliveries[0].ArrivedAt {
+		t.Errorf("resident copy available at %g, want %g", second.ArrivedAt, res.Deliveries[0].ArrivedAt)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	// Two requests contend for source 0's send port; the
+	// higher-priority one must be scheduled first and arrive earlier.
+	perf := triangle()
+	prob := &Problem{
+		N: 3, Perf: perf,
+		Items: []Item{
+			{Name: "a", Size: 1 << 20, Sources: []int{0}},
+			{Name: "b", Size: 1 << 20, Sources: []int{0}},
+		},
+		Requests: []Request{
+			{Item: "a", Dst: 1, Deadline: 100, Priority: 0},
+			{Item: "b", Dst: 1, Deadline: 100, Priority: 5},
+		},
+	}
+	res, err := Schedule(prob, Staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deliveries[0].Item != "b" {
+		t.Errorf("high priority item should be delivered first: %+v", res.Deliveries)
+	}
+	if res.Deliveries[0].ArrivedAt >= res.Deliveries[1].ArrivedAt {
+		t.Error("priority item should arrive earlier")
+	}
+}
+
+func TestDeadlineOrderingWithinPriority(t *testing.T) {
+	prob := &Problem{
+		N: 3, Perf: triangle(),
+		Items: []Item{
+			{Name: "a", Size: 1 << 20, Sources: []int{0}},
+			{Name: "b", Size: 1 << 20, Sources: []int{0}},
+		},
+		Requests: []Request{
+			{Item: "a", Dst: 1, Deadline: 50},
+			{Item: "b", Dst: 1, Deadline: 5},
+		},
+	}
+	res, err := Schedule(prob, Staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deliveries[0].Item != "b" {
+		t.Error("tighter deadline should be served first")
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	prob := &Problem{
+		N: 3, Perf: triangle(),
+		Items: []Item{{Name: "a", Size: 1 << 22, Sources: []int{0}}},
+		Requests: []Request{
+			{Item: "a", Dst: 1, Deadline: 0.001}, // unmeetable
+			{Item: "a", Dst: 2, Deadline: math.Inf(1)},
+		},
+	}
+	res, err := Schedule(prob, Staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics()
+	if m.Requests != 2 || m.Missed != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.MaxLateness <= 0 || m.MeanResponse <= 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.Transfers < 2 {
+		t.Errorf("expected committed transfers, got %d", m.Transfers)
+	}
+}
+
+func TestPortSerialization(t *testing.T) {
+	// All transfers out of one source serialize on its send port: the
+	// committed schedule must have no sender overlap.
+	rng := rand.New(rand.NewSource(1))
+	perf := netmodel.RandomPerf(rng, 8, netmodel.GustoGuided())
+	prob := &Problem{N: 8, Perf: perf}
+	prob.Items = append(prob.Items, Item{Name: "x", Size: 1 << 20, Sources: []int{0}})
+	for d := 1; d < 8; d++ {
+		prob.Requests = append(prob.Requests, Request{Item: "x", Dst: d, Deadline: math.Inf(1)})
+	}
+	res, err := Schedule(prob, Staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Schedule.Validate(nil); err != nil {
+		t.Fatalf("committed transfers violate port constraints: %v", err)
+	}
+	if len(res.Deliveries) != 7 {
+		t.Fatal("missing deliveries")
+	}
+	// Staging lets early copies fan the item out: the last arrival
+	// should beat a pure serial chain from machine 0 alone.
+	serial := 0.0
+	for d := 1; d < 8; d++ {
+		serial += perf.TransferTime(0, d, 1<<20)
+	}
+	last := 0.0
+	for _, d := range res.Deliveries {
+		if d.ArrivedAt > last {
+			last = d.ArrivedAt
+		}
+	}
+	if last >= serial {
+		t.Errorf("staged fan-out (%g) no better than serial source (%g)", last, serial)
+	}
+}
+
+func TestStagedNeverWorseThanDirect(t *testing.T) {
+	// Property over random instances: the staged policy's mean response
+	// is never worse than direct-only (it strictly generalizes it).
+	for seed := int64(10); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6
+		perf := netmodel.RandomPerf(rng, n, netmodel.GustoGuided())
+		prob := &Problem{N: n, Perf: perf}
+		prob.Items = append(prob.Items,
+			Item{Name: "a", Size: 1 << 20, Sources: []int{0}},
+			Item{Name: "b", Size: 1 << 19, Sources: []int{1, 2}},
+		)
+		for k := 0; k < 6; k++ {
+			item := "a"
+			if k%2 == 0 {
+				item = "b"
+			}
+			prob.Requests = append(prob.Requests, Request{
+				Item: item, Dst: rng.Intn(n), Deadline: math.Inf(1),
+			})
+		}
+		staged, err := Schedule(prob, Staged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := Schedule(prob, DirectOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sm, dm := staged.Metrics(), direct.Metrics()
+		if sm.MeanResponse > dm.MeanResponse*1.0001 {
+			t.Errorf("seed %d: staged mean %g worse than direct %g", seed, sm.MeanResponse, dm.MeanResponse)
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Staged.String() != "staged" || DirectOnly.String() != "direct-only" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestRequestAtSource(t *testing.T) {
+	prob := &Problem{
+		N: 3, Perf: triangle(),
+		Items:    []Item{{Name: "a", Size: 1 << 20, Sources: []int{1}}},
+		Requests: []Request{{Item: "a", Dst: 1, Deadline: math.Inf(1)}},
+	}
+	res, err := Schedule(prob, Staged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Deliveries[0]
+	if d.ArrivedAt != 0 || len(d.Hops) != 0 {
+		t.Errorf("request at source should be instant: %+v", d)
+	}
+}

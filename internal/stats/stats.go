@@ -1,0 +1,111 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses to aggregate repeated simulation trials: means, standard
+// deviations, extrema, and percentiles over float64 samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary aggregates a sample set.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero
+// Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.3g min=%.4g max=%.4g", s.Count, s.Mean, s.StdDev, s.Min, s.Max)
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty sample.
+func Mean(xs []float64) float64 { return Summarize(xs).Mean }
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of xs using linear
+// interpolation between order statistics. It panics on an empty sample
+// or p outside [0, 1].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,1]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Ratio divides a by b, returning 1 when both are zero so that
+// degenerate "empty problem" ratios read as neutral rather than NaN.
+// A zero b with nonzero a returns +Inf with the sign of a.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return math.Inf(int(math.Copysign(1, a)))
+	}
+	return a / b
+}
+
+// GeoMean returns the geometric mean of positive samples. Zero or
+// negative samples cause a panic, since speedup ratios must be
+// positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geomean of non-positive sample %v", x))
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.Count != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summary = %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("StdDev = %g, want %g", s.StdDev, want)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	s := Summarize([]float64{7})
+	if s.Count != 1 || s.Mean != 7 || s.StdDev != 0 || s.Min != 7 || s.Max != 7 {
+		t.Errorf("single summary = %+v", s)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if Summarize([]float64{1, 2}).String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{2, 4, 6}) != 4 {
+		t.Error("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean of empty should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0 = %g", got)
+	}
+	if got := Percentile(xs, 1); got != 4 {
+		t.Errorf("p100 = %g", got)
+	}
+	if got := Percentile(xs, 0.5); got != 2.5 {
+		t.Errorf("median = %g, want 2.5", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 4 {
+		t.Error("Percentile mutated input")
+	}
+	if got := Percentile([]float64{5}, 0.3); got != 5 {
+		t.Errorf("single-sample percentile = %g", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { Percentile(nil, 0.5) },
+		func() { Percentile([]float64{1}, -0.1) },
+		func() { Percentile([]float64{1}, 1.1) },
+		func() { Percentile([]float64{1}, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	f := func(xs []float64, p float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		p = math.Abs(math.Mod(p, 1))
+		got := Percentile(xs, p)
+		s := Summarize(xs)
+		return got >= s.Min-1e-9 && got <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("Ratio(6,3) != 2")
+	}
+	if Ratio(0, 0) != 1 {
+		t.Error("Ratio(0,0) should be neutral 1")
+	}
+	if !math.IsInf(Ratio(5, 0), 1) {
+		t.Error("Ratio(5,0) should be +Inf")
+	}
+	if !math.IsInf(Ratio(-5, 0), -1) {
+		t.Error("Ratio(-5,0) should be -Inf")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %g, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean of empty should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean of non-positive should panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}

@@ -1,0 +1,85 @@
+package timing
+
+import (
+	"strings"
+	"testing"
+
+	"hetsched/internal/model"
+)
+
+func exampleSchedule(t *testing.T) *Schedule {
+	t.Helper()
+	m := model.ExampleMatrix()
+	ss := &StepSchedule{N: 5}
+	for j := 1; j < 5; j++ {
+		var step Step
+		for i := 0; i < 5; i++ {
+			step = append(step, Pair{Src: i, Dst: (i + j) % 5})
+		}
+		ss.Steps = append(ss.Steps, step)
+	}
+	s, err := ss.Evaluate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRenderSVG(t *testing.T) {
+	s := exampleSchedule(t)
+	var sb strings.Builder
+	if err := RenderSVG(&sb, s, SVGOptions{Title: "baseline schedule"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a well-formed SVG document")
+	}
+	if strings.Count(out, "<rect") < len(s.Events) {
+		t.Errorf("expected at least %d rects", len(s.Events))
+	}
+	for _, want := range []string{"P0", "P4", "t_max", "baseline schedule"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestRenderSVGEmptySchedule(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderSVG(&sb, &Schedule{N: 3}, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "t_max = 0") {
+		t.Error("empty schedule should still produce a document")
+	}
+}
+
+func TestRenderSVGEscapesTitle(t *testing.T) {
+	var sb strings.Builder
+	if err := RenderSVG(&sb, &Schedule{N: 1}, SVGOptions{Title: `<a & "b">`}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), `<a &`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(sb.String(), "&lt;a &amp;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestRenderSVGWriterError(t *testing.T) {
+	if err := RenderSVG(failWriter{}, &Schedule{N: 1}, SVGOptions{}); err == nil {
+		t.Error("writer error ignored")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errWrite }
+
+var errWrite = &svgErr{}
+
+type svgErr struct{}
+
+func (*svgErr) Error() string { return "write failed" }

@@ -1,0 +1,159 @@
+// Package trace records and replays network-condition series. A
+// recording captures timestamped snapshots of pairwise performance —
+// from a live directory, a synthetic walker, or a load profile — into
+// a JSON artifact; replaying one reconstructs the exact piecewise
+// network the simulator consumes. Recordings make adaptivity
+// experiments reproducible across runs and shareable between machines,
+// the role measurement archives play for real testbeds like GUSTO.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hetsched/internal/netmodel"
+	"hetsched/internal/sim"
+)
+
+// Recording is a time series of performance tables. Times are strictly
+// increasing; the first sample's conditions hold from its time onward
+// (and before it, when replayed as a network).
+type Recording struct {
+	Names  []string
+	times  []float64
+	tables []*netmodel.Perf
+}
+
+// New creates an empty recording with optional processor names.
+func New(names []string) *Recording {
+	return &Recording{Names: append([]string(nil), names...)}
+}
+
+// Len returns the number of samples.
+func (r *Recording) Len() int { return len(r.times) }
+
+// Add appends a sample. Times must be strictly increasing and tables
+// must share one size and be valid.
+func (r *Recording) Add(t float64, perf *netmodel.Perf) error {
+	if perf == nil {
+		return fmt.Errorf("trace: nil table")
+	}
+	if err := perf.Validate(); err != nil {
+		return err
+	}
+	if len(r.times) > 0 {
+		if t <= r.times[len(r.times)-1] {
+			return fmt.Errorf("trace: sample time %g not after %g", t, r.times[len(r.times)-1])
+		}
+		if perf.N() != r.tables[0].N() {
+			return fmt.Errorf("trace: sample has %d processors, recording has %d", perf.N(), r.tables[0].N())
+		}
+	}
+	if r.Names != nil && len(r.Names) != perf.N() {
+		return fmt.Errorf("trace: %d names for %d processors", len(r.Names), perf.N())
+	}
+	r.times = append(r.times, t)
+	r.tables = append(r.tables, perf.Clone())
+	return nil
+}
+
+// Sample returns the k-th sample.
+func (r *Recording) Sample(k int) (float64, *netmodel.Perf) {
+	return r.times[k], r.tables[k].Clone()
+}
+
+// Network replays the recording as a piecewise-constant simulator
+// network.
+func (r *Recording) Network() (*sim.Piecewise, error) {
+	if len(r.times) == 0 {
+		return nil, fmt.Errorf("trace: empty recording")
+	}
+	epochs := make([]sim.Epoch, 0, len(r.times))
+	for k := range r.times {
+		start := r.times[k]
+		if k == 0 && start > 0 {
+			start = 0 // the first sample's conditions extend backwards
+		}
+		epochs = append(epochs, sim.Epoch{Start: start, Perf: r.tables[k]})
+	}
+	return sim.NewPiecewise(epochs)
+}
+
+// recordingJSON is the stable on-disk shape; each sample reuses the
+// netmodel JSON table layout.
+type recordingJSON struct {
+	Names   []string          `json:"names,omitempty"`
+	Times   []float64         `json:"times"`
+	Samples []json.RawMessage `json:"samples"`
+}
+
+// MarshalJSON encodes the recording.
+func (r *Recording) MarshalJSON() ([]byte, error) {
+	out := recordingJSON{Names: r.Names, Times: r.times}
+	for _, tab := range r.tables {
+		data, err := netmodel.MarshalPerf(tab, nil)
+		if err != nil {
+			return nil, err
+		}
+		out.Samples = append(out.Samples, data)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes and validates a recording.
+func (r *Recording) UnmarshalJSON(data []byte) error {
+	var in recordingJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("trace: decode: %w", err)
+	}
+	if len(in.Times) != len(in.Samples) {
+		return fmt.Errorf("trace: %d times for %d samples", len(in.Times), len(in.Samples))
+	}
+	fresh := New(in.Names)
+	for k := range in.Times {
+		perf, _, err := netmodel.UnmarshalPerf(in.Samples[k])
+		if err != nil {
+			return fmt.Errorf("trace: sample %d: %w", k, err)
+		}
+		if err := fresh.Add(in.Times[k], perf); err != nil {
+			return fmt.Errorf("trace: sample %d: %w", k, err)
+		}
+	}
+	*r = *fresh
+	return nil
+}
+
+// RecordWalker samples a bandwidth random walk at the given interval
+// for the given number of steps, starting at time 0 with the walker's
+// current table.
+func RecordWalker(w *netmodel.Walker, interval float64, steps int, names []string) (*Recording, error) {
+	if interval <= 0 || steps < 1 {
+		return nil, fmt.Errorf("trace: invalid interval %g or steps %d", interval, steps)
+	}
+	rec := New(names)
+	if err := rec.Add(0, w.Current()); err != nil {
+		return nil, err
+	}
+	for k := 1; k <= steps; k++ {
+		if err := rec.Add(float64(k)*interval, w.Step()); err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}
+
+// RecordProfile samples a load profile over a base table at the given
+// times.
+func RecordProfile(base *netmodel.Perf, p netmodel.Profile, times []float64, names []string) (*Recording, error) {
+	tables, err := netmodel.ProfileSeries(base, p, times)
+	if err != nil {
+		return nil, err
+	}
+	rec := New(names)
+	for k := range times {
+		if err := rec.Add(times[k], tables[k]); err != nil {
+			return nil, err
+		}
+	}
+	return rec, nil
+}

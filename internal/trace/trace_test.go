@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/sched"
+	"hetsched/internal/sim"
+)
+
+func TestAddValidation(t *testing.T) {
+	r := New(netmodel.GustoSites)
+	if err := r.Add(0, netmodel.Gusto()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(0, netmodel.Gusto()); err == nil {
+		t.Error("non-increasing time accepted")
+	}
+	if err := r.Add(1, netmodel.NewPerf(3)); err == nil {
+		t.Error("invalid/mismatched table accepted")
+	}
+	if err := r.Add(1, nil); err == nil {
+		t.Error("nil table accepted")
+	}
+	bad := New([]string{"one"})
+	if err := bad.Add(0, netmodel.Gusto()); err == nil {
+		t.Error("name count mismatch accepted")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestSampleIsolation(t *testing.T) {
+	r := New(nil)
+	if err := r.Add(0, netmodel.Gusto()); err != nil {
+		t.Fatal(err)
+	}
+	_, tab := r.Sample(0)
+	tab.Set(0, 1, netmodel.PairPerf{Latency: 99, Bandwidth: 1})
+	_, again := r.Sample(0)
+	if again.At(0, 1).Latency == 99 {
+		t.Error("Sample leaked internal state")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	w := netmodel.NewWalker(rng, netmodel.Gusto(), netmodel.DefaultDrift())
+	rec, err := RecordWalker(w, 5, 4, netmodel.GustoSites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Recording
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != rec.Len() || back.Names[0] != "AMES" {
+		t.Fatalf("round trip lost data: %d samples", back.Len())
+	}
+	for k := 0; k < rec.Len(); k++ {
+		t0, a := rec.Sample(k)
+		t1, b := back.Sample(k)
+		if t0 != t1 {
+			t.Fatalf("sample %d time changed", k)
+		}
+		if a.At(1, 2) != b.At(1, 2) {
+			t.Fatalf("sample %d table changed", k)
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadInput(t *testing.T) {
+	var r Recording
+	cases := []string{
+		`{`,
+		`{"times":[0,1],"samples":[]}`,
+		`{"times":[0],"samples":["bogus"]}`,
+	}
+	for k, src := range cases {
+		if err := json.Unmarshal([]byte(src), &r); err == nil {
+			t.Errorf("case %d accepted", k)
+		}
+	}
+}
+
+func TestNetworkReplay(t *testing.T) {
+	rec := New(nil)
+	fast := netmodel.Gusto()
+	slow := fast.Scale(0.5)
+	if err := rec.Add(10, fast); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Add(20, slow); err != nil {
+		t.Fatal(err)
+	}
+	net, err := rec.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first sample extends backwards to time 0.
+	if net.TransferTime(0, 1, 1<<20, 0) != fast.TransferTime(0, 1, 1<<20) {
+		t.Error("pre-recording time should use the first sample")
+	}
+	if net.TransferTime(0, 1, 1<<20, 25) != slow.TransferTime(0, 1, 1<<20) {
+		t.Error("post-shift time should use the second sample")
+	}
+	if _, err := New(nil).Network(); err == nil {
+		t.Error("empty recording replayed")
+	}
+}
+
+func TestRecordWalkerAndSimulate(t *testing.T) {
+	// End to end: record a drift series, replay it, execute a plan.
+	rng := rand.New(rand.NewSource(2))
+	base := netmodel.RandomPerf(rng, 6, netmodel.GustoGuided())
+	w := netmodel.NewWalker(rng, base, netmodel.DefaultDrift())
+	rec, err := RecordWalker(w, 30, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 6 {
+		t.Fatalf("samples = %d, want 6", rec.Len())
+	}
+	net, err := rec.Network()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := model.UniformSizes(6, 1<<19)
+	m, err := model.Build(base, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sched.NewOpenShop().Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := sim.PlanFromSchedule(r.Schedule, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(net, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finish <= 0 || res.Remaining != nil {
+		t.Errorf("replayed execution incomplete: %+v", res)
+	}
+	// Replaying twice is identical (determinism of recordings).
+	res2, err := sim.Run(net, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Finish != res2.Finish {
+		t.Error("replay nondeterministic")
+	}
+}
+
+func TestRecordWalkerValidation(t *testing.T) {
+	w := netmodel.NewWalker(rand.New(rand.NewSource(3)), netmodel.Gusto(), netmodel.DefaultDrift())
+	if _, err := RecordWalker(w, 0, 3, nil); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := RecordWalker(w, 1, 0, nil); err == nil {
+		t.Error("zero steps accepted")
+	}
+}
+
+func TestRecordProfile(t *testing.T) {
+	p, err := netmodel.DiurnalProfile(5, 100, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := RecordProfile(netmodel.Gusto(), p, []float64{0, 25, 50}, netmodel.GustoSites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 3 {
+		t.Fatalf("samples = %d", rec.Len())
+	}
+	if _, err := RecordProfile(netmodel.Gusto(), p, nil, nil); err == nil {
+		t.Error("empty times accepted")
+	}
+}

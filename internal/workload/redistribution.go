@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"fmt"
+
+	"hetsched/internal/model"
+)
+
+// Block-cyclic array redistribution, the paper's reference [19] (Lim,
+// Bhat & Prasanna, "Efficient algorithms for block-cyclic
+// redistribution of arrays") and a canonical source of total-exchange
+// traffic in HPC codes: a one-dimensional array distributed cyclic(r)
+// over P processors must be redistributed to cyclic(s). Element k
+// lives on processor (k div r) mod P before and (k div s) mod P after;
+// the message i→j carries every element owned by i that j will own.
+// Unless r and s divide each other evenly, the message sizes are
+// non-uniform — exactly the heterogeneous-length events the adaptive
+// schedulers exploit.
+
+// Redistribution returns the P×P message-size matrix of a cyclic(r) →
+// cyclic(s) redistribution of n elements of elemSize bytes over p
+// processors. Elements that stay on their processor contribute
+// nothing (the diagonal is zero).
+//
+// The count runs in O(n/min(r,s) + p²) time by walking source blocks
+// and intersecting them with destination blocks, so arrays of hundreds
+// of millions of elements with reasonable block sizes are fine.
+func Redistribution(p, n, r, s int, elemSize int64) (*model.Sizes, error) {
+	if p <= 0 || n < 0 || r <= 0 || s <= 0 || elemSize < 0 {
+		return nil, fmt.Errorf("workload: invalid redistribution parameters p=%d n=%d r=%d s=%d elem=%d", p, n, r, s, elemSize)
+	}
+	counts := make([]int64, p*p)
+	// Walk source blocks. Source block b covers [b*r, min((b+1)*r, n))
+	// and lives on processor b mod p. Intersect it with destination
+	// blocks of size s.
+	for b := 0; b*r < n; b++ {
+		lo := b * r
+		hi := lo + r
+		if hi > n {
+			hi = n
+		}
+		src := b % p
+		// First destination block index covering lo.
+		for db := lo / s; db*s < hi; db++ {
+			dlo := db * s
+			dhi := dlo + s
+			if dlo < lo {
+				dlo = lo
+			}
+			if dhi > hi {
+				dhi = hi
+			}
+			dst := db % p
+			if src != dst && dhi > dlo {
+				counts[src*p+dst] += int64(dhi - dlo)
+			}
+		}
+	}
+	sizes := model.NewSizes(p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j {
+				sizes.Set(i, j, counts[i*p+j]*elemSize)
+			}
+		}
+	}
+	return sizes, nil
+}
+
+// RedistributionMoved returns how many of the n elements change
+// processors under a cyclic(r) → cyclic(s) remap over p processors —
+// the traffic volume in elements.
+func RedistributionMoved(p, n, r, s int) (int64, error) {
+	sizes, err := Redistribution(p, n, r, s, 1)
+	if err != nil {
+		return 0, err
+	}
+	return sizes.TotalBytes(), nil
+}

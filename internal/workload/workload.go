@@ -1,0 +1,179 @@
+// Package workload generates the message-size patterns of the paper's
+// evaluation (Section 5) and of its motivating applications: uniform
+// small (1 kB) and large (1 MB) messages, a random mix of the two, the
+// multimedia server scenario of Figure 12, and the matrix-transpose
+// redistribution that Section 4.1 uses to motivate total exchange. All
+// generators are deterministic given a *rand.Rand.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+)
+
+// Paper message sizes: "We have selected message sizes of 1kB, 1MB,
+// and a random mix of these two sizes."
+const (
+	SmallMessage = 1 << 10 // 1 kB
+	LargeMessage = 1 << 20 // 1 MB
+)
+
+// Kind selects one of the evaluation workloads.
+type Kind int
+
+const (
+	// Small is Figure 9: every message 1 kB.
+	Small Kind = iota
+	// Large is Figure 10: every message 1 MB.
+	Large
+	// Mixed is Figure 11: each message independently 1 kB or 1 MB with
+	// equal probability.
+	Mixed
+	// Servers is Figure 12: 20% of the processors are servers that
+	// send large messages to every client; server-server and
+	// client-client messages are small.
+	Servers
+)
+
+// String names the workload kind.
+func (k Kind) String() string {
+	switch k {
+	case Small:
+		return "small"
+	case Large:
+		return "large"
+	case Mixed:
+		return "mixed"
+	case Servers:
+		return "servers"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists the four evaluation workloads in figure order.
+func Kinds() []Kind { return []Kind{Small, Large, Mixed, Servers} }
+
+// Spec parameterizes workload generation. The zero value is not
+// useful; use DefaultSpec.
+type Spec struct {
+	N              int     // number of processors
+	Kind           Kind    // which pattern
+	SmallSize      int64   // size of small messages in bytes
+	LargeSize      int64   // size of large messages in bytes
+	MixLargeProb   float64 // probability a Mixed message is large
+	ServerFraction float64 // fraction of processors that are servers
+}
+
+// DefaultSpec returns the paper's parameters for the given kind and
+// processor count: 1 kB / 1 MB messages, a 50/50 mix, 20% servers.
+func DefaultSpec(kind Kind, n int) Spec {
+	return Spec{
+		N:              n,
+		Kind:           kind,
+		SmallSize:      SmallMessage,
+		LargeSize:      LargeMessage,
+		MixLargeProb:   0.5,
+		ServerFraction: 0.2,
+	}
+}
+
+// NumServers returns how many processors act as servers under the
+// spec (at least one when the fraction is positive and N > 0).
+func (sp Spec) NumServers() int {
+	if sp.ServerFraction <= 0 || sp.N == 0 {
+		return 0
+	}
+	ns := int(sp.ServerFraction * float64(sp.N))
+	if ns < 1 {
+		ns = 1
+	}
+	if ns > sp.N {
+		ns = sp.N
+	}
+	return ns
+}
+
+// Sizes generates the message-size matrix for the spec. Only the Mixed
+// kind consumes randomness.
+func Sizes(rng *rand.Rand, sp Spec) *model.Sizes {
+	s := model.NewSizes(sp.N)
+	ns := sp.NumServers()
+	for i := 0; i < sp.N; i++ {
+		for j := 0; j < sp.N; j++ {
+			if i == j {
+				continue
+			}
+			switch sp.Kind {
+			case Small:
+				s.Set(i, j, sp.SmallSize)
+			case Large:
+				s.Set(i, j, sp.LargeSize)
+			case Mixed:
+				if rng.Float64() < sp.MixLargeProb {
+					s.Set(i, j, sp.LargeSize)
+				} else {
+					s.Set(i, j, sp.SmallSize)
+				}
+			case Servers:
+				if i < ns && j >= ns {
+					s.Set(i, j, sp.LargeSize)
+				} else {
+					s.Set(i, j, sp.SmallSize)
+				}
+			default:
+				panic(fmt.Sprintf("workload: unknown kind %v", sp.Kind))
+			}
+		}
+	}
+	return s
+}
+
+// Problem draws one full problem instance the way the paper's
+// simulator does: GUSTO-guided random pairwise network performance
+// plus the spec's message sizes, combined into a communication matrix.
+func Problem(rng *rand.Rand, sp Spec) (*model.Matrix, *netmodel.Perf, *model.Sizes, error) {
+	perf := netmodel.RandomPerf(rng, sp.N, netmodel.GustoGuided())
+	sizes := Sizes(rng, sp)
+	m, err := model.Build(perf, sizes)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return m, perf, sizes, nil
+}
+
+// Transpose returns the message sizes of a two-dimensional matrix
+// transpose, the motivating application of Section 4.1: an R×C matrix
+// of elemSize-byte elements distributed by rows over P processors must
+// be redistributed by columns. Processor i initially owns a contiguous
+// band of rows, processor j finally owns a band of columns, and the
+// message i→j carries the intersection: rows(i) × cols(j) elements.
+// Row and column bands differ in size when P does not divide R or C,
+// making the exchange naturally non-uniform.
+func Transpose(p int, rows, cols int, elemSize int64) (*model.Sizes, error) {
+	if p <= 0 || rows < 0 || cols < 0 || elemSize < 0 {
+		return nil, fmt.Errorf("workload: invalid transpose parameters p=%d rows=%d cols=%d elem=%d", p, rows, cols, elemSize)
+	}
+	s := model.NewSizes(p)
+	band := func(total, who int) int {
+		// Block distribution: the first (total mod p) bands get one
+		// extra element.
+		base := total / p
+		if who < total%p {
+			return base + 1
+		}
+		return base
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i == j {
+				continue
+			}
+			s.Set(i, j, int64(band(rows, i))*int64(band(cols, j))*elemSize)
+		}
+	}
+	return s, nil
+}

@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover figures examples clean
+.PHONY: all build test vet race race-short ci bench cover figures examples clean
 
 all: build vet test
+
+# What CI runs (.github/workflows/ci.yml): build, vet, the full test
+# suite, and the race detector in short mode.
+ci: build vet test race-short
 
 build:
 	$(GO) build ./...
@@ -17,6 +21,9 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+race-short:
+	$(GO) test -race -short ./...
 
 bench:
 	$(GO) test -bench . -benchmem ./...

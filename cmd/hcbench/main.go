@@ -27,13 +27,15 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "which figure/experiment to run (see -help)")
-		trials = flag.Int("trials", 5, "random instances per data point")
-		seed   = flag.Int64("seed", 1998, "base random seed")
-		pmax   = flag.Int("pmax", 50, "largest processor count for the figure sweeps")
-		csv    = flag.Bool("csv", false, "emit CSV instead of tables (figure sweeps only)")
+		fig     = flag.String("fig", "all", "which figure/experiment to run (see -help)")
+		trials  = flag.Int("trials", 5, "random instances per data point")
+		seed    = flag.Int64("seed", 1998, "base random seed")
+		pmax    = flag.Int("pmax", 50, "largest processor count for the figure sweeps")
+		csv     = flag.Bool("csv", false, "emit CSV instead of tables (figure sweeps only)")
+		workers = flag.Int("workers", 0, "worker goroutines per experiment (0 = GOMAXPROCS, 1 = sequential); output is identical for any value")
 	)
 	flag.Parse()
+	experiments.SetDefaultWorkers(*workers)
 
 	run := func(name string) error {
 		switch name {
@@ -45,6 +47,7 @@ func main() {
 			cfg := experiments.DefaultConfig(kinds[name])
 			cfg.Trials = *trials
 			cfg.Seed = *seed
+			cfg.Workers = *workers
 			var ps []int
 			for p := 5; p <= *pmax; p += 5 {
 				ps = append(ps, p)

@@ -12,6 +12,9 @@ package comm
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"hetsched/internal/incremental"
 	"hetsched/internal/model"
@@ -53,12 +56,16 @@ type Stats struct {
 	Recomputes int // repairs abandoned for a full recompute
 }
 
-// Communicator plans network-aware collective communication.
+// Communicator plans network-aware collective communication. It is
+// safe for concurrent use: the mutex guards the repeated-exchange
+// cache and the counters, while planning itself runs outside the lock
+// (schedulers are concurrent-safe by the sched.Scheduler contract).
 type Communicator struct {
 	n      int
 	source Source
 	cfg    Config
 
+	mu sync.Mutex // guards the fields below
 	// cached state for AllToAllRepeated
 	lastMatrix *model.Matrix
 	lastSteps  *timing.StepSchedule
@@ -95,7 +102,11 @@ func New(n int, source Source, cfg Config) (*Communicator, error) {
 }
 
 // Stats returns the planning counters.
-func (c *Communicator) Stats() Stats { return c.stats }
+func (c *Communicator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
 
 // snapshotMatrix queries the source and builds the cost matrix.
 func (c *Communicator) snapshotMatrix(sizes *model.Sizes) (*model.Matrix, error) {
@@ -119,8 +130,65 @@ func (c *Communicator) AllToAll(sizes *model.Sizes) (*sched.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
 	c.stats.Plans++
+	c.mu.Unlock()
 	return c.cfg.Scheduler.Schedule(m)
+}
+
+// AllToAllBatch plans one total exchange per size vector concurrently
+// on up to workers goroutines (0 = GOMAXPROCS, 1 = sequential). Each
+// exchange takes its own directory snapshot and is planned
+// independently with the configured scheduler — the batch analogue of
+// calling AllToAll once per entry, for servers that plan many
+// concurrent collectives per tick. Results are returned in input
+// order; on failure the lowest-index error is reported, matching the
+// sequential loop.
+func (c *Communicator) AllToAllBatch(sizes []*model.Sizes, workers int) ([]*sched.Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sizes) {
+		workers = len(sizes)
+	}
+	out := make([]*sched.Result, len(sizes))
+	if len(sizes) == 0 {
+		return out, nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		errIdx   = len(sizes)
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(sizes) {
+					return
+				}
+				r, err := c.AllToAll(sizes[i])
+				if err != nil {
+					errMu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					errMu.Unlock()
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
 
 // AllToAllRepeated plans a total exchange for a workload that repeats:
@@ -128,13 +196,17 @@ func (c *Communicator) AllToAll(sizes *model.Sizes) (*sched.Result, error) {
 // directory and repair only the steps whose event costs drifted past
 // the threshold, recomputing from scratch when most steps are dirty.
 // The returned result always reflects current network conditions.
+// Concurrent callers are serialized on the cache so each repair builds
+// on a consistent previous schedule.
 func (c *Communicator) AllToAllRepeated(sizes *model.Sizes) (*sched.Result, error) {
 	m, err := c.snapshotMatrix(sizes)
 	if err != nil {
 		return nil, err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.lastSteps == nil || c.lastMatrix == nil {
-		return c.planRepeated(m)
+		return c.planRepeatedLocked(m)
 	}
 	repaired, st, err := incremental.Refine(c.lastSteps, c.lastMatrix, m,
 		incremental.Options{Threshold: c.cfg.RepairThreshold, Max: true})
@@ -143,7 +215,7 @@ func (c *Communicator) AllToAllRepeated(sizes *model.Sizes) (*sched.Result, erro
 	}
 	if st.Steps > 0 && float64(st.DirtySteps) > c.cfg.RecomputeFraction*float64(st.Steps) {
 		c.stats.Recomputes++
-		return c.planRepeated(m)
+		return c.planRepeatedLocked(m)
 	}
 	c.stats.Repairs++
 	c.lastMatrix = m
@@ -160,8 +232,9 @@ func (c *Communicator) AllToAllRepeated(sizes *model.Sizes) (*sched.Result, erro
 	}, nil
 }
 
-// planRepeated computes a fresh step decomposition and caches it.
-func (c *Communicator) planRepeated(m *model.Matrix) (*sched.Result, error) {
+// planRepeatedLocked computes a fresh step decomposition and caches
+// it. The caller must hold c.mu.
+func (c *Communicator) planRepeatedLocked(m *model.Matrix) (*sched.Result, error) {
 	r, err := c.cfg.RepairScheduler.Schedule(m)
 	if err != nil {
 		return nil, err
@@ -178,6 +251,8 @@ func (c *Communicator) planRepeated(m *model.Matrix) (*sched.Result, error) {
 // Invalidate drops the cached schedule so the next repeated call
 // replans from scratch.
 func (c *Communicator) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.lastMatrix = nil
 	c.lastSteps = nil
 }
@@ -196,7 +271,10 @@ func (c *Communicator) Quality(r *sched.Result) float64 {
 // returns 0 when nothing is cached. Applications can use it to decide
 // when to Invalidate.
 func (c *Communicator) Drifted(sizes *model.Sizes) (float64, error) {
-	if c.lastMatrix == nil {
+	c.mu.Lock()
+	last := c.lastMatrix // matrices are never mutated once cached
+	c.mu.Unlock()
+	if last == nil {
 		return 0, nil
 	}
 	m, err := c.snapshotMatrix(sizes)
@@ -209,7 +287,7 @@ func (c *Communicator) Drifted(sizes *model.Sizes) (float64, error) {
 			if i == j {
 				continue
 			}
-			old := c.lastMatrix.At(i, j)
+			old := last.At(i, j)
 			if old == 0 {
 				continue
 			}

@@ -3,6 +3,8 @@ package comm
 import (
 	"errors"
 	"math/rand"
+	"strings"
+	"sync"
 	"testing"
 
 	"hetsched/internal/model"
@@ -202,6 +204,99 @@ func TestRepeatedRejectsStepLessRepairScheduler(t *testing.T) {
 	c := newComm(t, netmodel.Gusto(), Config{RepairScheduler: sched.NewOpenShop()})
 	if _, err := c.AllToAllRepeated(model.UniformSizes(5, 1<<20)); err == nil {
 		t.Error("openshop has no step structure; repair planning should fail loudly")
+	}
+}
+
+func TestAllToAllBatch(t *testing.T) {
+	c := newComm(t, netmodel.Gusto(), Config{})
+	var sizes []*model.Sizes
+	for k := 0; k < 9; k++ {
+		sizes = append(sizes, model.UniformSizes(5, int64(1)<<(10+k)))
+	}
+	rs, err := c.AllToAllBatch(sizes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(sizes) {
+		t.Fatalf("%d results for %d size vectors", len(rs), len(sizes))
+	}
+	// Batch planning must match one-at-a-time planning entry for entry.
+	ref := newComm(t, netmodel.Gusto(), Config{})
+	for k, s := range sizes {
+		want, err := ref.AllToAll(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rs[k] == nil {
+			t.Fatalf("entry %d missing", k)
+		}
+		if rs[k].CompletionTime() != want.CompletionTime() {
+			t.Errorf("entry %d: batch %g, sequential %g", k, rs[k].CompletionTime(), want.CompletionTime())
+		}
+		if err := rs[k].Schedule.ValidateTotalExchange(nil); err != nil {
+			t.Errorf("entry %d: %v", k, err)
+		}
+	}
+	if st := c.Stats(); st.Plans != len(sizes) {
+		t.Errorf("stats = %+v, want %d plans", st, len(sizes))
+	}
+}
+
+func TestAllToAllBatchEmptyAndErrors(t *testing.T) {
+	c := newComm(t, netmodel.Gusto(), Config{})
+	rs, err := c.AllToAllBatch(nil, 0)
+	if err != nil || len(rs) != 0 {
+		t.Errorf("empty batch: %v, %v", rs, err)
+	}
+	// The lowest-index failure is reported, like a sequential loop.
+	sizes := []*model.Sizes{
+		model.UniformSizes(5, 1),
+		model.UniformSizes(3, 1), // wrong N — fails
+		model.UniformSizes(5, 1),
+		model.UniformSizes(4, 1), // wrong N — fails later
+	}
+	if _, err := c.AllToAllBatch(sizes, 4); err == nil {
+		t.Error("mismatched batch entry accepted")
+	} else if !strings.Contains(err.Error(), "sizes are for 3 processors") {
+		t.Errorf("want the index-1 error first, got: %v", err)
+	}
+}
+
+func TestCommConcurrentUse(t *testing.T) {
+	// Race soak (run under -race): one-shot, batch, repeated, and
+	// stats calls from many goroutines against one communicator.
+	c := newComm(t, netmodel.Gusto(), Config{})
+	sizes := model.UniformSizes(5, 1<<20)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 5; k++ {
+				if _, err := c.AllToAll(sizes); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.AllToAllRepeated(sizes); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.AllToAllBatch([]*model.Sizes{sizes, sizes}, 2); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = c.Stats()
+				if _, err := c.Drifted(sizes); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := c.Stats()
+	if got := st.Plans + st.Repairs + st.Recomputes; got < 4*5 {
+		t.Errorf("implausible stats %+v", st)
 	}
 }
 

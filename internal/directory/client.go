@@ -2,7 +2,6 @@ package directory
 
 import (
 	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -19,7 +18,6 @@ type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 	rd   *bufio.Scanner
-	enc  *json.Encoder
 }
 
 // Dial connects to a directory server. timeout bounds the connection
@@ -31,7 +29,7 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	return &Client{conn: conn, rd: sc, enc: json.NewEncoder(conn)}, nil
+	return &Client{conn: conn, rd: sc}, nil
 }
 
 // Close shuts the connection.
@@ -44,7 +42,11 @@ func (c *Client) Close() error {
 func (c *Client) roundTrip(req request) (response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.enc.Encode(req); err != nil {
+	out, err := encodeRequest(req)
+	if err != nil {
+		return response{}, fmt.Errorf("directory: send: %w", err)
+	}
+	if _, err := c.conn.Write(out); err != nil {
 		return response{}, fmt.Errorf("directory: send: %w", err)
 	}
 	if !c.rd.Scan() {
@@ -53,9 +55,9 @@ func (c *Client) roundTrip(req request) (response, error) {
 		}
 		return response{}, errors.New("directory: connection closed by server")
 	}
-	var resp response
-	if err := json.Unmarshal(c.rd.Bytes(), &resp); err != nil {
-		return response{}, fmt.Errorf("directory: decode: %w", err)
+	resp, err := parseResponse(c.rd.Bytes())
+	if err != nil {
+		return response{}, fmt.Errorf("directory: %w", err)
 	}
 	if !resp.OK {
 		return response{}, fmt.Errorf("directory: server error: %s", resp.Error)

@@ -1,5 +1,10 @@
 package directory
 
+import (
+	"encoding/json"
+	"fmt"
+)
+
 // Wire protocol: newline-delimited JSON over TCP. Each request is one
 // JSON object on one line; the server answers with one JSON object on
 // one line. Units on the wire are SI (seconds, bytes/second), the same
@@ -46,3 +51,44 @@ const (
 	opUpdatePair = "update_pair"
 	opVersion    = "version"
 )
+
+// parseRequest decodes one request line. Unknown JSON fields are
+// ignored (forward compatibility); anything that is not a single JSON
+// object is rejected with the "malformed request" error the server
+// reports verbatim. Both the server's read path and the fuzz harness
+// go through this single entry point.
+func parseRequest(line []byte) (request, error) {
+	var req request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return request{}, fmt.Errorf("malformed request: %w", err)
+	}
+	return req, nil
+}
+
+// encodeRequest renders a request as one newline-terminated wire line.
+func encodeRequest(req request) ([]byte, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encode request: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// parseResponse decodes one response line.
+func parseResponse(line []byte) (response, error) {
+	var resp response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return response{}, fmt.Errorf("malformed response: %w", err)
+	}
+	return resp, nil
+}
+
+// encodeResponse renders a response as one newline-terminated wire
+// line.
+func encodeResponse(resp response) ([]byte, error) {
+	b, err := json.Marshal(resp)
+	if err != nil {
+		return nil, fmt.Errorf("encode response: %w", err)
+	}
+	return append(b, '\n'), nil
+}

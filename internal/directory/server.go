@@ -2,7 +2,6 @@ package directory
 
 import (
 	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -80,20 +79,22 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	enc := json.NewEncoder(conn)
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		var req request
 		var resp response
-		if err := json.Unmarshal(line, &req); err != nil {
-			resp = response{Error: "malformed request: " + err.Error()}
+		if req, err := parseRequest(line); err != nil {
+			resp = response{Error: err.Error()}
 		} else {
 			resp = s.handle(req)
 		}
-		if err := enc.Encode(resp); err != nil {
+		out, err := encodeResponse(resp)
+		if err != nil {
+			return
+		}
+		if _, err := conn.Write(out); err != nil {
 			return
 		}
 	}

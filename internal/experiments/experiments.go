@@ -23,6 +23,13 @@ type Config struct {
 	Ps     []int         // processor counts on the x axis
 	Trials int           // random instances averaged per point
 	Seed   int64         // base seed; trial t of size P uses a derived seed
+
+	// Workers bounds the goroutines that execute (P, trial) cells:
+	// 0 selects GOMAXPROCS, 1 the historical sequential engine. The
+	// result is byte-identical for every setting — each cell derives
+	// its own seed and writes its own slot, and aggregation always
+	// runs sequentially in cell order.
+	Workers int
 }
 
 // DefaultPs mirrors "systems with up to 50 processors were
@@ -56,9 +63,20 @@ type FigureResult struct {
 	Cells      []Cell // ordered by P, then algorithm registry order
 }
 
+// figureCell holds one (P, trial) cell's per-scheduler measurements,
+// in sched.All order.
+type figureCell struct {
+	times    []float64
+	ratios   []float64
+	speedups []float64
+}
+
 // RunFigure executes the sweep: for each processor count, Trials
 // random GUSTO-guided instances of the workload are drawn and every
-// scheduler in sched.All runs on each.
+// scheduler in sched.All runs on each. The (P, trial) cells are
+// independent — each derives its own seed — and are fanned across
+// cfg.Workers goroutines; the output is identical for every worker
+// count.
 func RunFigure(cfg Config) (*FigureResult, error) {
 	if cfg.Trials < 1 {
 		return nil, fmt.Errorf("experiments: trials = %d, want ≥ 1", cfg.Trials)
@@ -66,46 +84,69 @@ func RunFigure(cfg Config) (*FigureResult, error) {
 	if len(cfg.Ps) == 0 {
 		return nil, fmt.Errorf("experiments: no processor counts")
 	}
+	for _, p := range cfg.Ps {
+		if p < 2 {
+			return nil, fmt.Errorf("experiments: processor count %d too small", p)
+		}
+	}
 	schedulers := sched.All()
 	res := &FigureResult{Kind: cfg.Kind}
 	for _, s := range schedulers {
 		res.Algorithms = append(res.Algorithms, s.Name())
 	}
-	for _, p := range cfg.Ps {
-		if p < 2 {
-			return nil, fmt.Errorf("experiments: processor count %d too small", p)
+	cells := make([]figureCell, len(cfg.Ps)*cfg.Trials)
+	err := forEachCell(cfg.Workers, len(cells), func(idx int) error {
+		p := cfg.Ps[idx/cfg.Trials]
+		trial := idx % cfg.Trials
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*1_000_003 + int64(trial)))
+		m, _, _, err := workload.Problem(rng, workload.DefaultSpec(cfg.Kind, p))
+		if err != nil {
+			return err
 		}
-		times := make(map[string][]float64)
-		ratios := make(map[string][]float64)
-		speedups := make(map[string][]float64)
-		for trial := 0; trial < cfg.Trials; trial++ {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(p)*1_000_003 + int64(trial)))
-			m, _, _, err := workload.Problem(rng, workload.DefaultSpec(cfg.Kind, p))
+		cell := figureCell{
+			times:    make([]float64, len(schedulers)),
+			ratios:   make([]float64, len(schedulers)),
+			speedups: make([]float64, len(schedulers)),
+		}
+		var base float64
+		for k, s := range schedulers {
+			r, err := s.Schedule(m)
 			if err != nil {
-				return nil, err
+				return fmt.Errorf("experiments: %s on P=%d: %w", s.Name(), p, err)
 			}
-			var base float64
-			for k, s := range schedulers {
-				r, err := s.Schedule(m)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %s on P=%d: %w", s.Name(), p, err)
-				}
-				t := r.CompletionTime()
-				if k == 0 {
-					base = t
-				}
-				times[s.Name()] = append(times[s.Name()], t)
-				ratios[s.Name()] = append(ratios[s.Name()], r.Ratio())
-				speedups[s.Name()] = append(speedups[s.Name()], stats.Ratio(base, t))
+			t := r.CompletionTime()
+			if k == 0 {
+				base = t
 			}
+			cell.times[k] = t
+			cell.ratios[k] = r.Ratio()
+			cell.speedups[k] = stats.Ratio(base, t)
 		}
-		for _, s := range schedulers {
+		cells[idx] = cell
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Sequential reduction in (P, scheduler, trial) order keeps the
+	// floating-point accumulation identical to the sequential engine.
+	for pi, p := range cfg.Ps {
+		for k, s := range schedulers {
+			times := make([]float64, cfg.Trials)
+			ratios := make([]float64, cfg.Trials)
+			speedups := make([]float64, cfg.Trials)
+			for trial := 0; trial < cfg.Trials; trial++ {
+				cell := cells[pi*cfg.Trials+trial]
+				times[trial] = cell.times[k]
+				ratios[trial] = cell.ratios[k]
+				speedups[trial] = cell.speedups[k]
+			}
 			res.Cells = append(res.Cells, Cell{
 				P:           p,
 				Algorithm:   s.Name(),
-				MeanTime:    stats.Mean(times[s.Name()]),
-				MeanRatio:   stats.Mean(ratios[s.Name()]),
-				MeanSpeedup: stats.GeoMean(speedups[s.Name()]),
+				MeanTime:    stats.Mean(times),
+				MeanRatio:   stats.Mean(ratios),
+				MeanSpeedup: stats.GeoMean(speedups),
 			})
 		}
 	}

@@ -30,30 +30,36 @@ type TightnessResult struct {
 	MatchingRatio float64
 }
 
-// RunTightness evaluates the Theorem 2 family at the given sizes.
+// RunTightness evaluates the Theorem 2 family at the given sizes, one
+// worker-pool cell per size.
 func RunTightness(ps []int) ([]TightnessResult, error) {
-	var out []TightnessResult
-	for _, p := range ps {
+	out := make([]TightnessResult, len(ps))
+	err := forEachCell(DefaultWorkers(), len(ps), func(idx int) error {
+		p := ps[idx]
 		m := Theorem2Family(p, 1e-6)
 		lb := m.LowerBound()
 		br, err := sched.Baseline{}.Schedule(m)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		or, err := sched.NewOpenShop().Schedule(m)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		mr, err := sched.MaxMatching{}.Schedule(m)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, TightnessResult{
+		out[idx] = TightnessResult{
 			P:             p,
 			BaselineRatio: br.CompletionTime() / lb,
 			OpenShopRatio: or.CompletionTime() / lb,
 			MatchingRatio: mr.CompletionTime() / lb,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -102,31 +108,39 @@ type AlphaResult struct {
 }
 
 // RunAlphaSweep executes an openshop plan under the interleaved
-// receive model for each α, on mixed-size workloads.
+// receive model for each α, on mixed-size workloads. Trials run on the
+// worker pool; each writes its own (α, trial) slot.
 func RunAlphaSweep(p, trials int, seed int64, alphas []float64) ([]AlphaResult, error) {
 	finishes := make([][]float64, len(alphas))
-	for t := 0; t < trials; t++ {
+	for k := range finishes {
+		finishes[k] = make([]float64, trials)
+	}
+	err := forEachCell(DefaultWorkers(), trials, func(t int) error {
 		rng := rand.New(rand.NewSource(seed + int64(t)))
 		m, perf, sizes, err := workload.Problem(rng, workload.DefaultSpec(workload.Mixed, p))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, err := sched.NewOpenShop().Schedule(m)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		plan, err := sim.PlanFromSchedule(r.Schedule, sizes)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		net := sim.NewStatic(perf)
 		for k, alpha := range alphas {
 			res, err := sim.RunInterleaved(net, plan, alpha)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			finishes[k] = append(finishes[k], res.Finish)
+			finishes[k][t] = res.Finish
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out []AlphaResult
 	for k, alpha := range alphas {
@@ -154,31 +168,39 @@ type BufferResult struct {
 }
 
 // RunBufferSweep executes an openshop plan under the finite-buffer
-// model for each capacity, on mixed-size workloads.
+// model for each capacity, on mixed-size workloads. Trials run on the
+// worker pool; each writes its own (capacity, trial) slot.
 func RunBufferSweep(p, trials int, seed int64, capacities []int) ([]BufferResult, error) {
 	finishes := make([][]float64, len(capacities))
-	for t := 0; t < trials; t++ {
+	for k := range finishes {
+		finishes[k] = make([]float64, trials)
+	}
+	err := forEachCell(DefaultWorkers(), trials, func(t int) error {
 		rng := rand.New(rand.NewSource(seed + int64(t)))
 		m, perf, sizes, err := workload.Problem(rng, workload.DefaultSpec(workload.Mixed, p))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, err := sched.NewOpenShop().Schedule(m)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		plan, err := sim.PlanFromSchedule(r.Schedule, sizes)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		net := sim.NewStatic(perf)
 		for k, capacity := range capacities {
 			res, err := sim.RunBuffered(net, plan, capacity)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			finishes[k] = append(finishes[k], res.Finish)
+			finishes[k][t] = res.Finish
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out []BufferResult
 	for k, capacity := range capacities {
@@ -209,21 +231,26 @@ type IncrementalResult struct {
 }
 
 // RunIncremental measures repair effort and quality as the fraction of
-// changed links grows.
+// changed links grows. The (fraction, trial) cells run on the worker
+// pool.
 func RunIncremental(p, trials int, seed int64, fractions []float64) ([]IncrementalResult, error) {
-	var out []IncrementalResult
-	for _, frac := range fractions {
-		var dirty, matchings, ratio []float64
-		for t := 0; t < trials; t++ {
+	type incCell struct {
+		dirty, matchings, ratio float64
+	}
+	cells := make([]incCell, len(fractions)*trials)
+	err := forEachCell(DefaultWorkers(), len(cells), func(idx int) error {
+		frac := fractions[idx/trials]
+		t := idx % trials
+		{
 			rng := rand.New(rand.NewSource(seed + int64(t) + int64(frac*1e6)))
 			perf := netmodel.RandomPerf(rng, p, netmodel.GustoGuided())
 			old, err := model.BuildUniform(perf, workload.LargeMessage)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			prev, err := sched.MaxMatching{}.Schedule(old)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			cur := old.Clone()
 			for i := 0; i < p; i++ {
@@ -235,19 +262,35 @@ func RunIncremental(p, trials int, seed int64, fractions []float64) ([]Increment
 			}
 			repaired, st, err := incremental.Refine(prev.Steps, old, cur, incremental.DefaultOptions())
 			if err != nil {
-				return nil, err
+				return err
 			}
 			rs, err := repaired.Evaluate(cur)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			full, err := sched.MaxMatching{}.Schedule(cur)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			dirty = append(dirty, float64(st.DirtySteps))
-			matchings = append(matchings, float64(st.Matchings))
-			ratio = append(ratio, stats.Ratio(rs.CompletionTime(), full.CompletionTime()))
+			cells[idx] = incCell{
+				dirty:     float64(st.DirtySteps),
+				matchings: float64(st.Matchings),
+				ratio:     stats.Ratio(rs.CompletionTime(), full.CompletionTime()),
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []IncrementalResult
+	for fi, frac := range fractions {
+		dirty := make([]float64, trials)
+		matchings := make([]float64, trials)
+		ratio := make([]float64, trials)
+		for t := 0; t < trials; t++ {
+			c := cells[fi*trials+t]
+			dirty[t], matchings[t], ratio[t] = c.dirty, c.matchings, c.ratio
 		}
 		out = append(out, IncrementalResult{
 			ChangedFraction: frac,
@@ -294,8 +337,11 @@ func RunCheckpointStudy(p, trials int, seed int64) ([]CheckpointResult, error) {
 		{sim.EveryEvents{K: p}, sim.ReplanOpenShop, "openshop"},
 		{sim.Halving{}, sim.ReplanOpenShop, "openshop"},
 	}
-	sums := make([]float64, len(arms))
-	for t := 0; t < trials; t++ {
+	finishes := make([][]float64, len(arms))
+	for k := range finishes {
+		finishes[k] = make([]float64, trials)
+	}
+	err := forEachCell(DefaultWorkers(), trials, func(t int) error {
 		rng := rand.New(rand.NewSource(seed + int64(t)))
 		before := netmodel.RandomPerf(rng, p, netmodel.GustoGuided())
 		after := before.Clone()
@@ -311,31 +357,40 @@ func RunCheckpointStudy(p, trials int, seed int64) ([]CheckpointResult, error) {
 		sizes := model.UniformSizes(p, workload.LargeMessage)
 		m, err := model.Build(before, sizes)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		r, err := sched.NewOpenShop().Schedule(m)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		plan, err := sim.PlanFromSchedule(r.Schedule, sizes)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		pw, err := sim.NewPiecewise([]sim.Epoch{{Start: 0, Perf: before}, {Start: r.CompletionTime() / 4, Perf: after}})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for k, a := range arms {
 			res, err := sim.RunCheckpointed(pw, pw.At, plan, a.policy, a.replan)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sums[k] += res.Finish
+			finishes[k][t] = res.Finish
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out []CheckpointResult
 	for k, a := range arms {
-		out = append(out, CheckpointResult{Policy: a.policy.Name(), Replan: a.rname, MeanTime: sums[k] / float64(trials)})
+		// Summing in trial order matches the sequential accumulation.
+		sum := 0.0
+		for _, f := range finishes[k] {
+			sum += f
+		}
+		out = append(out, CheckpointResult{Policy: a.policy.Name(), Replan: a.rname, MeanTime: sum / float64(trials)})
 	}
 	return out, nil
 }
@@ -367,12 +422,17 @@ func RunQoSStudy(p, trials int, seed int64) ([]QoSResult, error) {
 	missed := make([][]float64, len(policies))
 	late := make([][]float64, len(policies))
 	span := make([][]float64, len(policies))
-	for t := 0; t < trials; t++ {
+	for k := range policies {
+		missed[k] = make([]float64, trials)
+		late[k] = make([]float64, trials)
+		span[k] = make([]float64, trials)
+	}
+	err := forEachCell(DefaultWorkers(), trials, func(t int) error {
 		rng := rand.New(rand.NewSource(seed + int64(t)))
 		perf := netmodel.RandomPerf(rng, p, netmodel.GustoGuided())
 		m, err := model.BuildUniform(perf, workload.LargeMessage)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		prob := &qos.Problem{N: p}
 		lb := m.LowerBound()
@@ -392,13 +452,17 @@ func RunQoSStudy(p, trials int, seed int64) ([]QoSResult, error) {
 		for k, pol := range policies {
 			res, err := qos.Schedule(prob, pol)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			met := res.Metrics()
-			missed[k] = append(missed[k], float64(met.Missed))
-			late[k] = append(late[k], met.MaxLateness)
-			span[k] = append(span[k], met.Makespan)
+			missed[k][t] = float64(met.Missed)
+			late[k][t] = met.MaxLateness
+			span[k][t] = met.Makespan
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out []QoSResult
 	for k, pol := range policies {
@@ -443,24 +507,27 @@ func RunOptimalityGap(p, trials int, seed int64) ([]GapResult, error) {
 	}
 	schedulers := sched.All()
 	gaps := make([][]float64, len(schedulers))
-	for t := 0; t < trials; t++ {
+	for k := range gaps {
+		gaps[k] = make([]float64, trials)
+	}
+	err := forEachCell(DefaultWorkers(), trials, func(t int) error {
 		rng := rand.New(rand.NewSource(seed + int64(t)))
 		perf := netmodel.RandomPerf(rng, p, netmodel.GustoGuided())
 		m, err := model.BuildUniform(perf, workload.LargeMessage)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		// Prime the search with the best heuristic for speed.
 		osr, err := sched.NewOpenShop().Schedule(m)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		opt, err := exact.Solve(m, exact.Options{InitialUpper: osr.CompletionTime() * (1 + 1e-9)})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if !opt.Optimal {
-			return nil, fmt.Errorf("experiments: exact solver capped at P=%d", p)
+			return fmt.Errorf("experiments: exact solver capped at P=%d", p)
 		}
 		optSpan := opt.Makespan
 		if opt.Schedule == nil {
@@ -470,10 +537,14 @@ func RunOptimalityGap(p, trials int, seed int64) ([]GapResult, error) {
 		for k, s := range schedulers {
 			r, err := s.Schedule(m)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			gaps[k] = append(gaps[k], r.CompletionTime()/optSpan-1)
+			gaps[k][t] = r.CompletionTime()/optSpan - 1
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out []GapResult
 	for k, s := range schedulers {
@@ -504,27 +575,34 @@ type CriticalStudyResult struct {
 // RunCriticalStudy compares the critical-resource scheduler against
 // openshop on when the designated processor finishes.
 func RunCriticalStudy(p, trials int, seed int64) ([]CriticalStudyResult, error) {
-	var critDone, critSpan, osDone, osSpan []float64
-	for t := 0; t < trials; t++ {
+	critDone := make([]float64, trials)
+	critSpan := make([]float64, trials)
+	osDone := make([]float64, trials)
+	osSpan := make([]float64, trials)
+	err := forEachCell(DefaultWorkers(), trials, func(t int) error {
 		rng := rand.New(rand.NewSource(seed + int64(t)))
 		perf := netmodel.RandomPerf(rng, p, netmodel.GustoGuided())
 		m, err := model.BuildUniform(perf, workload.LargeMessage)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		critical := 0
 		cr, err := qos.ScheduleCritical(m, critical)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		or, err := sched.NewOpenShop().Schedule(m)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		critDone = append(critDone, cr.CriticalDone)
-		critSpan = append(critSpan, cr.Schedule.CompletionTime())
-		osDone = append(osDone, qos.CriticalDone(or.Schedule, critical))
-		osSpan = append(osSpan, or.CompletionTime())
+		critDone[t] = cr.CriticalDone
+		critSpan[t] = cr.Schedule.CompletionTime()
+		osDone[t] = qos.CriticalDone(or.Schedule, critical)
+		osSpan[t] = or.CompletionTime()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return []CriticalStudyResult{
 		{Scheduler: "critical-first", CriticalDone: stats.Mean(critDone), Makespan: stats.Mean(critSpan)},

@@ -29,33 +29,52 @@ type IndirectResult struct {
 }
 
 // RunIndirectStudy compares the direct open shop schedule with the
-// Bruck combining schedule across message sizes.
+// Bruck combining schedule across message sizes. The (size, trial)
+// cells run on the worker pool.
 func RunIndirectStudy(p, trials int, seed int64, msgSizes []int64) ([]IndirectResult, error) {
 	if len(msgSizes) == 0 {
 		msgSizes = []int64{1 << 8, 1 << 12, 1 << 16, 1 << 20}
 	}
+	type indirectCell struct {
+		direct, bruck, infl float64
+	}
+	cells := make([]indirectCell, len(msgSizes)*trials)
+	err := forEachCell(DefaultWorkers(), len(cells), func(idx int) error {
+		size := msgSizes[idx/trials]
+		t := idx % trials
+		rng := rand.New(rand.NewSource(seed + int64(t)))
+		perf := netmodel.RandomPerf(rng, p, netmodel.GustoGuided())
+		sizes := model.UniformSizes(p, size)
+		m, err := model.Build(perf, sizes)
+		if err != nil {
+			return err
+		}
+		dr, err := sched.NewOpenShop().Schedule(m)
+		if err != nil {
+			return err
+		}
+		br, err := indirect.Bruck(perf, sizes)
+		if err != nil {
+			return err
+		}
+		cells[idx] = indirectCell{
+			direct: dr.CompletionTime(),
+			bruck:  br.CompletionTime(),
+			infl:   br.VolumeInflation(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []IndirectResult
-	for _, size := range msgSizes {
-		var direct, bruck, infl []float64
+	for si, size := range msgSizes {
+		direct := make([]float64, trials)
+		bruck := make([]float64, trials)
+		infl := make([]float64, trials)
 		for t := 0; t < trials; t++ {
-			rng := rand.New(rand.NewSource(seed + int64(t)))
-			perf := netmodel.RandomPerf(rng, p, netmodel.GustoGuided())
-			sizes := model.UniformSizes(p, size)
-			m, err := model.Build(perf, sizes)
-			if err != nil {
-				return nil, err
-			}
-			dr, err := sched.NewOpenShop().Schedule(m)
-			if err != nil {
-				return nil, err
-			}
-			br, err := indirect.Bruck(perf, sizes)
-			if err != nil {
-				return nil, err
-			}
-			direct = append(direct, dr.CompletionTime())
-			bruck = append(bruck, br.CompletionTime())
-			infl = append(infl, br.VolumeInflation())
+			c := cells[si*trials+t]
+			direct[t], bruck[t], infl[t] = c.direct, c.bruck, c.infl
 		}
 		out = append(out,
 			IndirectResult{Size: size, Algorithm: "direct-openshop", MeanTime: stats.Mean(direct), Inflation: 1},

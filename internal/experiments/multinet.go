@@ -43,29 +43,40 @@ func RunMultinetStudy(p, trials int, seed int64) ([]MultinetResult, error) {
 		return nil, err
 	}
 
-	var out []MultinetResult
-	for _, kind := range kinds {
-		times := make([][]float64, len(techniques))
-		for t := 0; t < trials; t++ {
-			rng := rand.New(rand.NewSource(seed + int64(t)))
-			sizes := workload.Sizes(rng, workload.DefaultSpec(kind, p))
-			for k, tech := range techniques {
-				m, err := sys.Matrix(sizes, tech)
-				if err != nil {
-					return nil, err
-				}
-				r, err := sched.NewOpenShop().Schedule(m)
-				if err != nil {
-					return nil, err
-				}
-				times[k] = append(times[k], r.CompletionTime())
+	// One worker-pool cell per (workload, trial); the System is read
+	// only concurrently, which multinet documents as safe.
+	times := make([][]float64, len(kinds)*len(techniques))
+	for i := range times {
+		times[i] = make([]float64, trials)
+	}
+	err := forEachCell(DefaultWorkers(), len(kinds)*trials, func(idx int) error {
+		ki := idx / trials
+		t := idx % trials
+		rng := rand.New(rand.NewSource(seed + int64(t)))
+		sizes := workload.Sizes(rng, workload.DefaultSpec(kinds[ki], p))
+		for k, tech := range techniques {
+			m, err := sys.Matrix(sizes, tech)
+			if err != nil {
+				return err
 			}
+			r, err := sched.NewOpenShop().Schedule(m)
+			if err != nil {
+				return err
+			}
+			times[ki*len(techniques)+k][t] = r.CompletionTime()
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []MultinetResult
+	for ki, kind := range kinds {
 		for k, tech := range techniques {
 			out = append(out, MultinetResult{
 				Workload:  kind.String(),
 				Technique: tech.String(),
-				MeanTime:  stats.Mean(times[k]),
+				MeanTime:  stats.Mean(times[ki*len(techniques)+k]),
 			})
 		}
 	}

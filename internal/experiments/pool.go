@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The experiment engine fans independent (P, trial) cells across a
+// bounded worker pool. Every cell is a pure function of its index —
+// it derives its own seed, draws its own problem instance, and writes
+// into its own result slot — so parallel execution is byte-identical
+// to sequential execution: the only shared step is the final
+// sequential reduction over the slots, which always runs in index
+// order. Workers = 1 reproduces the historical strictly-sequential
+// engine exactly, including error behavior.
+
+// defaultPoolWorkers is the worker count used by experiments that
+// take no Config (the extension studies). 0 selects GOMAXPROCS. It is
+// atomic so tests and the hcbench -workers flag can set it while
+// other goroutines read it.
+var defaultPoolWorkers atomic.Int64
+
+// SetDefaultWorkers sets the worker count used by the extension
+// studies (RunTightness, RunAlphaSweep, ... — everything without a
+// Config). n ≤ 0 selects GOMAXPROCS; 1 forces sequential execution.
+// Results are independent of the setting; only wall-clock changes.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultPoolWorkers.Store(int64(n))
+}
+
+// DefaultWorkers returns the current extension-study worker count
+// (0 = GOMAXPROCS).
+func DefaultWorkers() int { return int(defaultPoolWorkers.Load()) }
+
+// poolSize resolves a Workers knob against the cell count: 0 means
+// GOMAXPROCS, and there is never a reason to run more workers than
+// cells.
+func poolSize(workers, cells int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cells {
+		workers = cells
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// forEachCell runs fn(i) for every i in [0, n) on a bounded pool of
+// workers goroutines (0 = GOMAXPROCS, 1 = sequential in index order).
+// fn must be a pure function of i writing only to its own result
+// slot. On failure the lowest-index error is returned — the same
+// error a sequential run reports, since cells are independent.
+func forEachCell(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = poolSize(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		errIdx   = n
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				mu.Lock()
+				skip := i > errIdx // a lower-index cell already failed
+				mu.Unlock()
+				if skip {
+					continue
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

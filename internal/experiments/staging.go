@@ -35,7 +35,12 @@ func RunStagingStudy(p, repos, reqs, trials int, seed int64) ([]StagingStudyResu
 	missed := make([][]float64, len(policies))
 	resp := make([][]float64, len(policies))
 	hops := make([][]float64, len(policies))
-	for t := 0; t < trials; t++ {
+	for i := range policies {
+		missed[i] = make([]float64, trials)
+		resp[i] = make([]float64, trials)
+		hops[i] = make([]float64, trials)
+	}
+	err := forEachCell(DefaultWorkers(), trials, func(t int) error {
 		rng := rand.New(rand.NewSource(seed + int64(t)))
 		perf := netmodel.RandomPerf(rng, p, netmodel.GustoGuided())
 		prob := &staging.Problem{N: p, Perf: perf}
@@ -61,13 +66,17 @@ func RunStagingStudy(p, repos, reqs, trials int, seed int64) ([]StagingStudyResu
 		for i, pol := range policies {
 			res, err := staging.Schedule(prob, pol)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			met := res.Metrics()
-			missed[i] = append(missed[i], float64(met.Missed))
-			resp[i] = append(resp[i], met.MeanResponse)
-			hops[i] = append(hops[i], float64(met.Transfers)/math.Max(1, float64(met.Requests)))
+			missed[i][t] = float64(met.Missed)
+			resp[i][t] = met.MeanResponse
+			hops[i][t] = float64(met.Transfers) / math.Max(1, float64(met.Requests))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var out []StagingStudyResult
 	for i, pol := range policies {

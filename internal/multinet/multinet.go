@@ -146,7 +146,10 @@ func (p Pair) Aggregate(size int64) (float64, []Share, error) {
 }
 
 // System is a full multi-network system: for every ordered host pair,
-// the set of networks joining it.
+// the set of networks joining it. AddNetwork/AddPairNetwork are for
+// setup only; once built, a System is never mutated by Matrix (which
+// copies before sorting), so a built System is safe for concurrent
+// use by multiple goroutines.
 type System struct {
 	n     int
 	pairs [][]Pair

@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hetsched/internal/model"
+	"hetsched/internal/workload"
+)
+
+// Property-based checks: every scheduler in All (plus the multi-start
+// variant) must, on any valid matrix, produce a schedule that
+//
+//   - passes timing validity checking — no two events overlap in a
+//     sender column, no two events share a receiver concurrently;
+//   - covers all P·(P−1) ordered pairs exactly once (total exchange);
+//   - finishes no earlier than the lower bound.
+//
+// Matrices are drawn from three seeded generators so the suite stays
+// deterministic while covering the paper's workloads, unstructured
+// uniform noise, and degenerate sparse instances.
+
+// propertySchedulers returns the registry plus extras worth holding to
+// the same contract.
+func propertySchedulers() []Scheduler {
+	return append(All(), NewMultiStartOpenShop(42), Greedy{Rotate: false}, OpenShop{TieBreak: TieMostLoaded}, OpenShop{TieBreak: TieLongestEvent})
+}
+
+// propertyMatrices draws the deterministic instance set for one P.
+func propertyMatrices(t *testing.T, p int) []*model.Matrix {
+	t.Helper()
+	var ms []*model.Matrix
+
+	// GUSTO-guided paper workloads, one per kind.
+	for ki, kind := range workload.Kinds() {
+		rng := rand.New(rand.NewSource(int64(1000*p + ki)))
+		m, _, _, err := workload.Problem(rng, workload.DefaultSpec(kind, p))
+		if err != nil {
+			t.Fatalf("P=%d kind=%s: %v", p, kind, err)
+		}
+		ms = append(ms, m)
+	}
+
+	// Unstructured uniform noise with a heavy tail.
+	rng := rand.New(rand.NewSource(int64(2000 * p)))
+	m := model.NewMatrix(p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j {
+				v := rng.Float64()
+				if rng.Intn(4) == 0 {
+					v *= 100
+				}
+				m.Set(i, j, v)
+			}
+		}
+	}
+	ms = append(ms, m)
+
+	// Sparse: most entries vanishingly small, a few dominant.
+	sparse := model.NewMatrix(p)
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j {
+				if rng.Intn(p) == 0 {
+					sparse.Set(i, j, 1+rng.Float64())
+				} else {
+					sparse.Set(i, j, 1e-9)
+				}
+			}
+		}
+	}
+	ms = append(ms, sparse)
+
+	// All-zero matrix: every event free; still a total exchange.
+	ms = append(ms, model.NewMatrix(p))
+	return ms
+}
+
+func TestSchedulerProperties(t *testing.T) {
+	for p := 2; p <= 12; p++ {
+		for mi, m := range propertyMatrices(t, p) {
+			if err := m.Validate(); err != nil {
+				t.Fatalf("P=%d matrix %d invalid: %v", p, mi, err)
+			}
+			lb := m.LowerBound()
+			for _, s := range propertySchedulers() {
+				r, err := s.Schedule(m)
+				if err != nil {
+					t.Fatalf("P=%d matrix %d %s: %v", p, mi, s.Name(), err)
+				}
+				if err := r.Schedule.ValidateTotalExchange(m); err != nil {
+					t.Errorf("P=%d matrix %d %s: invalid schedule: %v", p, mi, s.Name(), err)
+				}
+				if ct := r.CompletionTime(); ct < lb-1e-9*(1+lb) {
+					t.Errorf("P=%d matrix %d %s: completion %g beats lower bound %g", p, mi, s.Name(), ct, lb)
+				}
+				if r.Steps != nil {
+					if err := r.Steps.ValidateSteps(); err != nil {
+						t.Errorf("P=%d matrix %d %s: invalid steps: %v", p, mi, s.Name(), err)
+					}
+					if !r.Steps.CoversTotalExchange() {
+						t.Errorf("P=%d matrix %d %s: steps do not cover the exchange", p, mi, s.Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSchedulerDeterminism re-runs every scheduler on the same matrix
+// and demands identical schedules — the seeds-derive-everything
+// contract the parallel experiment engine depends on.
+func TestSchedulerDeterminism(t *testing.T) {
+	for _, p := range []int{3, 8, 12} {
+		m := propertyMatrices(t, p)[0]
+		for _, s := range propertySchedulers() {
+			a, err := s.Schedule(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := s.Schedule(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Schedule.Events) != len(b.Schedule.Events) {
+				t.Fatalf("P=%d %s: event count changed between runs", p, s.Name())
+			}
+			for k := range a.Schedule.Events {
+				if a.Schedule.Events[k] != b.Schedule.Events[k] {
+					t.Fatalf("P=%d %s: event %d differs between identical runs", p, s.Name(), k)
+				}
+			}
+		}
+	}
+}
+
+// TestSchedulersConcurrentUse runs every scheduler from many
+// goroutines on shared matrices. Under -race this proves the
+// documented Scheduler contract: no hidden shared state. Each
+// goroutine also checks its results, so a data race that corrupts a
+// schedule without tripping the detector still fails.
+func TestSchedulersConcurrentUse(t *testing.T) {
+	matrices := propertyMatrices(t, 9)
+	schedulers := propertySchedulers()
+	want := make(map[string][]float64) // scheduler -> completion per matrix
+	for _, s := range schedulers {
+		for _, m := range matrices {
+			r, err := s.Schedule(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[s.Name()] = append(want[s.Name()], r.CompletionTime())
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, s := range schedulers {
+				for mi, m := range matrices {
+					r, err := s.Schedule(m)
+					if err != nil {
+						t.Errorf("%s: %v", s.Name(), err)
+						return
+					}
+					if got := r.CompletionTime(); got != want[s.Name()][mi] {
+						t.Errorf("%s matrix %d: concurrent run returned %g, sequential %g", s.Name(), mi, got, want[s.Name()][mi])
+						return
+					}
+					if err := r.Schedule.ValidateTotalExchange(m); err != nil {
+						t.Errorf("%s matrix %d: %v", s.Name(), mi, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -55,12 +55,22 @@ func (r *Result) Ratio() float64 {
 
 // Scheduler produces a total-exchange communication schedule for a
 // communication-time matrix.
+//
+// Implementations must be safe for concurrent use: Schedule must not
+// mutate the receiver, the input matrix, or any state shared between
+// calls, so one scheduler value may plan for many goroutines at once
+// (the parallel experiment engine and comm.Communicator.AllToAllBatch
+// rely on this). All schedulers in this package are stateless values
+// whose working state lives on the call stack; randomized ones
+// (MultiStartOpenShop) derive a fresh rand.Rand per call from their
+// configured seed, so they are both concurrent-safe and deterministic.
 type Scheduler interface {
 	// Name identifies the algorithm in reports and registries.
 	Name() string
 	// Schedule computes a schedule for the matrix. Implementations
 	// must return a schedule that passes
-	// timing.Schedule.ValidateTotalExchange against m.
+	// timing.Schedule.ValidateTotalExchange against m, and must be
+	// callable concurrently from multiple goroutines.
 	Schedule(m *model.Matrix) (*Result, error)
 }
 

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-short ci bench cover figures examples clean
+.PHONY: all build test vet race race-short chaos ci bench cover figures examples clean
 
 all: build vet test
 
@@ -24,6 +24,13 @@ race:
 
 race-short:
 	$(GO) test -race -short ./...
+
+# The seeded fault-injection suite under the race detector: chaos
+# server kills, connection faults, degraded-mode ladders, and mid-run
+# link failures (all deterministic — fixed seeds).
+chaos:
+	$(GO) test -race -short -run 'Chaos|Resilient|Degraded|Ladder|Broken|IdleTimeout|Fault|Reactive|Injector' \
+		./internal/directory/ ./internal/comm/ ./internal/faults/ ./internal/sim/
 
 bench:
 	$(GO) test -bench . -benchmem ./...

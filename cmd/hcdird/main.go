@@ -9,6 +9,8 @@
 //
 //	hcdird -addr 127.0.0.1:7474 -gusto
 //	hcdird -addr 127.0.0.1:7474 -random -p 16 -drift 100ms
+//	hcdird -gusto -idle-timeout 2m                  # shed dead clients
+//	hcdird -gusto -chaos-drop 0.05 -chaos-tear 0.05 # fault-injected server
 package main
 
 import (
@@ -21,19 +23,24 @@ import (
 
 	"hetsched"
 	"hetsched/internal/directory"
+	"hetsched/internal/faults"
 	"hetsched/internal/netmodel"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7474", "listen address")
-		gusto  = flag.Bool("gusto", false, "serve the GUSTO tables (Tables 1 and 2)")
-		random = flag.Bool("random", false, "serve a GUSTO-guided random table")
-		p      = flag.Int("p", 10, "processors for -random")
-		seed   = flag.Int64("seed", 1, "seed for -random and -drift")
-		drift  = flag.Duration("drift", 0, "if > 0, drift bandwidths at this interval")
-		load   = flag.String("load", "", "load initial state from a JSON file")
-		save   = flag.String("save", "", "save final state to a JSON file on shutdown")
+		addr        = flag.String("addr", "127.0.0.1:7474", "listen address")
+		gusto       = flag.Bool("gusto", false, "serve the GUSTO tables (Tables 1 and 2)")
+		random      = flag.Bool("random", false, "serve a GUSTO-guided random table")
+		p           = flag.Int("p", 10, "processors for -random")
+		seed        = flag.Int64("seed", 1, "seed for -random, -drift, and -chaos faults")
+		drift       = flag.Duration("drift", 0, "if > 0, drift bandwidths at this interval")
+		load        = flag.String("load", "", "load initial state from a JSON file")
+		save        = flag.String("save", "", "save final state to a JSON file on shutdown")
+		idleTimeout = flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = never)")
+		chaosDrop   = flag.Float64("chaos-drop", 0, "per-op probability of severing a connection (chaos testing)")
+		chaosStall  = flag.Duration("chaos-stall", 0, "if > 0, stall 10% of ops this long (chaos testing)")
+		chaosTear   = flag.Float64("chaos-tear", 0, "per-write probability of a torn partial write (chaos testing)")
 	)
 	flag.Parse()
 
@@ -64,11 +71,33 @@ func main() {
 		fatal(err)
 	}
 	srv := directory.NewServer(store)
+	if *idleTimeout > 0 {
+		srv.SetIdleTimeout(*idleTimeout)
+	}
+	if *chaosDrop > 0 || *chaosStall > 0 || *chaosTear > 0 {
+		stallProb := 0.0
+		if *chaosStall > 0 {
+			stallProb = 0.1
+		}
+		inj := faults.NewConnInjector(faults.ConnConfig{
+			Seed:        *seed + 2,
+			DropProb:    *chaosDrop,
+			StallProb:   stallProb,
+			Stall:       *chaosStall,
+			PartialProb: *chaosTear,
+		})
+		srv.SetConnWrapper(inj.Wrap)
+		fmt.Printf("hcdird: CHAOS MODE — drop %.2g, stall %v, tear %.2g (seed %d)\n",
+			*chaosDrop, *chaosStall, *chaosTear, *seed+2)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("hcdird: serving %d processors on %s\n", store.N(), bound)
+	if *idleTimeout > 0 {
+		fmt.Printf("hcdird: dropping connections idle > %v\n", *idleTimeout)
+	}
 
 	stop := make(chan struct{})
 	feederDone := make(chan error, 1)

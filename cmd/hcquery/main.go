@@ -2,12 +2,18 @@
 // hcdird daemon (or prints the built-in GUSTO tables) and can emit a
 // communication matrix for a given message size, ready for hcsched.
 //
+// Queries go through the resilient client: requests are retried with
+// backoff across reconnects, and when the server stays unreachable the
+// last snapshot this process fetched is served stale (clearly marked
+// with its age) rather than failing.
+//
 // Usage:
 //
 //	hcquery -gusto                         # print Tables 1 and 2
 //	hcquery -addr 127.0.0.1:7474           # snapshot a live directory
 //	hcquery -addr ... -pair 0,3            # one pair
 //	hcquery -addr ... -emit -size 1048576  # matrix in hcsched format
+//	hcquery -addr ... -retries 5 -req-timeout 1s
 package main
 
 import (
@@ -25,11 +31,13 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", "", "directory server address")
-		gusto = flag.Bool("gusto", false, "print the built-in GUSTO tables and exit")
-		pair  = flag.String("pair", "", "query one ordered pair, e.g. 0,3")
-		emit  = flag.Bool("emit", false, "emit a communication matrix in hcsched text format")
-		size  = flag.Int64("size", 1<<20, "message size in bytes for -emit")
+		addr       = flag.String("addr", "", "directory server address")
+		gusto      = flag.Bool("gusto", false, "print the built-in GUSTO tables and exit")
+		pair       = flag.String("pair", "", "query one ordered pair, e.g. 0,3")
+		emit       = flag.Bool("emit", false, "emit a communication matrix in hcsched text format")
+		size       = flag.Int64("size", 1<<20, "message size in bytes for -emit")
+		retries    = flag.Int("retries", 3, "attempts per request before giving up")
+		reqTimeout = flag.Duration("req-timeout", 5*time.Second, "per-request deadline")
 	)
 	flag.Parse()
 
@@ -41,10 +49,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hcquery: need -addr or -gusto")
 		os.Exit(1)
 	}
-	cl, err := directory.Dial(*addr, 5*time.Second)
-	if err != nil {
-		fatal(err)
-	}
+	cl := directory.NewResilientClient(*addr, directory.ResilientConfig{
+		Retries:        *retries,
+		RequestTimeout: *reqTimeout,
+		DialTimeout:    5 * time.Second,
+	})
 	defer cl.Close()
 
 	if *pair != "" {
@@ -52,16 +61,16 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		pp, v, err := cl.Query(src, dst)
+		pp, meta, err := cl.Query(src, dst)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("pair %d→%d (version %d): latency %.3f ms, bandwidth %.1f kbit/s\n",
-			src, dst, v, netmodel.SecondsToMs(pp.Latency), netmodel.BytesPerSecondToKbps(pp.Bandwidth))
+		fmt.Printf("pair %d→%d (%s): latency %.3f ms, bandwidth %.1f kbit/s\n",
+			src, dst, describeMeta(meta), netmodel.SecondsToMs(pp.Latency), netmodel.BytesPerSecondToKbps(pp.Bandwidth))
 		return
 	}
 
-	perf, names, v, err := cl.Snapshot()
+	perf, names, meta, err := cl.Snapshot()
 	if err != nil {
 		fatal(err)
 	}
@@ -70,12 +79,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("# directory snapshot version %d, message size %d bytes\n", v, *size)
+		fmt.Printf("# directory snapshot %s, message size %d bytes\n", describeMeta(meta), *size)
 		fmt.Print(hetsched.FormatMatrix(m))
 		return
 	}
-	fmt.Printf("directory snapshot, version %d\n", v)
+	fmt.Printf("directory snapshot, %s\n", describeMeta(meta))
 	printPerf(perf, names)
+}
+
+// describeMeta renders a snapshot's provenance, flagging stale data.
+func describeMeta(meta directory.SnapshotMeta) string {
+	if meta.Stale {
+		return fmt.Sprintf("version %d, STALE — server unreachable, data is %v old", meta.Version, meta.Age.Round(time.Millisecond))
+	}
+	return fmt.Sprintf("version %d", meta.Version)
 }
 
 func printPerf(perf *hetsched.Perf, names []string) {

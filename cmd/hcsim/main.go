@@ -7,6 +7,7 @@
 //	hcsim -p 16 -model interleaved -alpha 0.3               # §6.1 threads
 //	hcsim -p 16 -model buffered -capacity 4                 # §6.1 buffers
 //	hcsim -p 16 -drift 0.3 -checkpoint every -replan        # §6.3 adaptivity
+//	hcsim -p 16 -faults 5 -checkpoint every -replan         # seeded link failures
 //	hcsim -net state.json -alg maxmatch                     # saved network
 //	hcsim -trace rec.json -checkpoint every -replan         # replay a recording
 package main
@@ -19,6 +20,7 @@ import (
 	"os"
 
 	"hetsched"
+	"hetsched/internal/faults"
 	"hetsched/internal/netmodel"
 	"hetsched/internal/sim"
 )
@@ -35,6 +37,7 @@ func main() {
 		alpha      = flag.Float64("alpha", 0.25, "context-switch overhead for -model interleaved")
 		capacity   = flag.Int("capacity", 4, "buffer capacity for -model buffered")
 		drift      = flag.Float64("drift", 0, "if > 0, crash this fraction of links to 10% bandwidth mid-run")
+		faultCount = flag.Int("faults", 0, "inject this many seeded mid-run link degradations/failures (exclusive model)")
 		checkpoint = flag.String("checkpoint", "none", "checkpoint policy: none, every, halving")
 		replan     = flag.Bool("replan", false, "reschedule the tail at checkpoints (otherwise keep order)")
 	)
@@ -96,7 +99,30 @@ func main() {
 	// The execution network, optionally shifting mid-run.
 	var network hetsched.Network = sim.NewStatic(perf)
 	var observe func(float64) *hetsched.Perf
-	if recording != nil {
+	var faultTimes []float64
+	if *faultCount > 0 {
+		if *modelName != "exclusive" {
+			fatal(fmt.Errorf("-faults needs -model exclusive (reactive re-planning)"))
+		}
+		if recording != nil || *drift > 0 {
+			fatal(fmt.Errorf("-faults cannot combine with -trace or -drift"))
+		}
+		events := faults.RandomLinkEvents(rng, n, *faultCount, res.CompletionTime())
+		fn, err := faults.NewNetwork(perf, events)
+		if err != nil {
+			fatal(err)
+		}
+		network = fn
+		observe = fn.At
+		faultTimes = fn.Times()
+		for _, e := range events {
+			if e.Factor == 0 {
+				fmt.Printf("fault: link %d→%d FAILS at t=%.4g s\n", e.Src, e.Dst, e.Time)
+			} else {
+				fmt.Printf("fault: link %d→%d degrades to %.0f%% at t=%.4g s\n", e.Src, e.Dst, 100*e.Factor, e.Time)
+			}
+		}
+	} else if recording != nil {
 		pw, err := recording.Network()
 		if err != nil {
 			fatal(err)
@@ -147,6 +173,17 @@ func main() {
 		if *replan {
 			rp = hetsched.ReplanOpenShop
 			rpName = "openshop"
+		}
+		if *faultCount > 0 {
+			// Reactive mode: checkpoint on schedule but only re-plan when a
+			// fault event actually landed in the window just executed.
+			rr, err := sim.RunReactive(network, observe, faultTimes, plan, policy, rp)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("executed (exclusive, reactive, checkpoints=%s, replan=%s): finish %.4g s, %d checkpoints, %d replans\n",
+				policy.Name(), rpName, rr.Finish, rr.Checkpoints, rr.Replans)
+			break
 		}
 		ck, err := hetsched.SimulateCheckpointed(network, observe, plan, policy, rp)
 		if err != nil {

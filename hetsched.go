@@ -46,6 +46,7 @@ import (
 	"hetsched/internal/comm"
 	"hetsched/internal/directory"
 	"hetsched/internal/exact"
+	"hetsched/internal/faults"
 	"hetsched/internal/incremental"
 	"hetsched/internal/indirect"
 	"hetsched/internal/model"
@@ -119,6 +120,27 @@ type (
 	DirectoryClient = directory.Client
 	// Feeder publishes synthetic load drift into a store.
 	Feeder = directory.Feeder
+	// ResilientDirectoryClient retries, reconnects, and serves stale
+	// snapshots when the server is unreachable.
+	ResilientDirectoryClient = directory.ResilientClient
+	// ResilientConfig tunes a ResilientDirectoryClient.
+	ResilientConfig = directory.ResilientConfig
+	// SnapshotMeta reports a snapshot's version and staleness.
+	SnapshotMeta = directory.SnapshotMeta
+	// ResilientCounters counts retries, reconnects, and stale serves.
+	ResilientCounters = directory.ResilientCounters
+)
+
+// NewResilientClient creates a fault-tolerant directory client.
+var NewResilientClient = directory.NewResilientClient
+
+// Directory failure sentinels, testable with errors.Is.
+var (
+	// ErrDirectoryBroken marks a client whose connection died; call
+	// Reconnect (ResilientDirectoryClient does so automatically).
+	ErrDirectoryBroken = directory.ErrBroken
+	// ErrDirectoryUnavailable wraps transport-level failures.
+	ErrDirectoryUnavailable = directory.ErrUnavailable
 )
 
 // Simulator types.
@@ -366,6 +388,14 @@ var ReplanOpenShop = sim.ReplanOpenShop
 // SimulateCheckpointed executes a plan with checkpoint rescheduling.
 var SimulateCheckpointed = sim.RunCheckpointed
 
+// ReactiveResult reports a fault-reactive checkpointed execution.
+type ReactiveResult = sim.ReactiveResult
+
+// SimulateReactive executes a plan with checkpoint rescheduling that
+// re-plans only when a known fault time falls inside the window just
+// executed (mid-run link degradation or failure).
+var SimulateReactive = sim.RunReactive
+
 // Recording is a replayable time series of network conditions.
 type Recording = trace.Recording
 
@@ -526,6 +556,24 @@ type (
 	CommConfig = comm.Config
 	// CommSource supplies current network performance.
 	CommSource = comm.Source
+	// CommHealth reports which rung of the fallback ladder a
+	// Communicator is planning from.
+	CommHealth = comm.Health
+	// CommStats counts a Communicator's planning activity, including
+	// fresh/stale/degraded serves.
+	CommStats = comm.Stats
+)
+
+// Fallback-ladder health states.
+const (
+	// CommHealthOK: planning from fresh directory data.
+	CommHealthOK = comm.HealthOK
+	// CommHealthStale: directory unreachable, planning from a cached
+	// table within the staleness bound.
+	CommHealthStale = comm.HealthStale
+	// CommHealthDegraded: no usable table, planning with the uniform
+	// caterpillar baseline.
+	CommHealthDegraded = comm.HealthDegraded
 )
 
 // NewCommunicator creates a communicator over a performance source.
@@ -533,6 +581,37 @@ var NewCommunicator = comm.New
 
 // StaticCommSource wraps a fixed table as a CommSource.
 var StaticCommSource = comm.StaticSource
+
+// Fault injection (chaos testing of the directory, the communicator,
+// and the simulator).
+type (
+	// LinkEvent degrades (or fails, Factor 0) one directed link mid-run.
+	LinkEvent = faults.LinkEvent
+	// ConnFaultConfig parameterizes connection-level fault injection.
+	ConnFaultConfig = faults.ConnConfig
+	// ConnFaultInjector wraps net.Conns with seeded drops, stalls, and
+	// torn writes.
+	ConnFaultInjector = faults.ConnInjector
+)
+
+// ErrInjected marks a deliberately injected fault.
+var ErrInjected = faults.ErrInjected
+
+// NewConnFaultInjector creates a deterministic connection-fault
+// injector; install with DirectoryServer.SetConnWrapper.
+var NewConnFaultInjector = faults.NewConnInjector
+
+// WrapCommSource wraps a CommSource with seeded failures and frozen
+// stale tables.
+var WrapCommSource = faults.WrapSource
+
+// NewFaultyNetwork builds a simulator network from a base table plus
+// scripted link events; drive it with SimulateReactive.
+var NewFaultyNetwork = faults.NewNetwork
+
+// RandomLinkEvents draws seeded link degradations and failures on
+// distinct links inside a time window.
+var RandomLinkEvents = faults.RandomLinkEvents
 
 // Broadcast algorithms.
 const (

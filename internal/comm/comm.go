@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hetsched/internal/incremental"
 	"hetsched/internal/model"
@@ -47,6 +48,17 @@ type Config struct {
 	// schedule's steps are dirty, repairing saves nothing — recompute
 	// from scratch instead. 0 selects 0.5.
 	RecomputeFraction float64
+	// StaleBound is the fallback ladder's staleness budget: when the
+	// source fails, a cached snapshot no older than this is used before
+	// falling all the way to the uniform baseline. 0 selects
+	// DefaultStaleBound; negative disables the stale rung entirely.
+	StaleBound time.Duration
+	// BaselineScheduler plans degraded-mode exchanges, where no network
+	// knowledge is available; nil selects the caterpillar baseline.
+	BaselineScheduler sched.Scheduler
+	// Clock supplies the time for staleness decisions; nil selects
+	// time.Now. Tests inject a fake clock here.
+	Clock func() time.Time
 }
 
 // Stats counts what the communicator did.
@@ -54,6 +66,11 @@ type Stats struct {
 	Plans      int // schedules computed from scratch
 	Repairs    int // schedules produced by incremental repair
 	Recomputes int // repairs abandoned for a full recompute
+
+	// Fallback-ladder counters: which rung served each exchange.
+	ServedFresh    int // planned from a live snapshot
+	ServedStale    int // planned from the cached last-known-good table
+	ServedDegraded int // planned blind with the uniform baseline
 }
 
 // Communicator plans network-aware collective communication. It is
@@ -70,6 +87,10 @@ type Communicator struct {
 	lastMatrix *model.Matrix
 	lastSteps  *timing.StepSchedule
 	stats      Stats
+	// fallback-ladder state
+	lastPerf   *netmodel.Perf // last table the source served successfully
+	lastPerfAt time.Time
+	health     Health
 }
 
 // New creates a communicator for an n-processor system.
@@ -98,7 +119,24 @@ func New(n int, source Source, cfg Config) (*Communicator, error) {
 	if cfg.RecomputeFraction < 0 || cfg.RecomputeFraction > 1 {
 		return nil, fmt.Errorf("comm: recompute fraction %g outside [0,1]", cfg.RecomputeFraction)
 	}
+	if cfg.StaleBound == 0 {
+		cfg.StaleBound = DefaultStaleBound
+	}
+	if cfg.BaselineScheduler == nil {
+		cfg.BaselineScheduler = sched.Baseline{}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
 	return &Communicator{n: n, source: source, cfg: cfg}, nil
+}
+
+// Health reports which rung of the fallback ladder served the most
+// recent exchange (ok before any exchange has run).
+func (c *Communicator) Health() Health {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.health
 }
 
 // Stats returns the planning counters.
@@ -108,32 +146,90 @@ func (c *Communicator) Stats() Stats {
 	return c.stats
 }
 
-// snapshotMatrix queries the source and builds the cost matrix.
-func (c *Communicator) snapshotMatrix(sizes *model.Sizes) (*model.Matrix, error) {
+// snapshotMatrix runs the fallback ladder: a fresh source snapshot,
+// then the cached last-known-good table if it is within StaleBound,
+// then the uniform baseline model. It returns the cost matrix and the
+// rung that produced it; an error is returned only for caller bugs
+// (shape mismatches) or a broken source contract — never for a mere
+// source outage, which the ladder absorbs.
+func (c *Communicator) snapshotMatrix(sizes *model.Sizes) (*model.Matrix, Health, error) {
 	if sizes.N() != c.n {
-		return nil, fmt.Errorf("comm: sizes are for %d processors, communicator for %d", sizes.N(), c.n)
+		return nil, HealthOK, fmt.Errorf("comm: sizes are for %d processors, communicator for %d", sizes.N(), c.n)
 	}
 	perf, err := c.source()
-	if err != nil {
-		return nil, fmt.Errorf("comm: directory query: %w", err)
+	if err == nil {
+		if perf.N() != c.n {
+			return nil, HealthOK, fmt.Errorf("comm: directory reports %d processors, want %d", perf.N(), c.n)
+		}
+		c.mu.Lock()
+		c.lastPerf = perf.Clone()
+		c.lastPerfAt = c.cfg.Clock()
+		c.mu.Unlock()
+		m, err := model.Build(perf, sizes)
+		return m, HealthOK, err
 	}
-	if perf.N() != c.n {
-		return nil, fmt.Errorf("comm: directory reports %d processors, want %d", perf.N(), c.n)
+	// Rung 2: the cached table, while it is young enough to beat
+	// guessing. Cached tables are never mutated, so reading outside the
+	// planning path is safe.
+	c.mu.Lock()
+	cached, at := c.lastPerf, c.lastPerfAt
+	c.mu.Unlock()
+	if cached != nil && c.cfg.StaleBound > 0 && c.cfg.Clock().Sub(at) <= c.cfg.StaleBound {
+		m, err := model.Build(cached, sizes)
+		return m, HealthStale, err
 	}
-	return model.Build(perf, sizes)
+	// Rung 3: no usable knowledge; the uniform model still yields a
+	// valid, contention-free schedule structure.
+	m, berr := model.Build(uniformPerf(c.n), sizes)
+	return m, HealthDegraded, berr
+}
+
+// noteServed records the rung that served an exchange.
+func (c *Communicator) noteServed(h Health) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.health = h
+	switch h {
+	case HealthOK:
+		c.stats.ServedFresh++
+	case HealthStale:
+		c.stats.ServedStale++
+	case HealthDegraded:
+		c.stats.ServedDegraded++
+	}
+}
+
+// tagResult marks a result produced below the fresh rung.
+func tagResult(r *sched.Result, h Health) *sched.Result {
+	if h != HealthOK {
+		r.Algorithm += "+" + h.String()
+	}
+	return r
 }
 
 // AllToAll plans a one-shot total exchange from a fresh directory
-// snapshot with the configured scheduler.
+// snapshot with the configured scheduler. When the source fails it
+// degrades along the fallback ladder instead of returning an error:
+// the cached table (result tagged "+stale"), then the uniform-model
+// caterpillar baseline ("+degraded"). Health reports the rung used.
 func (c *Communicator) AllToAll(sizes *model.Sizes) (*sched.Result, error) {
-	m, err := c.snapshotMatrix(sizes)
+	m, h, err := c.snapshotMatrix(sizes)
 	if err != nil {
 		return nil, err
+	}
+	scheduler := c.cfg.Scheduler
+	if h == HealthDegraded {
+		scheduler = c.cfg.BaselineScheduler
 	}
 	c.mu.Lock()
 	c.stats.Plans++
 	c.mu.Unlock()
-	return c.cfg.Scheduler.Schedule(m)
+	r, err := scheduler.Schedule(m)
+	if err != nil {
+		return nil, err
+	}
+	c.noteServed(h)
+	return tagResult(r, h), nil
 }
 
 // AllToAllBatch plans one total exchange per size vector concurrently
@@ -199,14 +295,33 @@ func (c *Communicator) AllToAllBatch(sizes []*model.Sizes, workers int) ([]*sche
 // Concurrent callers are serialized on the cache so each repair builds
 // on a consistent previous schedule.
 func (c *Communicator) AllToAllRepeated(sizes *model.Sizes) (*sched.Result, error) {
-	m, err := c.snapshotMatrix(sizes)
+	m, h, err := c.snapshotMatrix(sizes)
 	if err != nil {
 		return nil, err
 	}
+	if h == HealthDegraded {
+		// The uniform matrix carries no real information; planning the
+		// blind baseline without touching the repair cache keeps the
+		// cached schedule intact for when the directory returns.
+		r, err := c.cfg.BaselineScheduler.Schedule(m)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.stats.Plans++
+		c.mu.Unlock()
+		c.noteServed(h)
+		return tagResult(r, h), nil
+	}
+	c.noteServed(h)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.lastSteps == nil || c.lastMatrix == nil {
-		return c.planRepeatedLocked(m)
+		r, err := c.planRepeatedLocked(m)
+		if err != nil {
+			return nil, err
+		}
+		return tagResult(r, h), nil
 	}
 	repaired, st, err := incremental.Refine(c.lastSteps, c.lastMatrix, m,
 		incremental.Options{Threshold: c.cfg.RepairThreshold, Max: true})
@@ -215,7 +330,11 @@ func (c *Communicator) AllToAllRepeated(sizes *model.Sizes) (*sched.Result, erro
 	}
 	if st.Steps > 0 && float64(st.DirtySteps) > c.cfg.RecomputeFraction*float64(st.Steps) {
 		c.stats.Recomputes++
-		return c.planRepeatedLocked(m)
+		r, err := c.planRepeatedLocked(m)
+		if err != nil {
+			return nil, err
+		}
+		return tagResult(r, h), nil
 	}
 	c.stats.Repairs++
 	c.lastMatrix = m
@@ -224,12 +343,12 @@ func (c *Communicator) AllToAllRepeated(sizes *model.Sizes) (*sched.Result, erro
 	if err != nil {
 		return nil, err
 	}
-	return &sched.Result{
+	return tagResult(&sched.Result{
 		Algorithm:  c.cfg.RepairScheduler.Name() + "+repair",
 		Steps:      repaired,
 		Schedule:   s,
 		LowerBound: m.LowerBound(),
-	}, nil
+	}, h), nil
 }
 
 // planRepeatedLocked computes a fresh step decomposition and caches
@@ -277,7 +396,9 @@ func (c *Communicator) Drifted(sizes *model.Sizes) (float64, error) {
 	if last == nil {
 		return 0, nil
 	}
-	m, err := c.snapshotMatrix(sizes)
+	// Drift is measured against whatever rung the ladder serves; a
+	// degraded (uniform) matrix legitimately reads as heavy drift.
+	m, _, err := c.snapshotMatrix(sizes)
 	if err != nil {
 		return 0, err
 	}

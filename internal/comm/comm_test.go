@@ -62,13 +62,29 @@ func TestAllToAllSizeMismatch(t *testing.T) {
 }
 
 func TestAllToAllSourceError(t *testing.T) {
+	// A failing source no longer fails the exchange: with no cached
+	// snapshot the fallback ladder lands on the blind caterpillar
+	// baseline and reports degraded health.
 	boom := errors.New("directory down")
 	c, err := New(5, func() (*netmodel.Perf, error) { return nil, boom }, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.AllToAll(model.UniformSizes(5, 1)); !errors.Is(err, boom) {
-		t.Errorf("source error lost: %v", err)
+	r, err := c.AllToAll(model.UniformSizes(5, 1))
+	if err != nil {
+		t.Fatalf("ladder leaked the source error: %v", err)
+	}
+	if r.Algorithm != "baseline+degraded" {
+		t.Errorf("degraded algorithm = %q", r.Algorithm)
+	}
+	if err := r.Schedule.ValidateTotalExchange(nil); err != nil {
+		t.Errorf("degraded schedule invalid: %v", err)
+	}
+	if c.Health() != HealthDegraded {
+		t.Errorf("health = %v, want degraded", c.Health())
+	}
+	if st := c.Stats(); st.ServedDegraded != 1 || st.ServedFresh != 0 {
+		t.Errorf("stats = %+v", st)
 	}
 }
 

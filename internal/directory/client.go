@@ -11,53 +11,139 @@ import (
 	"hetsched/internal/netmodel"
 )
 
+// Sentinel errors for the client's failure model. ErrUnavailable wraps
+// every transport-level failure (dial, write, read, timeout, server
+// hangup) so callers can distinguish "the server could not be reached"
+// from a server-reported error such as an out-of-range pair; the
+// former is retriable, the latter is not.
+var (
+	// ErrBroken is returned by every call after a transport failure
+	// left the connection in an undefined framing state, until
+	// Reconnect succeeds.
+	ErrBroken = errors.New("directory: client connection broken")
+	// ErrUnavailable marks transport-level failures; test with
+	// errors.Is to decide whether retrying can help.
+	ErrUnavailable = errors.New("directory: server unavailable")
+)
+
 // Client talks to a directory server over TCP. It is safe for
 // concurrent use; requests on one client are serialized over one
 // connection (the protocol is strictly request/response).
+//
+// After any transport error the JSON-line framing of the connection is
+// undefined — part of a request may have been written, or part of a
+// response left unread — so the client marks itself broken and every
+// later call fails fast with ErrBroken until Reconnect establishes a
+// fresh connection.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	rd   *bufio.Scanner
+	addr        string
+	dialTimeout time.Duration
+
+	mu         sync.Mutex
+	conn       net.Conn
+	rd         *bufio.Scanner
+	broken     bool
+	reqTimeout time.Duration
 }
 
 // Dial connects to a directory server. timeout bounds the connection
-// attempt; zero means no timeout.
+// attempt; zero means no timeout. The address and timeout are kept for
+// later Reconnect calls.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
-		return nil, fmt.Errorf("directory: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, addr, err)
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	return &Client{conn: conn, rd: sc}, nil
+	c := &Client{addr: addr, dialTimeout: timeout}
+	c.attach(conn)
+	return c, nil
 }
 
-// Close shuts the connection.
+// attach installs a fresh connection. The caller must hold c.mu or own
+// the client exclusively.
+func (c *Client) attach(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	c.conn = conn
+	c.rd = sc
+	c.broken = false
+}
+
+// SetRequestTimeout bounds every subsequent round trip (write plus
+// read) with a connection deadline. Zero restores unbounded requests.
+func (c *Client) SetRequestTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reqTimeout = d
+}
+
+// Reconnect drops the current connection and dials a fresh one to the
+// original address, clearing the broken state on success.
+func (c *Client) Reconnect() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		c.broken = true
+		return fmt.Errorf("%w: redial %s: %v", ErrUnavailable, c.addr, err)
+	}
+	c.attach(conn)
+	return nil
+}
+
+// Broken reports whether the client needs a Reconnect.
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
+
+// Close shuts the connection; later calls return ErrBroken.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.broken = true
 	return c.conn.Close()
 }
 
 func (c *Client) roundTrip(req request) (response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.broken {
+		return response{}, fmt.Errorf("%w (call Reconnect to recover)", ErrBroken)
+	}
 	out, err := encodeRequest(req)
 	if err != nil {
+		// Nothing touched the wire; the connection is still clean.
 		return response{}, fmt.Errorf("directory: send: %w", err)
+	}
+	if c.reqTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.reqTimeout))
+	} else {
+		c.conn.SetDeadline(time.Time{})
 	}
 	if _, err := c.conn.Write(out); err != nil {
-		return response{}, fmt.Errorf("directory: send: %w", err)
+		c.broken = true
+		return response{}, fmt.Errorf("%w: send: %v", ErrUnavailable, err)
 	}
 	if !c.rd.Scan() {
+		c.broken = true
 		if err := c.rd.Err(); err != nil {
-			return response{}, fmt.Errorf("directory: receive: %w", err)
+			return response{}, fmt.Errorf("%w: receive: %v", ErrUnavailable, err)
 		}
-		return response{}, errors.New("directory: connection closed by server")
+		return response{}, fmt.Errorf("%w: connection closed by server", ErrUnavailable)
 	}
 	resp, err := parseResponse(c.rd.Bytes())
 	if err != nil {
-		return response{}, fmt.Errorf("directory: %w", err)
+		// Garbage on the stream is indistinguishable from a connection
+		// severed mid-frame (a torn write truncates the JSON line), so
+		// treat it as a transport failure: framing can no longer be
+		// trusted, and a reconnect plus retry is the right recovery.
+		c.broken = true
+		return response{}, fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
 	if !resp.OK {
 		return response{}, fmt.Errorf("directory: server error: %s", resp.Error)

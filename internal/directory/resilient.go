@@ -1,0 +1,373 @@
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"hetsched/internal/netmodel"
+)
+
+// This file implements the fault-tolerant client the wide-area setting
+// demands: the paper's framework leans on a run-time directory service
+// (Globus MDS / GUSTO-style) for every scheduling decision, and on a
+// metacomputing testbed the directory is exactly the component most
+// likely to be slow, partitioned, or restarting. ResilientClient wraps
+// the raw Client with per-request deadlines, retry with exponential
+// backoff and seeded jitter, automatic reconnection, and a versioned
+// last-known-good snapshot cache so reads degrade to serving stale
+// data — marked with its age — instead of failing.
+
+// ResilientConfig tunes a ResilientClient. The zero value selects
+// sensible defaults for every field.
+type ResilientConfig struct {
+	// DialTimeout bounds each connection attempt; 0 selects 2s.
+	DialTimeout time.Duration
+	// RequestTimeout bounds each round trip; 0 selects 2s, negative
+	// disables the deadline.
+	RequestTimeout time.Duration
+	// Retries is the number of attempts per request (first try
+	// included); 0 selects 3.
+	Retries int
+	// BackoffBase is the delay before the first retry, doubled per
+	// attempt; 0 selects 10ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the backoff; 0 selects 1s.
+	BackoffMax time.Duration
+	// MaxStale bounds the age of a cached snapshot served when the
+	// server is unreachable; 0 means any age, negative disables the
+	// stale cache entirely.
+	MaxStale time.Duration
+	// Seed drives the jitter; 0 selects 1. Two clients with the same
+	// seed and call sequence back off identically, keeping chaos runs
+	// reproducible.
+	Seed int64
+	// Clock supplies the current time for cache ages; nil selects
+	// time.Now. Tests inject a fake clock here.
+	Clock func() time.Time
+	// Sleep waits between retries; nil selects time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (cfg ResilientConfig) withDefaults() ResilientConfig {
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 2 * time.Second
+	}
+	if cfg.RequestTimeout < 0 {
+		cfg.RequestTimeout = 0
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 3
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 10 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return cfg
+}
+
+// SnapshotMeta describes where a snapshot (or degraded query) came
+// from: the store version it carries, and — when the server was
+// unreachable — that it is stale and how old it is.
+type SnapshotMeta struct {
+	Version uint64
+	Stale   bool
+	Age     time.Duration
+}
+
+// ResilientCounters expose what the client has survived.
+type ResilientCounters struct {
+	Requests    int // calls made through the client
+	Retries     int // extra attempts after a transient failure
+	Reconnects  int // fresh connections dialed after the first
+	StaleServes int // reads answered from the last-known-good cache
+}
+
+// ResilientClient is a directory client that retries, reconnects, and
+// degrades to stale data instead of failing. It is safe for concurrent
+// use. The connection is dialed lazily, so construction never blocks.
+type ResilientClient struct {
+	addr string
+	cfg  ResilientConfig
+
+	mu     sync.Mutex
+	cl     *Client // nil until the first successful dial
+	dialed bool    // whether cl was ever dialed (for the reconnect counter)
+	rng    *rand.Rand
+	ctr    ResilientCounters
+
+	// last-known-good snapshot
+	cached        *netmodel.Perf
+	cachedNames   []string
+	cachedVersion uint64
+	cachedAt      time.Time
+}
+
+// NewResilientClient creates a client for addr. No connection is made
+// until the first request.
+func NewResilientClient(addr string, cfg ResilientConfig) *ResilientClient {
+	cfg = cfg.withDefaults()
+	return &ResilientClient{addr: addr, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Counters returns a copy of the resilience counters.
+func (r *ResilientClient) Counters() ResilientCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ctr
+}
+
+// Close shuts any live connection. The client may be used again; the
+// next request redials.
+func (r *ResilientClient) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cl == nil {
+		return nil
+	}
+	err := r.cl.Close()
+	r.cl = nil
+	return err
+}
+
+// client returns a live connection, dialing (or redialing after a
+// break) as needed.
+func (r *ResilientClient) client() (*Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cl != nil && !r.cl.Broken() {
+		return r.cl, nil
+	}
+	if r.cl != nil {
+		r.cl.Close()
+		r.cl = nil
+	}
+	cl, err := Dial(r.addr, r.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	cl.SetRequestTimeout(r.cfg.RequestTimeout)
+	if r.dialed {
+		r.ctr.Reconnects++
+	}
+	r.dialed = true
+	r.cl = cl
+	return cl, nil
+}
+
+// drop discards the current connection after a transport failure.
+func (r *ResilientClient) drop() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cl != nil {
+		r.cl.Close()
+		r.cl = nil
+	}
+}
+
+// transient reports whether retrying the request can help.
+func transient(err error) bool {
+	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrBroken)
+}
+
+// backoff returns the jittered delay before retry number attempt
+// (0-based): base·2^attempt capped at max, scaled into [½d, d].
+func (r *ResilientClient) backoff(attempt int) time.Duration {
+	d := r.cfg.BackoffBase << uint(attempt)
+	if d > r.cfg.BackoffMax || d <= 0 {
+		d = r.cfg.BackoffMax
+	}
+	r.mu.Lock()
+	f := 0.5 + 0.5*r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// do runs op with retry, backoff, and reconnection. Server-reported
+// errors (out-of-range pair, invalid update) return immediately; only
+// transport failures are retried.
+func (r *ResilientClient) do(op func(cl *Client) error) error {
+	r.mu.Lock()
+	r.ctr.Requests++
+	r.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < r.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			r.mu.Lock()
+			r.ctr.Retries++
+			r.mu.Unlock()
+			r.cfg.Sleep(r.backoff(attempt - 1))
+		}
+		cl, err := r.client()
+		if err == nil {
+			err = op(cl)
+			if err == nil {
+				return nil
+			}
+			if !transient(err) {
+				return err
+			}
+			r.drop()
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// Snapshot fetches the whole table, retrying and reconnecting as
+// configured. When the server stays unreachable it falls back to the
+// last-known-good snapshot — meta.Stale is set and meta.Age tells how
+// old the data is — and only errors when no usable cache exists.
+func (r *ResilientClient) Snapshot() (*netmodel.Perf, []string, SnapshotMeta, error) {
+	var (
+		perf  *netmodel.Perf
+		names []string
+		ver   uint64
+	)
+	err := r.do(func(cl *Client) error {
+		p, n, v, e := cl.Snapshot()
+		if e != nil {
+			return e
+		}
+		perf, names, ver = p, n, v
+		return nil
+	})
+	now := r.cfg.Clock()
+	if err == nil {
+		r.mu.Lock()
+		r.cached = perf.Clone()
+		r.cachedNames = append([]string(nil), names...)
+		r.cachedVersion = ver
+		r.cachedAt = now
+		r.mu.Unlock()
+		return perf, names, SnapshotMeta{Version: ver}, nil
+	}
+	if perf, names, meta, ok := r.staleSnapshot(now); ok {
+		return perf, names, meta, nil
+	}
+	return nil, nil, SnapshotMeta{}, err
+}
+
+// staleSnapshot serves the cache when permitted.
+func (r *ResilientClient) staleSnapshot(now time.Time) (*netmodel.Perf, []string, SnapshotMeta, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cached == nil || r.cfg.MaxStale < 0 {
+		return nil, nil, SnapshotMeta{}, false
+	}
+	age := now.Sub(r.cachedAt)
+	if r.cfg.MaxStale > 0 && age > r.cfg.MaxStale {
+		return nil, nil, SnapshotMeta{}, false
+	}
+	r.ctr.StaleServes++
+	return r.cached.Clone(), append([]string(nil), r.cachedNames...),
+		SnapshotMeta{Version: r.cachedVersion, Stale: true, Age: age}, true
+}
+
+// Query fetches one ordered pair, degrading to the cached snapshot's
+// entry when the server is unreachable.
+func (r *ResilientClient) Query(src, dst int) (netmodel.PairPerf, SnapshotMeta, error) {
+	var (
+		pp  netmodel.PairPerf
+		ver uint64
+	)
+	err := r.do(func(cl *Client) error {
+		p, v, e := cl.Query(src, dst)
+		if e != nil {
+			return e
+		}
+		pp, ver = p, v
+		return nil
+	})
+	if err == nil {
+		return pp, SnapshotMeta{Version: ver}, nil
+	}
+	if perf, _, meta, ok := r.staleSnapshot(r.cfg.Clock()); ok {
+		if src < 0 || src >= perf.N() || dst < 0 || dst >= perf.N() {
+			return netmodel.PairPerf{}, SnapshotMeta{}, fmt.Errorf("directory: pair (%d,%d) outside cached table", src, dst)
+		}
+		return perf.At(src, dst), meta, nil
+	}
+	return netmodel.PairPerf{}, SnapshotMeta{}, err
+}
+
+// UpdatePair publishes fresh performance with retry and reconnection.
+// Writes never degrade: if the server cannot be reached the error is
+// returned so the caller knows the update was not published.
+func (r *ResilientClient) UpdatePair(src, dst int, pp netmodel.PairPerf) (uint64, error) {
+	var ver uint64
+	err := r.do(func(cl *Client) error {
+		v, e := cl.UpdatePair(src, dst, pp)
+		if e != nil {
+			return e
+		}
+		ver = v
+		return nil
+	})
+	return ver, err
+}
+
+// Version fetches the store's version counter with retry; it does not
+// degrade (a stale version number would defeat its purpose).
+func (r *ResilientClient) Version() (uint64, error) {
+	var ver uint64
+	err := r.do(func(cl *Client) error {
+		v, e := cl.Version()
+		if e != nil {
+			return e
+		}
+		ver = v
+		return nil
+	})
+	return ver, err
+}
+
+// Source adapts the client to the comm.Source signature. A strict
+// source fails when the server is unreachable, letting the
+// Communicator's own fallback ladder observe the outage and report its
+// health honestly; a non-strict source serves the client's stale cache
+// transparently.
+func (r *ResilientClient) Source(strict bool) func() (*netmodel.Perf, error) {
+	return func() (*netmodel.Perf, error) {
+		if strict {
+			var perf *netmodel.Perf
+			err := r.do(func(cl *Client) error {
+				p, _, v, e := cl.Snapshot()
+				if e != nil {
+					return e
+				}
+				perf = p
+				// Keep the cache warm so non-strict readers of the same
+				// client benefit from strict traffic too.
+				r.mu.Lock()
+				r.cached = p.Clone()
+				r.cachedVersion = v
+				r.cachedAt = r.cfg.Clock()
+				r.mu.Unlock()
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			return perf, nil
+		}
+		perf, _, _, err := r.Snapshot()
+		return perf, err
+	}
+}

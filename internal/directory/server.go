@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"hetsched/internal/netmodel"
 )
@@ -16,16 +17,38 @@ import (
 type Server struct {
 	store *Store
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
-	wg       sync.WaitGroup
+	mu          sync.Mutex
+	listener    net.Listener
+	conns       map[net.Conn]struct{}
+	closed      bool
+	wg          sync.WaitGroup
+	idleTimeout time.Duration
+	wrapConn    func(net.Conn) net.Conn
 }
 
 // NewServer wraps a store.
 func NewServer(store *Store) *Server {
 	return &Server{store: store, conns: map[net.Conn]struct{}{}}
+}
+
+// SetIdleTimeout makes the server drop connections that stay silent
+// longer than d, so dead clients cannot pin serving goroutines
+// forever. Zero (the default) keeps connections open indefinitely.
+// Call before Listen.
+func (s *Server) SetIdleTimeout(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idleTimeout = d
+}
+
+// SetConnWrapper installs a hook applied to every accepted connection
+// before serving begins — the seam the chaos harness uses to inject
+// drops, stalls, and partial writes (see internal/faults). Call before
+// Listen; the wrapper's Close must close the underlying connection.
+func (s *Server) SetConnWrapper(wrap func(net.Conn) net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wrapConn = wrap
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0")
@@ -62,6 +85,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			conn.Close()
 			return
 		}
+		if s.wrapConn != nil {
+			conn = s.wrapConn(conn)
+		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
@@ -77,9 +103,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	s.mu.Lock()
+	idle := s.idleTimeout
+	s.mu.Unlock()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	for sc.Scan() {
+	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		if !sc.Scan() {
+			return // client hung up, idle deadline expired, or read error
+		}
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue

@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"hetsched/internal/netmodel"
+)
+
+// LinkEvent is one mid-run change to a directed link: at Time, the
+// bandwidth of Src→Dst is multiplied by Factor. Factor 0 marks the
+// link failed; the network models failure as a crawl at FailFloor of
+// the original bandwidth rather than an infinite transfer, because a
+// total exchange still has to move those bytes — the point of the
+// harness is to force the scheduler to work around the failure, not to
+// make completion undefined.
+type LinkEvent struct {
+	Time   float64
+	Src    int
+	Dst    int
+	Factor float64
+}
+
+// FailFloor is the bandwidth fraction a "failed" (Factor 0) link
+// retains.
+const FailFloor = 1e-3
+
+// Network wraps a base performance table with a timeline of link
+// events. It implements sim.Network (TransferTime samples the
+// conditions in effect at the transfer's start) and supplies the
+// observe function (At) and fault times (Times) that sim.RunReactive
+// needs to trigger checkpoint + re-plan when a link fails.
+type Network struct {
+	base   *netmodel.Perf
+	events []LinkEvent // sorted by time
+}
+
+// NewNetwork validates events against the table and sorts them.
+func NewNetwork(base *netmodel.Perf, events []LinkEvent) (*Network, error) {
+	n := base.N()
+	cp := append([]LinkEvent(nil), events...)
+	for k, e := range cp {
+		if e.Src < 0 || e.Src >= n || e.Dst < 0 || e.Dst >= n || e.Src == e.Dst {
+			return nil, fmt.Errorf("faults: event %d targets invalid link %d→%d for %d processors", k, e.Src, e.Dst, n)
+		}
+		if e.Factor < 0 {
+			return nil, fmt.Errorf("faults: event %d has negative factor %g", k, e.Factor)
+		}
+	}
+	sort.SliceStable(cp, func(a, b int) bool { return cp[a].Time < cp[b].Time })
+	return &Network{base: base.Clone(), events: cp}, nil
+}
+
+// N implements sim.Network.
+func (f *Network) N() int { return f.base.N() }
+
+// factor returns the cumulative bandwidth multiplier for src→dst at
+// time now.
+func (f *Network) factor(src, dst int, now float64) float64 {
+	m := 1.0
+	for _, e := range f.events {
+		if e.Time > now {
+			break
+		}
+		if e.Src == src && e.Dst == dst {
+			fac := e.Factor
+			if fac < FailFloor {
+				fac = FailFloor
+			}
+			m *= fac
+		}
+	}
+	if m < FailFloor {
+		m = FailFloor
+	}
+	return m
+}
+
+// TransferTime implements sim.Network.
+func (f *Network) TransferTime(src, dst int, size int64, now float64) float64 {
+	pp := f.base.At(src, dst)
+	pp.Bandwidth *= f.factor(src, dst, now)
+	return pp.TransferTime(size)
+}
+
+// At returns the performance table a directory query at time t would
+// report — the observe function for checkpointed execution.
+func (f *Network) At(t float64) *netmodel.Perf {
+	perf := f.base.Clone()
+	n := perf.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if fac := f.factor(i, j, t); fac != 1 {
+				pp := perf.At(i, j)
+				pp.Bandwidth *= fac
+				perf.Set(i, j, pp)
+			}
+		}
+	}
+	return perf
+}
+
+// Times returns the event times in order — the triggers for reactive
+// replanning.
+func (f *Network) Times() []float64 {
+	out := make([]float64, len(f.events))
+	for k, e := range f.events {
+		out[k] = e.Time
+	}
+	return out
+}
+
+// Events returns a copy of the sorted event timeline.
+func (f *Network) Events() []LinkEvent { return append([]LinkEvent(nil), f.events...) }
+
+// RandomLinkEvents draws count seeded link events on distinct directed
+// links, uniformly timed over (0, window]. Roughly half are outright
+// failures (Factor 0); the rest degrade bandwidth to 5–50% of nominal.
+func RandomLinkEvents(rng *rand.Rand, n, count int, window float64) []LinkEvent {
+	if n < 2 || count <= 0 || window <= 0 {
+		return nil
+	}
+	if max := n * (n - 1); count > max {
+		count = max
+	}
+	used := map[[2]int]bool{}
+	out := make([]LinkEvent, 0, count)
+	for len(out) < count {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		if src == dst || used[[2]int{src, dst}] {
+			continue
+		}
+		used[[2]int{src, dst}] = true
+		ev := LinkEvent{Time: window * (0.1 + 0.9*rng.Float64()), Src: src, Dst: dst}
+		if rng.Float64() < 0.5 {
+			ev.Factor = 0 // failure
+		} else {
+			ev.Factor = 0.05 + 0.45*rng.Float64()
+		}
+		out = append(out, ev)
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Time < out[b].Time })
+	return out
+}

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"hetsched/internal/netmodel"
+)
+
+// SourceConfig sets the fault mix for a wrapped performance source
+// (the comm.Source signature: func() (*netmodel.Perf, error)).
+type SourceConfig struct {
+	// Seed drives the rolls; 0 selects 1.
+	Seed int64
+	// FailProb makes the call return an injected error.
+	FailProb float64
+	// StaleProb makes the call return a frozen copy of the first table
+	// the inner source ever produced — the "directory lagging behind
+	// the network" failure mode — instead of current conditions.
+	StaleProb float64
+}
+
+// SourceCounts reports what a wrapped source has done.
+type SourceCounts struct {
+	Calls  int
+	Fails  int
+	Stales int
+}
+
+// WrapSource wraps a snapshot function with seeded failures and stale
+// answers. The returned counts function reads the counters; both
+// closures are safe for concurrent use.
+func WrapSource(inner func() (*netmodel.Perf, error), cfg SourceConfig) (func() (*netmodel.Perf, error), func() SourceCounts) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	var (
+		mu     sync.Mutex
+		rng    = rand.New(rand.NewSource(cfg.Seed))
+		frozen *netmodel.Perf
+		ctr    SourceCounts
+	)
+	src := func() (*netmodel.Perf, error) {
+		mu.Lock()
+		ctr.Calls++
+		x := rng.Float64()
+		fail := x < cfg.FailProb
+		stale := !fail && x < cfg.FailProb+cfg.StaleProb && frozen != nil
+		if fail {
+			ctr.Fails++
+		}
+		if stale {
+			ctr.Stales++
+			p := frozen.Clone()
+			mu.Unlock()
+			return p, nil
+		}
+		mu.Unlock()
+		if fail {
+			return nil, fmt.Errorf("%w: directory source", ErrInjected)
+		}
+		perf, err := inner()
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		if frozen == nil {
+			frozen = perf.Clone()
+		}
+		mu.Unlock()
+		return perf, nil
+	}
+	counts := func() SourceCounts {
+		mu.Lock()
+		defer mu.Unlock()
+		return ctr
+	}
+	return src, counts
+}

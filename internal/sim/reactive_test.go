@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/sched"
+)
+
+// totalExchangePlan schedules a full exchange with open shop and turns
+// it into an executable plan.
+func totalExchangePlan(t *testing.T, perf *netmodel.Perf, size int64) *Plan {
+	t.Helper()
+	sizes := model.UniformSizes(perf.N(), size)
+	m, err := model.Build(perf, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sched.NewOpenShop().Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanFromSchedule(res.Schedule, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestRunReactiveNoFaultsKeepsOrder(t *testing.T) {
+	perf := netmodel.Gusto()
+	plan := totalExchangePlan(t, perf, 1<<20)
+	net := NewStatic(perf)
+	observe := func(float64) *netmodel.Perf { return perf.Clone() }
+
+	base, err := Run(net, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunReactive(net, observe, nil, plan, EveryEvents{K: 5}, ReplanOpenShop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replans != 0 {
+		t.Errorf("replanned %d times with no fault events", res.Replans)
+	}
+	if res.Checkpoints == 0 {
+		t.Error("no checkpoints under EveryEvents")
+	}
+	if res.Finish != base.Finish {
+		t.Errorf("fault-free reactive run finished at %g, plain run at %g", res.Finish, base.Finish)
+	}
+	if len(res.Schedule.Events) != plan.Events() {
+		t.Errorf("executed %d events, plan has %d", len(res.Schedule.Events), plan.Events())
+	}
+}
+
+func TestRunReactiveReplansOnFault(t *testing.T) {
+	perf := netmodel.Gusto()
+	plan := totalExchangePlan(t, perf, 1<<20)
+
+	// Degrade one link tenfold partway through the fault-free makespan.
+	base, err := Run(NewStatic(perf), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	when := base.Finish / 3
+	after := perf.Clone()
+	pp := after.At(0, 1)
+	pp.Bandwidth /= 10
+	after.Set(0, 1, pp)
+	pw, err := NewPiecewise([]Epoch{{Start: 0, Perf: perf}, {Start: when, Perf: after}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RunReactive(pw, pw.At, []float64{when}, plan, EveryEvents{K: 4}, ReplanOpenShop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replans != 1 {
+		t.Errorf("replans = %d, want exactly 1 (one fault event)", res.Replans)
+	}
+	if res.Checkpoints < res.Replans {
+		t.Errorf("checkpoints %d < replans %d", res.Checkpoints, res.Replans)
+	}
+	if len(res.Schedule.Events) != plan.Events() {
+		t.Errorf("executed %d events, plan has %d", len(res.Schedule.Events), plan.Events())
+	}
+	if err := res.Schedule.Validate(nil); err != nil {
+		t.Errorf("executed schedule violates constraints: %v", err)
+	}
+	// Events at or before t=0 are pre-run conditions, never triggers.
+	res0, err := RunReactive(NewStatic(perf), func(float64) *netmodel.Perf { return perf.Clone() },
+		[]float64{-1, 0}, plan, EveryEvents{K: 4}, ReplanOpenShop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res0.Replans != 0 {
+		t.Errorf("pre-run events triggered %d replans", res0.Replans)
+	}
+}

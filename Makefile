@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-short chaos ci bench cover figures examples clean
+.PHONY: all build test vet race race-short chaos ci bench bench-json cover figures examples clean
 
 all: build vet test
 
@@ -34,6 +34,11 @@ chaos:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Machine-readable figure sweeps: mean and p95 ratio-to-lower-bound per
+# (P, algorithm) plus per-figure wall clock, written to bench.json.
+bench-json:
+	$(GO) run ./cmd/hcbench -fig sweeps -json bench.json
 
 cover:
 	$(GO) test -cover ./...

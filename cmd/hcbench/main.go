@@ -14,16 +14,31 @@
 //	hcbench -fig qos        # X6: deadline scheduling
 //	hcbench -fig critical   # X7: critical-resource scheduling
 //	hcbench -fig all        # everything above
+//	hcbench -fig sweeps -json out.json  # Figures 9-12 as machine-readable JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"hetsched/internal/experiments"
 	"hetsched/internal/workload"
 )
+
+// jsonFigure is one figure sweep in the -json report: the aggregate
+// cells (mean and p95 ratio to the lower bound, mean completion,
+// geometric-mean speedup) plus how long the sweep took to run.
+type jsonFigure struct {
+	Figure      string             `json:"figure"`
+	Workload    string             `json:"workload"`
+	Trials      int                `json:"trials"`
+	Seed        int64              `json:"seed"`
+	WallSeconds float64            `json:"wall_clock_seconds"`
+	Cells       []experiments.Cell `json:"cells"`
+}
 
 func main() {
 	var (
@@ -32,10 +47,12 @@ func main() {
 		seed    = flag.Int64("seed", 1998, "base random seed")
 		pmax    = flag.Int("pmax", 50, "largest processor count for the figure sweeps")
 		csv     = flag.Bool("csv", false, "emit CSV instead of tables (figure sweeps only)")
+		jsonOut = flag.String("json", "", "also write figure sweeps as JSON to this file")
 		workers = flag.Int("workers", 0, "worker goroutines per experiment (0 = GOMAXPROCS, 1 = sequential); output is identical for any value")
 	)
 	flag.Parse()
 	experiments.SetDefaultWorkers(*workers)
+	var report []jsonFigure
 
 	run := func(name string) error {
 		switch name {
@@ -53,15 +70,27 @@ func main() {
 				ps = append(ps, p)
 			}
 			cfg.Ps = ps
+			start := time.Now()
 			res, err := experiments.RunFigure(cfg)
 			if err != nil {
 				return err
 			}
+			wall := time.Since(start)
 			fmt.Printf("=== Figure %s ===\n", name)
 			if *csv {
 				fmt.Print(res.FormatCSV())
 			} else {
 				fmt.Print(res.FormatTable())
+			}
+			if *jsonOut != "" {
+				report = append(report, jsonFigure{
+					Figure:      name,
+					Workload:    res.Kind.String(),
+					Trials:      cfg.Trials,
+					Seed:        cfg.Seed,
+					WallSeconds: wall.Seconds(),
+					Cells:       res.Cells,
+				})
 			}
 		case "example":
 			out, err := experiments.RunningExample()
@@ -155,13 +184,28 @@ func main() {
 	}
 
 	names := []string{*fig}
-	if *fig == "all" {
+	switch *fig {
+	case "all":
 		names = []string{"example", "9", "10", "11", "12", "tight", "alpha", "buffer", "incr", "ckpt", "qos", "critical", "staging", "gap", "multinet", "indirect"}
+	case "sweeps":
+		names = []string{"9", "10", "11", "12"}
 	}
 	for _, name := range names {
 		if err := run(name); err != nil {
 			fmt.Fprintln(os.Stderr, "hcbench:", err)
 			os.Exit(1)
 		}
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hcbench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "hcbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("json: %d figure sweep(s) written to %s\n", len(report), *jsonOut)
 	}
 }

@@ -11,6 +11,7 @@
 //	hcdird -addr 127.0.0.1:7474 -random -p 16 -drift 100ms
 //	hcdird -gusto -idle-timeout 2m                  # shed dead clients
 //	hcdird -gusto -chaos-drop 0.05 -chaos-tear 0.05 # fault-injected server
+//	hcdird -gusto -metrics-addr 127.0.0.1:9090      # Prometheus /metrics + pprof
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"hetsched/internal/directory"
 	"hetsched/internal/faults"
 	"hetsched/internal/netmodel"
+	"hetsched/internal/obs"
 )
 
 func main() {
@@ -41,6 +43,7 @@ func main() {
 		chaosDrop   = flag.Float64("chaos-drop", 0, "per-op probability of severing a connection (chaos testing)")
 		chaosStall  = flag.Duration("chaos-stall", 0, "if > 0, stall 10% of ops this long (chaos testing)")
 		chaosTear   = flag.Float64("chaos-tear", 0, "per-write probability of a torn partial write (chaos testing)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/vars, and /debug/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -73,6 +76,20 @@ func main() {
 	srv := directory.NewServer(store)
 	if *idleTimeout > 0 {
 		srv.SetIdleTimeout(*idleTimeout)
+	}
+	var stopMetrics func() error
+	if *metricsAddr != "" {
+		reg := obs.Default()
+		// Declare every standard family up front so scrapers see the
+		// full schema (HELP/TYPE) even before any samples exist.
+		obs.DeclareStandard(reg)
+		srv.SetMetrics(reg)
+		mbound, stop, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		stopMetrics = stop
+		fmt.Printf("hcdird: telemetry on http://%s/metrics (plus /debug/vars, /debug/pprof)\n", mbound)
 	}
 	if *chaosDrop > 0 || *chaosStall > 0 || *chaosTear > 0 {
 		stallProb := 0.0
@@ -115,6 +132,9 @@ func main() {
 	close(stop)
 	if err := <-feederDone; err != nil {
 		fmt.Fprintln(os.Stderr, "hcdird: feeder:", err)
+	}
+	if stopMetrics != nil {
+		stopMetrics()
 	}
 	if err := srv.Close(); err != nil {
 		fatal(err)

@@ -9,7 +9,8 @@
 //	hcsim -p 16 -drift 0.3 -checkpoint every -replan        # §6.3 adaptivity
 //	hcsim -p 16 -faults 5 -checkpoint every -replan         # seeded link failures
 //	hcsim -net state.json -alg maxmatch                     # saved network
-//	hcsim -trace rec.json -checkpoint every -replan         # replay a recording
+//	hcsim -replay rec.json -checkpoint every -replan        # replay a recording
+//	hcsim -p 16 -trace out.json                             # write a Chrome/Perfetto trace
 package main
 
 import (
@@ -22,13 +23,16 @@ import (
 	"hetsched"
 	"hetsched/internal/faults"
 	"hetsched/internal/netmodel"
+	"hetsched/internal/obs"
 	"hetsched/internal/sim"
+	"hetsched/internal/timing"
 )
 
 func main() {
 	var (
 		netFile    = flag.String("net", "", "load network state from a JSON file (see hcquery -emit / hcdird -save)")
-		traceFile  = flag.String("trace", "", "replay a recorded network-condition series (trace JSON)")
+		replayFile = flag.String("replay", "", "replay a recorded network-condition series (recording JSON)")
+		traceOut   = flag.String("trace", "", "write the executed schedule as Chrome trace_event JSON (chrome://tracing, Perfetto)")
 		p          = flag.Int("p", 16, "processors for random generation")
 		seed       = flag.Int64("seed", 1, "random seed")
 		size       = flag.Int64("size", 1<<20, "message size in bytes")
@@ -46,9 +50,10 @@ func main() {
 	rng := rand.New(rand.NewSource(*seed))
 	var perf *hetsched.Perf
 	var recording *hetsched.Recording
+	var names []string
 	switch {
-	case *traceFile != "":
-		data, err := os.ReadFile(*traceFile)
+	case *replayFile != "":
+		data, err := os.ReadFile(*replayFile)
 		if err != nil {
 			fatal(err)
 		}
@@ -57,23 +62,30 @@ func main() {
 			fatal(err)
 		}
 		if recording.Len() == 0 {
-			fatal(fmt.Errorf("trace %s is empty", *traceFile))
+			fatal(fmt.Errorf("recording %s is empty", *replayFile))
 		}
 		_, perf = recording.Sample(0) // plan from the opening conditions
-		fmt.Printf("replaying %d recorded network samples from %s\n", recording.Len(), *traceFile)
+		fmt.Printf("replaying %d recorded network samples from %s\n", recording.Len(), *replayFile)
 	case *netFile != "":
 		data, err := os.ReadFile(*netFile)
 		if err != nil {
 			fatal(err)
 		}
-		var names []string
 		perf, names, err = netmodel.UnmarshalPerf(data)
 		if err != nil {
 			fatal(err)
 		}
-		_ = names
 	default:
 		perf = hetsched.RandomPerf(rng, *p, hetsched.GustoGuided())
+	}
+
+	// -trace: record checkpoint/replan instants during execution and the
+	// executed schedule afterwards, then write one Perfetto-loadable file.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(nil)
+		sim.SetTelemetry(nil, tracer)
+		defer sim.SetTelemetry(nil, nil)
 	}
 	n := perf.N()
 	sizes := hetsched.UniformSizes(n, *size)
@@ -105,7 +117,7 @@ func main() {
 			fatal(fmt.Errorf("-faults needs -model exclusive (reactive re-planning)"))
 		}
 		if recording != nil || *drift > 0 {
-			fatal(fmt.Errorf("-faults cannot combine with -trace or -drift"))
+			fatal(fmt.Errorf("-faults cannot combine with -replay or -drift"))
 		}
 		events := faults.RandomLinkEvents(rng, n, *faultCount, res.CompletionTime())
 		fn, err := faults.NewNetwork(perf, events)
@@ -155,6 +167,7 @@ func main() {
 		observe = func(float64) *hetsched.Perf { return st.Perf() }
 	}
 
+	var executed *timing.Schedule
 	switch *modelName {
 	case "exclusive":
 		var policy hetsched.CheckpointPolicy
@@ -183,6 +196,7 @@ func main() {
 			}
 			fmt.Printf("executed (exclusive, reactive, checkpoints=%s, replan=%s): finish %.4g s, %d checkpoints, %d replans\n",
 				policy.Name(), rpName, rr.Finish, rr.Checkpoints, rr.Replans)
+			executed = rr.Schedule
 			break
 		}
 		ck, err := hetsched.SimulateCheckpointed(network, observe, plan, policy, rp)
@@ -191,20 +205,40 @@ func main() {
 		}
 		fmt.Printf("executed (exclusive, checkpoints=%s, replan=%s): finish %.4g s, %d checkpoints\n",
 			policy.Name(), rpName, ck.Finish, ck.Checkpoints)
+		executed = ck.Schedule
 	case "interleaved":
 		exec, err := hetsched.SimulateInterleaved(network, plan, *alpha)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("executed (interleaved, α=%.2f): finish %.4g s\n", *alpha, exec.Finish)
+		executed = exec.Schedule
 	case "buffered":
 		exec, err := hetsched.SimulateBuffered(network, plan, *capacity)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("executed (buffered, capacity=%d): finish %.4g s\n", *capacity, exec.Finish)
+		executed = exec.Schedule
 	default:
 		fatal(fmt.Errorf("unknown receive model %q", *modelName))
+	}
+
+	if tracer != nil && executed != nil {
+		obs.TraceSchedule(tracer, "exec", executed, names)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d events written to %s (load in chrome://tracing or Perfetto)\n",
+			tracer.Len(), *traceOut)
 	}
 }
 

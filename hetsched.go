@@ -52,6 +52,7 @@ import (
 	"hetsched/internal/model"
 	"hetsched/internal/multinet"
 	"hetsched/internal/netmodel"
+	"hetsched/internal/obs"
 	"hetsched/internal/optimize"
 	"hetsched/internal/qos"
 	"hetsched/internal/sched"
@@ -619,3 +620,56 @@ const (
 	LinearBroadcast   = collective.LinearBroadcast
 	BinomialBroadcast = collective.BinomialBroadcast
 )
+
+// Telemetry (internal/obs): a zero-dependency metrics registry plus
+// span tracing with Chrome trace_event export. Pass a registry/tracer
+// through CommConfig.Metrics/Tracer or ResilientConfig.Metrics/Tracer to
+// instrument planning and directory traffic; everything is a no-op
+// when left nil.
+type (
+	// MetricsRegistry is a race-safe registry of counters, gauges, and
+	// histograms with Prometheus text exposition.
+	MetricsRegistry = obs.Registry
+	// MetricLabel is one name/value metric label.
+	MetricLabel = obs.Label
+	// Tracer records spans and instants and writes Chrome trace_event
+	// JSON loadable in chrome://tracing and Perfetto.
+	Tracer = obs.Tracer
+	// Span is one in-flight traced operation.
+	Span = obs.Span
+)
+
+// NewMetricsRegistry creates an empty metrics registry.
+var NewMetricsRegistry = obs.New
+
+// DefaultMetrics returns the process-wide shared registry.
+var DefaultMetrics = obs.Default
+
+// DeclareStandardMetrics pre-declares every hetsched_* metric family in
+// a registry so scrapers see the full schema before traffic arrives.
+var DeclareStandardMetrics = obs.DeclareStandard
+
+// NewTracer creates a tracer; nil selects the wall clock.
+var NewTracer = obs.NewTracer
+
+// MetricLabelValue builds one metric label.
+var MetricLabelValue = obs.L
+
+// TraceSchedule renders a schedule onto a tracer as one track per
+// sender with one slice per message — the paper's timing diagrams as a
+// Perfetto-loadable trace.
+var TraceSchedule = obs.TraceSchedule
+
+// ServeMetrics exposes /metrics (Prometheus text), /debug/vars, and
+// /debug/pprof for a registry on addr in the background; it returns
+// the bound address and a shutdown function.
+var ServeMetrics = obs.Serve
+
+// MetricsHandler returns the telemetry HTTP handler for embedding in
+// an existing server.
+var MetricsHandler = obs.Handler
+
+// SetSimTelemetry wires checkpoint/replan counters and trace instants
+// into the simulator's execution loops (process-wide; pass nil, nil to
+// disable).
+var SetSimTelemetry = sim.SetTelemetry

@@ -20,6 +20,7 @@ import (
 	"hetsched/internal/incremental"
 	"hetsched/internal/model"
 	"hetsched/internal/netmodel"
+	"hetsched/internal/obs"
 	"hetsched/internal/sched"
 	"hetsched/internal/timing"
 )
@@ -59,9 +60,20 @@ type Config struct {
 	// Clock supplies the time for staleness decisions; nil selects
 	// time.Now. Tests inject a fake clock here.
 	Clock func() time.Time
+	// Metrics registers the communicator's planning and fallback-ladder
+	// instruments (plans/repairs/recomputes, per-rung serve counters,
+	// rung transitions, plan-time and per-algorithm schedule-quality
+	// histograms) in this registry. Nil disables metrics: every hook
+	// degrades to a nil-pointer no-op.
+	Metrics *obs.Registry
+	// Tracer records a span per planned exchange and an instant per
+	// ladder-rung transition. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
-// Stats counts what the communicator did.
+// Stats counts what the communicator did. When Config.Metrics is set,
+// every field is mirrored into the registry (hetsched_comm_*_total and
+// hetsched_ladder_served_total) so the same numbers appear on /metrics.
 type Stats struct {
 	Plans      int // schedules computed from scratch
 	Repairs    int // schedules produced by incremental repair
@@ -81,6 +93,7 @@ type Communicator struct {
 	n      int
 	source Source
 	cfg    Config
+	tel    commTelemetry
 
 	mu sync.Mutex // guards the fields below
 	// cached state for AllToAllRepeated
@@ -128,7 +141,8 @@ func New(n int, source Source, cfg Config) (*Communicator, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &Communicator{n: n, source: source, cfg: cfg}, nil
+	return &Communicator{n: n, source: source, cfg: cfg,
+		tel: newCommTelemetry(cfg.Metrics, cfg.Tracer)}, nil
 }
 
 // Health reports which rung of the fallback ladder served the most
@@ -187,7 +201,7 @@ func (c *Communicator) snapshotMatrix(sizes *model.Sizes) (*model.Matrix, Health
 // noteServed records the rung that served an exchange.
 func (c *Communicator) noteServed(h Health) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	prev := c.health
 	c.health = h
 	switch h {
 	case HealthOK:
@@ -197,6 +211,8 @@ func (c *Communicator) noteServed(h Health) {
 	case HealthDegraded:
 		c.stats.ServedDegraded++
 	}
+	c.mu.Unlock()
+	c.tel.noteRung(prev, h)
 }
 
 // tagResult marks a result produced below the fresh rung.
@@ -224,7 +240,8 @@ func (c *Communicator) AllToAll(sizes *model.Sizes) (*sched.Result, error) {
 	c.mu.Lock()
 	c.stats.Plans++
 	c.mu.Unlock()
-	r, err := scheduler.Schedule(m)
+	c.tel.plans.Inc()
+	r, err := c.timedSchedule(scheduler, m, h, "oneshot")
 	if err != nil {
 		return nil, err
 	}
@@ -303,13 +320,14 @@ func (c *Communicator) AllToAllRepeated(sizes *model.Sizes) (*sched.Result, erro
 		// The uniform matrix carries no real information; planning the
 		// blind baseline without touching the repair cache keeps the
 		// cached schedule intact for when the directory returns.
-		r, err := c.cfg.BaselineScheduler.Schedule(m)
+		r, err := c.timedSchedule(c.cfg.BaselineScheduler, m, h, "repeated")
 		if err != nil {
 			return nil, err
 		}
 		c.mu.Lock()
 		c.stats.Plans++
 		c.mu.Unlock()
+		c.tel.plans.Inc()
 		c.noteServed(h)
 		return tagResult(r, h), nil
 	}
@@ -317,38 +335,44 @@ func (c *Communicator) AllToAllRepeated(sizes *model.Sizes) (*sched.Result, erro
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.lastSteps == nil || c.lastMatrix == nil {
-		r, err := c.planRepeatedLocked(m)
+		r, err := c.timedResult(h, "repeated", func() (*sched.Result, error) {
+			return c.planRepeatedLocked(m)
+		})
 		if err != nil {
 			return nil, err
 		}
 		return tagResult(r, h), nil
 	}
-	repaired, st, err := incremental.Refine(c.lastSteps, c.lastMatrix, m,
-		incremental.Options{Threshold: c.cfg.RepairThreshold, Max: true})
-	if err != nil {
-		return nil, err
-	}
-	if st.Steps > 0 && float64(st.DirtySteps) > c.cfg.RecomputeFraction*float64(st.Steps) {
-		c.stats.Recomputes++
-		r, err := c.planRepeatedLocked(m)
+	r, err := c.timedResult(h, "repair", func() (*sched.Result, error) {
+		repaired, st, err := incremental.Refine(c.lastSteps, c.lastMatrix, m,
+			incremental.Options{Threshold: c.cfg.RepairThreshold, Max: true})
 		if err != nil {
 			return nil, err
 		}
-		return tagResult(r, h), nil
-	}
-	c.stats.Repairs++
-	c.lastMatrix = m
-	c.lastSteps = repaired
-	s, err := repaired.Evaluate(m)
+		if st.Steps > 0 && float64(st.DirtySteps) > c.cfg.RecomputeFraction*float64(st.Steps) {
+			c.stats.Recomputes++
+			c.tel.recomputes.Inc()
+			return c.planRepeatedLocked(m)
+		}
+		c.stats.Repairs++
+		c.tel.repairs.Inc()
+		c.lastMatrix = m
+		c.lastSteps = repaired
+		s, err := repaired.Evaluate(m)
+		if err != nil {
+			return nil, err
+		}
+		return &sched.Result{
+			Algorithm:  c.cfg.RepairScheduler.Name() + "+repair",
+			Steps:      repaired,
+			Schedule:   s,
+			LowerBound: m.LowerBound(),
+		}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return tagResult(&sched.Result{
-		Algorithm:  c.cfg.RepairScheduler.Name() + "+repair",
-		Steps:      repaired,
-		Schedule:   s,
-		LowerBound: m.LowerBound(),
-	}, h), nil
+	return tagResult(r, h), nil
 }
 
 // planRepeatedLocked computes a fresh step decomposition and caches
@@ -362,6 +386,7 @@ func (c *Communicator) planRepeatedLocked(m *model.Matrix) (*sched.Result, error
 		return nil, fmt.Errorf("comm: repair scheduler %q produced no step structure", c.cfg.RepairScheduler.Name())
 	}
 	c.stats.Plans++
+	c.tel.plans.Inc()
 	c.lastMatrix = m
 	c.lastSteps = r.Steps
 	return r, nil

@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"sync"
 	"time"
 
 	"hetsched/internal/netmodel"
@@ -51,7 +52,16 @@ const DefaultStaleBound = time.Minute
 // The absolute values are arbitrary; only the schedule's structure
 // matters, so degraded-mode completion-time estimates are meaningless
 // and results are tagged "+degraded".
+//
+// The table is immutable and identical for every caller of the same
+// size, so it is built once per size and cached: a degraded interlude
+// plans every exchange blind, and rebuilding the P×P table per
+// exchange was measurable churn exactly when the system is already
+// struggling. Callers must treat the returned table as read-only.
 func uniformPerf(n int) *netmodel.Perf {
+	if v, ok := uniformTables.Load(n); ok {
+		return v.(*netmodel.Perf)
+	}
 	perf := netmodel.NewPerf(n)
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -60,5 +70,9 @@ func uniformPerf(n int) *netmodel.Perf {
 			}
 		}
 	}
-	return perf
+	cached, _ := uniformTables.LoadOrStore(n, perf)
+	return cached.(*netmodel.Perf)
 }
+
+// uniformTables caches uniformPerf results by processor count.
+var uniformTables sync.Map

@@ -1,0 +1,121 @@
+package comm
+
+import (
+	"time"
+
+	"hetsched/internal/model"
+	"hetsched/internal/obs"
+	"hetsched/internal/sched"
+)
+
+// Telemetry wiring. A Communicator resolves its instruments once at
+// construction from Config.Metrics/Config.Tracer; when both are nil
+// every hook below is a nil-pointer no-op, so the planning hot path
+// pays a single boolean check (verified by BenchmarkAllToAllTelemetry*
+// in obs_bench_test.go).
+
+// commTelemetry holds the communicator's resolved instruments. The
+// zero value (telemetry disabled) makes every method a no-op.
+type commTelemetry struct {
+	enabled  bool
+	registry *obs.Registry
+	tracer   *obs.Tracer
+
+	plans, repairs, recomputes *obs.Counter
+	served                     [3]*obs.Counter // indexed by Health
+	planSeconds                *obs.Histogram
+}
+
+// newCommTelemetry resolves instruments; reg and tr may each be nil.
+func newCommTelemetry(reg *obs.Registry, tr *obs.Tracer) commTelemetry {
+	t := commTelemetry{enabled: reg != nil || tr != nil, registry: reg, tracer: tr}
+	if reg == nil {
+		return t
+	}
+	t.plans = reg.Counter(obs.MetricCommPlans, "Schedules computed from scratch.")
+	t.repairs = reg.Counter(obs.MetricCommRepairs, "Schedules produced by incremental repair.")
+	t.recomputes = reg.Counter(obs.MetricCommRecomputes, "Repairs abandoned for a full recompute.")
+	for h := HealthOK; h <= HealthDegraded; h++ {
+		t.served[h] = reg.Counter(obs.MetricLadderServed,
+			"Exchanges served, by fallback-ladder rung.", obs.L("rung", rungLabel(h)))
+	}
+	t.planSeconds = reg.Histogram(obs.MetricPlanSeconds,
+		"Wall-clock time spent planning one exchange.", obs.DurationBuckets)
+	return t
+}
+
+// rungLabel maps a Health to its metric label ("fresh" rather than
+// "ok", matching the Stats field names).
+func rungLabel(h Health) string {
+	switch h {
+	case HealthOK:
+		return "fresh"
+	case HealthStale:
+		return "stale"
+	case HealthDegraded:
+		return "degraded"
+	}
+	return "unknown"
+}
+
+// noteRung records which rung served an exchange and, when the rung
+// changed, the transition — a labeled counter and a trace instant, the
+// machine-readable version of "the ladder dropped to stale at 12:03".
+func (t *commTelemetry) noteRung(prev, h Health) {
+	if !t.enabled {
+		return
+	}
+	if h >= HealthOK && h <= HealthDegraded {
+		t.served[h].Inc()
+	}
+	if prev == h {
+		return
+	}
+	t.registry.Counter(obs.MetricLadderTransitions,
+		"Fallback-ladder rung changes, by from/to rung.",
+		obs.L("from", rungLabel(prev)), obs.L("to", rungLabel(h))).Inc()
+	t.tracer.Instant("ladder", "transition",
+		obs.L("from", rungLabel(prev)), obs.L("to", rungLabel(h)))
+}
+
+// quality returns the t_max/t_lb histogram for an algorithm (nil when
+// metrics are disabled). Resolution goes through the registry so new
+// algorithm names appear as new label values without pre-registration.
+func (t *commTelemetry) quality(algorithm string) *obs.Histogram {
+	return t.registry.Histogram(obs.MetricScheduleQuality,
+		"Schedule quality t_max/t_lb, by algorithm.", obs.RatioBuckets,
+		obs.L("algorithm", algorithm))
+}
+
+// timedSchedule runs the scheduler with a plan span, the plan-time
+// histogram, and the per-algorithm quality sample. With telemetry
+// disabled it is exactly s.Schedule(m).
+func (c *Communicator) timedSchedule(s sched.Scheduler, m *model.Matrix, h Health, kind string) (*sched.Result, error) {
+	return c.timedResult(h, kind, func() (*sched.Result, error) { return s.Schedule(m) })
+}
+
+// timedResult instruments an arbitrary plan computation (scratch plan,
+// degraded baseline, or incremental repair): it times the closure with
+// the injectable clock, records the span and plan-time sample, and
+// observes the result's quality ratio under the result's (untagged)
+// algorithm name.
+func (c *Communicator) timedResult(h Health, kind string, plan func() (*sched.Result, error)) (*sched.Result, error) {
+	if !c.tel.enabled {
+		return plan()
+	}
+	sp := c.tel.tracer.Begin("comm", "plan",
+		obs.L("rung", rungLabel(h)), obs.L("kind", kind))
+	start := c.cfg.Clock()
+	r, err := plan()
+	elapsed := c.cfg.Clock().Sub(start)
+	c.tel.planSeconds.Observe(float64(elapsed) / float64(time.Second))
+	if err != nil {
+		sp.SetArg("error", err.Error())
+		sp.End()
+		return nil, err
+	}
+	sp.SetArg("algorithm", r.Algorithm)
+	sp.End()
+	c.tel.quality(r.Algorithm).Observe(r.Ratio())
+	return r, nil
+}

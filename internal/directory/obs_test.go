@@ -1,0 +1,135 @@
+package directory
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hetsched/internal/netmodel"
+	"hetsched/internal/obs"
+)
+
+// readCounter resolves the same (name, labels) the code under test used
+// — Registry.Counter is get-or-create — and reads its value back.
+func readCounter(t *testing.T, reg *obs.Registry, name string, labels ...obs.Label) uint64 {
+	t.Helper()
+	return reg.Counter(name, "", labels...).Value()
+}
+
+// TestServerMetrics drives a live server through every op plus one
+// invalid request and checks the per-op counters, the connection
+// counter, and the store-version gauge.
+func TestServerMetrics(t *testing.T) {
+	store, err := NewStore(netmodel.Gusto(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	srv := NewServer(store)
+	srv.SetMetrics(reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cl, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, _, err := cl.Query(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := cl.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.UpdatePair(0, 1, netmodel.PairPerf{Latency: 1e-3, Bandwidth: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Version(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := readCounter(t, reg, obs.MetricDirectoryServerConns); got != 1 {
+		t.Errorf("connections = %d, want 1", got)
+	}
+	for _, op := range []string{opQuery, opSnapshot, opUpdatePair, opVersion} {
+		if got := readCounter(t, reg, obs.MetricDirectoryServerRequests, obs.L("op", op)); got != 1 {
+			t.Errorf("requests{op=%s} = %d, want 1", op, got)
+		}
+	}
+	if got := reg.Gauge(obs.MetricDirectoryStoreVersion, "").Value(); got != float64(v) {
+		t.Errorf("store-version gauge = %g, want %d", got, v)
+	}
+}
+
+// TestResilientClientMetrics checks the client-side counters: requests
+// and the span per request while the server is up; retries and a
+// cache-serve instant once it goes away.
+func TestResilientClientMetrics(t *testing.T) {
+	store, err := NewStore(netmodel.Gusto(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.New()
+	tr := obs.NewTracer(nil)
+	rc := NewResilientClient(addr, ResilientConfig{
+		Retries:     2,
+		BackoffBase: time.Millisecond,
+		Sleep:       func(time.Duration) {},
+		Metrics:     reg,
+		Tracer:      tr,
+	})
+	defer rc.Close()
+
+	if _, _, _, err := rc.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readCounter(t, reg, obs.MetricDirectoryRequests); got != 1 {
+		t.Errorf("requests = %d, want 1", got)
+	}
+
+	// Server gone: the snapshot must retry, then serve the cache.
+	srv.Close()
+	_, _, meta, err := rc.Snapshot()
+	if err != nil {
+		t.Fatalf("stale fallback failed: %v", err)
+	}
+	if !meta.Stale {
+		t.Error("expected a stale serve")
+	}
+	if got := readCounter(t, reg, obs.MetricDirectoryRequests); got != 2 {
+		t.Errorf("requests = %d, want 2", got)
+	}
+	if got := readCounter(t, reg, obs.MetricDirectoryRetries); got == 0 {
+		t.Error("retries counter never moved")
+	}
+	if got := readCounter(t, reg, obs.MetricDirectoryStaleServes); got != 1 {
+		t.Errorf("stale serves = %d, want 1", got)
+	}
+	ctr := rc.Counters()
+	if uint64(ctr.Requests) != readCounter(t, reg, obs.MetricDirectoryRequests) ||
+		uint64(ctr.Retries) != readCounter(t, reg, obs.MetricDirectoryRetries) ||
+		uint64(ctr.StaleServes) != readCounter(t, reg, obs.MetricDirectoryStaleServes) {
+		t.Errorf("registry disagrees with Counters(): %+v", ctr)
+	}
+
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	trace := sb.String()
+	for _, want := range []string{`"snapshot"`, `"retry"`, `"cache-serve"`} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %s event:\n%s", want, trace)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hetsched/internal/netmodel"
+	"hetsched/internal/obs"
 )
 
 // This file implements the fault-tolerant client the wide-area setting
@@ -49,6 +50,13 @@ type ResilientConfig struct {
 	Clock func() time.Time
 	// Sleep waits between retries; nil selects time.Sleep.
 	Sleep func(time.Duration)
+	// Metrics mirrors the ResilientCounters into this registry
+	// (hetsched_directory_{requests,retries,redials,stale_serves}_total).
+	// Nil disables metrics; every hook is then a nil-pointer no-op.
+	Metrics *obs.Registry
+	// Tracer records a span per request (with op and outcome) and an
+	// instant per retry, redial, and cache serve. Nil disables tracing.
+	Tracer *obs.Tracer
 }
 
 func (cfg ResilientConfig) withDefaults() ResilientConfig {
@@ -117,13 +125,30 @@ type ResilientClient struct {
 	cachedNames   []string
 	cachedVersion uint64
 	cachedAt      time.Time
+
+	// resolved telemetry instruments; all nil when telemetry is off,
+	// so every hook is a single pointer check.
+	mRequests, mRetries, mRedials, mStale *obs.Counter
+	tracer                                *obs.Tracer
 }
 
 // NewResilientClient creates a client for addr. No connection is made
 // until the first request.
 func NewResilientClient(addr string, cfg ResilientConfig) *ResilientClient {
 	cfg = cfg.withDefaults()
-	return &ResilientClient{addr: addr, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	r := &ResilientClient{addr: addr, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)),
+		tracer: cfg.Tracer}
+	if reg := cfg.Metrics; reg != nil {
+		r.mRequests = reg.Counter(obs.MetricDirectoryRequests,
+			"Requests made through resilient directory clients.")
+		r.mRetries = reg.Counter(obs.MetricDirectoryRetries,
+			"Extra directory attempts after transient failures.")
+		r.mRedials = reg.Counter(obs.MetricDirectoryRedials,
+			"Fresh directory connections dialed after the first.")
+		r.mStale = reg.Counter(obs.MetricDirectoryStaleServes,
+			"Directory reads answered from the last-known-good cache.")
+	}
+	return r
 }
 
 // Counters returns a copy of the resilience counters.
@@ -165,6 +190,8 @@ func (r *ResilientClient) client() (*Client, error) {
 	cl.SetRequestTimeout(r.cfg.RequestTimeout)
 	if r.dialed {
 		r.ctr.Reconnects++
+		r.mRedials.Inc()
+		r.tracer.Instant("directory", "redial")
 	}
 	r.dialed = true
 	r.cl = cl
@@ -199,33 +226,45 @@ func (r *ResilientClient) backoff(attempt int) time.Duration {
 	return time.Duration(float64(d) * f)
 }
 
-// do runs op with retry, backoff, and reconnection. Server-reported
-// errors (out-of-range pair, invalid update) return immediately; only
-// transport failures are retried.
-func (r *ResilientClient) do(op func(cl *Client) error) error {
+// do runs op (named for telemetry) with retry, backoff, and
+// reconnection. Server-reported errors (out-of-range pair, invalid
+// update) return immediately; only transport failures are retried.
+func (r *ResilientClient) do(name string, op func(cl *Client) error) (err error) {
 	r.mu.Lock()
 	r.ctr.Requests++
 	r.mu.Unlock()
+	r.mRequests.Inc()
+	if sp := r.tracer.Begin("directory", name); sp != nil {
+		defer func() {
+			if err != nil {
+				sp.SetArg("error", err.Error())
+			}
+			sp.End()
+		}()
+	}
 	var lastErr error
 	for attempt := 0; attempt < r.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			r.mu.Lock()
 			r.ctr.Retries++
 			r.mu.Unlock()
+			r.mRetries.Inc()
+			r.tracer.Instant("directory", "retry",
+				obs.L("op", name), obs.L("attempt", fmt.Sprint(attempt)))
 			r.cfg.Sleep(r.backoff(attempt - 1))
 		}
-		cl, err := r.client()
-		if err == nil {
-			err = op(cl)
-			if err == nil {
+		cl, cerr := r.client()
+		if cerr == nil {
+			cerr = op(cl)
+			if cerr == nil {
 				return nil
 			}
-			if !transient(err) {
-				return err
+			if !transient(cerr) {
+				return cerr
 			}
 			r.drop()
 		}
-		lastErr = err
+		lastErr = cerr
 	}
 	return lastErr
 }
@@ -240,7 +279,7 @@ func (r *ResilientClient) Snapshot() (*netmodel.Perf, []string, SnapshotMeta, er
 		names []string
 		ver   uint64
 	)
-	err := r.do(func(cl *Client) error {
+	err := r.do("snapshot", func(cl *Client) error {
 		p, n, v, e := cl.Snapshot()
 		if e != nil {
 			return e
@@ -276,6 +315,8 @@ func (r *ResilientClient) staleSnapshot(now time.Time) (*netmodel.Perf, []string
 		return nil, nil, SnapshotMeta{}, false
 	}
 	r.ctr.StaleServes++
+	r.mStale.Inc()
+	r.tracer.Instant("directory", "cache-serve", obs.L("age", age.String()))
 	return r.cached.Clone(), append([]string(nil), r.cachedNames...),
 		SnapshotMeta{Version: r.cachedVersion, Stale: true, Age: age}, true
 }
@@ -287,7 +328,7 @@ func (r *ResilientClient) Query(src, dst int) (netmodel.PairPerf, SnapshotMeta, 
 		pp  netmodel.PairPerf
 		ver uint64
 	)
-	err := r.do(func(cl *Client) error {
+	err := r.do("query", func(cl *Client) error {
 		p, v, e := cl.Query(src, dst)
 		if e != nil {
 			return e
@@ -312,7 +353,7 @@ func (r *ResilientClient) Query(src, dst int) (netmodel.PairPerf, SnapshotMeta, 
 // returned so the caller knows the update was not published.
 func (r *ResilientClient) UpdatePair(src, dst int, pp netmodel.PairPerf) (uint64, error) {
 	var ver uint64
-	err := r.do(func(cl *Client) error {
+	err := r.do("update", func(cl *Client) error {
 		v, e := cl.UpdatePair(src, dst, pp)
 		if e != nil {
 			return e
@@ -327,7 +368,7 @@ func (r *ResilientClient) UpdatePair(src, dst int, pp netmodel.PairPerf) (uint64
 // degrade (a stale version number would defeat its purpose).
 func (r *ResilientClient) Version() (uint64, error) {
 	var ver uint64
-	err := r.do(func(cl *Client) error {
+	err := r.do("version", func(cl *Client) error {
 		v, e := cl.Version()
 		if e != nil {
 			return e
@@ -347,7 +388,7 @@ func (r *ResilientClient) Source(strict bool) func() (*netmodel.Perf, error) {
 	return func() (*netmodel.Perf, error) {
 		if strict {
 			var perf *netmodel.Perf
-			err := r.do(func(cl *Client) error {
+			err := r.do("snapshot", func(cl *Client) error {
 				p, _, v, e := cl.Snapshot()
 				if e != nil {
 					return e

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"hetsched/internal/netmodel"
+	"hetsched/internal/obs"
 )
 
 // Server exposes a Store over TCP with the JSON-line protocol. One
@@ -24,6 +25,11 @@ type Server struct {
 	wg          sync.WaitGroup
 	idleTimeout time.Duration
 	wrapConn    func(net.Conn) net.Conn
+
+	// resolved telemetry instruments; all nil when metrics are off.
+	mConns   *obs.Counter
+	mReqs    map[string]*obs.Counter // by op, plus "invalid"
+	mVersion *obs.Gauge
 }
 
 // NewServer wraps a store.
@@ -39,6 +45,41 @@ func (s *Server) SetIdleTimeout(d time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.idleTimeout = d
+}
+
+// SetMetrics registers the server's instruments — accepted connections,
+// handled requests by op, and the store's version gauge — in reg. Call
+// before Listen; a nil registry leaves metrics disabled (every hook is
+// then a nil-pointer no-op).
+func (s *Server) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mConns = reg.Counter(obs.MetricDirectoryServerConns,
+		"Connections accepted by the directory server.")
+	s.mReqs = map[string]*obs.Counter{}
+	for _, op := range []string{opQuery, opSnapshot, opUpdatePair, opVersion, "invalid"} {
+		s.mReqs[op] = reg.Counter(obs.MetricDirectoryServerRequests,
+			"Requests handled by the directory server, by op.", obs.L("op", op))
+	}
+	s.mVersion = reg.Gauge(obs.MetricDirectoryStoreVersion,
+		"Current version of the directory store.")
+	s.mVersion.Set(float64(s.store.Version()))
+}
+
+// countRequest records one handled request; ops outside the protocol
+// count as "invalid".
+func (s *Server) countRequest(op string) {
+	if s.mReqs == nil {
+		return
+	}
+	c, ok := s.mReqs[op]
+	if !ok {
+		c = s.mReqs["invalid"]
+	}
+	c.Inc()
 }
 
 // SetConnWrapper installs a hook applied to every accepted connection
@@ -90,6 +131,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		}
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		s.mConns.Inc()
 		s.wg.Add(1)
 		go s.serveConn(conn)
 	}
@@ -136,15 +178,18 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) handle(req request) response {
+	s.countRequest(req.Op)
 	switch req.Op {
 	case opQuery:
 		pp, v, err := s.store.Query(req.Src, req.Dst)
 		if err != nil {
 			return response{Error: err.Error()}
 		}
+		s.mVersion.Set(float64(v))
 		return response{OK: true, Version: v, Latency: pp.Latency, Bandwidth: pp.Bandwidth}
 	case opSnapshot:
 		perf, v := s.store.Snapshot()
+		s.mVersion.Set(float64(v))
 		n := perf.N()
 		lat := make([][]float64, n)
 		bw := make([][]float64, n)
@@ -163,9 +208,12 @@ func (s *Server) handle(req request) response {
 		if err != nil {
 			return response{Error: err.Error()}
 		}
+		s.mVersion.Set(float64(v))
 		return response{OK: true, Version: v}
 	case opVersion:
-		return response{OK: true, Version: s.store.Version()}
+		v := s.store.Version()
+		s.mVersion.Set(float64(v))
+		return response{OK: true, Version: v}
 	default:
 		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}

@@ -47,13 +47,15 @@ func DefaultConfig(kind workload.Kind) Config {
 	return Config{Kind: kind, Ps: DefaultPs(), Trials: 5, Seed: 1998}
 }
 
-// Cell is one (P, algorithm) aggregate.
+// Cell is one (P, algorithm) aggregate. The JSON tags define the
+// machine-readable export used by hcbench -json.
 type Cell struct {
-	P           int
-	Algorithm   string
-	MeanTime    float64 // mean completion time in seconds
-	MeanRatio   float64 // mean t_max / t_lb
-	MeanSpeedup float64 // mean baseline t_max / this t_max (geometric)
+	P           int     `json:"p"`
+	Algorithm   string  `json:"algorithm"`
+	MeanTime    float64 `json:"mean_time_seconds"` // mean completion time in seconds
+	MeanRatio   float64 `json:"mean_ratio"`        // mean t_max / t_lb
+	P95Ratio    float64 `json:"p95_ratio"`         // 95th-percentile t_max / t_lb over trials
+	MeanSpeedup float64 `json:"mean_speedup"`      // mean baseline t_max / this t_max (geometric)
 }
 
 // FigureResult is a whole sweep.
@@ -146,6 +148,7 @@ func RunFigure(cfg Config) (*FigureResult, error) {
 				Algorithm:   s.Name(),
 				MeanTime:    stats.Mean(times),
 				MeanRatio:   stats.Mean(ratios),
+				P95Ratio:    stats.Percentile(ratios, 0.95),
 				MeanSpeedup: stats.GeoMean(speedups),
 			})
 		}
@@ -211,12 +214,12 @@ func (r *FigureResult) FormatTable() string {
 }
 
 // FormatCSV renders the sweep as CSV: kind,p,algorithm,mean_time,
-// mean_ratio,mean_speedup.
+// mean_ratio,p95_ratio,mean_speedup.
 func (r *FigureResult) FormatCSV() string {
 	var sb strings.Builder
-	sb.WriteString("workload,p,algorithm,mean_time,mean_ratio,mean_speedup\n")
+	sb.WriteString("workload,p,algorithm,mean_time,mean_ratio,p95_ratio,mean_speedup\n")
 	for _, c := range r.Cells {
-		fmt.Fprintf(&sb, "%s,%d,%s,%g,%g,%g\n", r.Kind, c.P, c.Algorithm, c.MeanTime, c.MeanRatio, c.MeanSpeedup)
+		fmt.Fprintf(&sb, "%s,%d,%s,%g,%g,%g,%g\n", r.Kind, c.P, c.Algorithm, c.MeanTime, c.MeanRatio, c.P95Ratio, c.MeanSpeedup)
 	}
 	return sb.String()
 }

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"io"
+	"testing"
+)
+
+// The disabled-telemetry benchmarks pin the cost contract: when a
+// registry or tracer is nil, every hook must degrade to a single
+// pointer check. Compare the Disabled variants against the Enabled
+// ones (and against comm's BenchmarkAllToAll pair) to verify
+// instrumentation stays out of hot paths.
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncEnabled(b *testing.B) {
+	c := New().Counter("bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1.25)
+	}
+}
+
+func BenchmarkHistogramObserveEnabled(b *testing.B) {
+	h := New().Histogram("bench_ratio", "", RatioBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1.25)
+	}
+}
+
+func BenchmarkTracerSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Begin("t", "op").End()
+	}
+}
+
+func BenchmarkTracerSpanEnabled(b *testing.B) {
+	tr := NewTracer(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Begin("t", "op").End()
+	}
+}
+
+func BenchmarkWritePrometheus(b *testing.B) {
+	r := New()
+	DeclareStandard(r)
+	for i := 0; i < 3; i++ {
+		r.Counter(MetricLadderServed, "", L("rung", []string{"fresh", "stale", "degraded"}[i])).Inc()
+	}
+	r.Histogram(MetricScheduleQuality, "", RatioBuckets, L("algorithm", "openshop")).Observe(1.3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

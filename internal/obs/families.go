@@ -1,0 +1,84 @@
+package obs
+
+// Canonical metric family names. Instrumented packages and the CLIs
+// share these constants so the whole process exposes one coherent
+// metric surface; DESIGN.md §8 documents the conventions.
+//
+// Naming: hetsched_<subsystem>_<quantity>[_total]. Labels:
+//   - rung:      fallback-ladder rung ("fresh", "stale", "degraded")
+//   - from, to:  ladder transition endpoints
+//   - algorithm: scheduler Name() that produced a schedule
+//   - op:        directory protocol operation ("query", "snapshot", ...)
+//   - kind:      exchange flavour ("oneshot", "repeated", "batch")
+const (
+	// Resilient directory client (internal/directory.ResilientClient).
+	MetricDirectoryRequests    = "hetsched_directory_requests_total"
+	MetricDirectoryRetries     = "hetsched_directory_retries_total"
+	MetricDirectoryRedials     = "hetsched_directory_redials_total"
+	MetricDirectoryStaleServes = "hetsched_directory_stale_serves_total"
+
+	// Directory server (internal/directory.Server).
+	MetricDirectoryServerConns    = "hetsched_directory_server_connections_total"
+	MetricDirectoryServerRequests = "hetsched_directory_server_requests_total"
+	MetricDirectoryStoreVersion   = "hetsched_directory_store_version"
+
+	// Communicator fallback ladder (internal/comm).
+	MetricLadderServed      = "hetsched_ladder_served_total"
+	MetricLadderTransitions = "hetsched_ladder_transitions_total"
+
+	// Communicator planning (internal/comm).
+	MetricCommPlans      = "hetsched_comm_plans_total"
+	MetricCommRepairs    = "hetsched_comm_repairs_total"
+	MetricCommRecomputes = "hetsched_comm_recomputes_total"
+	MetricPlanSeconds    = "hetsched_plan_seconds"
+
+	// Schedule quality: t_max/t_lb per produced schedule, by algorithm.
+	MetricScheduleQuality = "hetsched_schedule_quality_ratio"
+
+	// Simulator checkpointing (internal/sim).
+	MetricSimCheckpoints = "hetsched_sim_checkpoints_total"
+	MetricSimReplans     = "hetsched_sim_replans_total"
+)
+
+// standardFamilies lists every canonical family with its metadata.
+var standardFamilies = []struct {
+	name, help, typ string
+	bounds          []float64
+}{
+	{MetricDirectoryRequests, "Requests made through resilient directory clients.", TypeCounter, nil},
+	{MetricDirectoryRetries, "Extra directory attempts after transient failures.", TypeCounter, nil},
+	{MetricDirectoryRedials, "Fresh directory connections dialed after the first.", TypeCounter, nil},
+	{MetricDirectoryStaleServes, "Directory reads answered from the last-known-good cache.", TypeCounter, nil},
+	{MetricDirectoryServerConns, "Connections accepted by the directory server.", TypeCounter, nil},
+	{MetricDirectoryServerRequests, "Requests handled by the directory server, by op.", TypeCounter, nil},
+	{MetricDirectoryStoreVersion, "Current version of the directory store.", TypeGauge, nil},
+	{MetricLadderServed, "Exchanges served, by fallback-ladder rung.", TypeCounter, nil},
+	{MetricLadderTransitions, "Fallback-ladder rung changes, by from/to rung.", TypeCounter, nil},
+	{MetricCommPlans, "Schedules computed from scratch.", TypeCounter, nil},
+	{MetricCommRepairs, "Schedules produced by incremental repair.", TypeCounter, nil},
+	{MetricCommRecomputes, "Repairs abandoned for a full recompute.", TypeCounter, nil},
+	{MetricPlanSeconds, "Wall-clock time spent planning one exchange.", TypeHistogram, nil},
+	{MetricScheduleQuality, "Schedule quality t_max/t_lb, by algorithm.", TypeHistogram, nil},
+	{MetricSimCheckpoints, "Checkpoints taken during simulated executions.", TypeCounter, nil},
+	{MetricSimReplans, "Checkpoints at which the tail was replanned.", TypeCounter, nil},
+}
+
+// DeclareStandard registers metadata for every canonical family so a
+// scrape shows the full metric surface — directory, ladder, planning,
+// schedule-quality, and simulator families — even before the process
+// has exercised them. The CLIs call this when exposing metrics.
+func DeclareStandard(r *Registry) {
+	if r == nil {
+		return
+	}
+	for _, f := range standardFamilies {
+		bounds := f.bounds
+		if f.typ == TypeHistogram && bounds == nil {
+			bounds = DurationBuckets
+			if f.name == MetricScheduleQuality {
+				bounds = RatioBuckets
+			}
+		}
+		r.Declare(f.name, f.help, f.typ, bounds)
+	}
+}

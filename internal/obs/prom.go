@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, samples
+// sorted by label signature, histograms with cumulative le buckets plus
+// _sum and _count series. Declared-but-empty families still emit their
+// HELP/TYPE header, so scrapers and CI greps see the full metric
+// surface of the process. No-op on a nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Families are never deleted, and samples are only added, so
+	// rendering under the read lock is safe and sees a consistent
+	// family set.
+	defer r.mu.RUnlock()
+	for _, name := range names {
+		f := r.families[name]
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		sigs := make([]string, 0, len(f.samples))
+		for sig := range f.samples {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			if err := writeSample(w, f, sig); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSample renders one sample of a family.
+func writeSample(w io.Writer, f *family, sig string) error {
+	switch inst := f.samples[sig].(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, braced(sig), inst.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, braced(sig), formatValue(inst.Value()))
+		return err
+	case *Histogram:
+		cum := uint64(0)
+		for i, bound := range inst.bounds {
+			cum += inst.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, braced(withLE(sig, formatValue(bound))), cum); err != nil {
+				return err
+			}
+		}
+		cum += inst.counts[len(inst.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(withLE(sig, "+Inf")), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(sig), formatValue(inst.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(sig), inst.Count())
+		return err
+	}
+	return fmt.Errorf("obs: unknown instrument type in family %s", f.name)
+}
+
+// braced wraps a non-empty label signature in braces.
+func braced(sig string) string {
+	if sig == "" {
+		return ""
+	}
+	return "{" + sig + "}"
+}
+
+// withLE appends the le label to a signature (le sorts into place via
+// the signature convention only for unlabeled series; Prometheus does
+// not require label ordering, so appending is fine).
+func withLE(sig, le string) string {
+	if sig == "" {
+		return `le="` + le + `"`
+	}
+	return sig + `,le="` + le + `"`
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records span-style execution events and exports them as Chrome
+// trace_event JSON, the format chrome://tracing and Perfetto load
+// directly. Each named track becomes a thread row in the viewer; spans
+// become slices on their track, instants become markers. Timestamps are
+// microseconds from the tracer's epoch (its construction time, per the
+// injected clock); the *At variants take explicit microsecond
+// timestamps instead, which is how simulated timelines — the paper's
+// timing diagrams — are rendered (see TraceSchedule).
+//
+// A Tracer is safe for concurrent use, and every method (including
+// Span.End) is a no-op on a nil receiver, so tracing hooks cost one
+// pointer check when disabled.
+type Tracer struct {
+	mu     sync.Mutex
+	clock  func() time.Time
+	epoch  time.Time
+	events []traceEvent
+	tids   map[string]int
+}
+
+// traceEvent is one Chrome trace_event entry. Args is a map so
+// encoding/json emits its keys sorted, keeping output deterministic.
+type traceEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Ph    string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   float64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// NewTracer creates a tracer. A nil clock selects time.Now; tests and
+// deterministic traces inject a fake clock.
+func NewTracer(clock func() time.Time) *Tracer {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Tracer{clock: clock, epoch: clock(), tids: map[string]int{}}
+}
+
+// track returns the thread id for a named track, allocating it (and
+// emitting the thread_name metadata event) on first use. Caller must
+// hold t.mu.
+func (t *Tracer) track(name string) int {
+	if tid, ok := t.tids[name]; ok {
+		return tid
+	}
+	tid := len(t.tids)
+	t.tids[name] = tid
+	t.events = append(t.events, traceEvent{
+		Name: "thread_name", Ph: "M", TID: tid,
+		Args: map[string]string{"name": name},
+	})
+	return tid
+}
+
+// argMap converts labels to a trace args map (nil when empty).
+func argMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(labels))
+	for _, l := range labels {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// now returns the current trace timestamp in microseconds.
+func (t *Tracer) now() float64 {
+	return float64(t.clock().Sub(t.epoch)) / float64(time.Microsecond)
+}
+
+// Span is an in-flight traced operation; End closes it.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	track string
+	start float64
+	args  map[string]string
+}
+
+// Begin opens a span named name on the given track. The returned span
+// must be ended exactly once; both Begin and End are no-ops when the
+// tracer is nil (Begin then returns a nil span, whose End is also a
+// no-op).
+func (t *Tracer) Begin(track, name string, labels ...Label) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return &Span{t: t, name: name, track: track, start: t.now(), args: argMap(labels)}
+}
+
+// SetArg attaches or overwrites one argument on the span.
+func (s *Span) SetArg(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.args == nil {
+		s.args = map[string]string{}
+	}
+	s.args[key] = value
+}
+
+// End closes the span, recording it as a complete slice.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.now()
+	t.events = append(t.events, traceEvent{
+		Name: s.name, Cat: s.cat, Ph: "X", TS: s.start, Dur: end - s.start,
+		TID: t.track(s.track), Args: s.args,
+	})
+}
+
+// Instant records a point event at the current clock time.
+func (t *Tracer) Instant(track, name string, labels ...Label) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, traceEvent{
+		Name: name, Ph: "i", TS: t.now(), TID: t.track(track), Scope: "t",
+		Args: argMap(labels),
+	})
+}
+
+// InstantAt records a point event at an explicit timestamp in
+// microseconds — for simulated timelines whose clock is not the
+// tracer's.
+func (t *Tracer) InstantAt(track, name string, tsMicros float64, labels ...Label) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, traceEvent{
+		Name: name, Ph: "i", TS: tsMicros, TID: t.track(track), Scope: "t",
+		Args: argMap(labels),
+	})
+}
+
+// SliceAt records a complete slice with explicit start and duration in
+// microseconds — the building block of rendered timing diagrams.
+func (t *Tracer) SliceAt(track, name string, startMicros, durMicros float64, labels ...Label) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, traceEvent{
+		Name: name, Ph: "X", TS: startMicros, Dur: durMicros,
+		TID: t.track(track), Args: argMap(labels),
+	})
+}
+
+// Len returns the number of recorded events, metadata included (0 on a
+// nil tracer).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// traceFile is the on-disk shape: the JSON Object Format of the Chrome
+// trace_event specification.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON writes the trace in Chrome trace_event JSON object format.
+// The output loads directly in chrome://tracing and Perfetto. A nil
+// tracer writes an empty trace.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	file := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	if t != nil {
+		t.mu.Lock()
+		file.TraceEvents = append(file.TraceEvents, t.events...)
+		t.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(file)
+}

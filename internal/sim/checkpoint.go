@@ -156,6 +156,7 @@ func RunCheckpointed(net Network, observe func(t float64) *netmodel.Perf, plan *
 	if observe == nil {
 		return nil, fmt.Errorf("sim: observe function is required")
 	}
+	tel := simTel.Load()
 	cur := plan.Clone()
 	st := NewState(plan.N)
 	out := &timing.Schedule{N: plan.N}
@@ -183,6 +184,7 @@ func RunCheckpointed(net Network, observe func(t float64) *netmodel.Perf, plan *
 		// Checkpoint: query the directory at the moment the last
 		// dispatched transfer completed and reschedule the tail.
 		when := maxFloat(st.SendFree)
+		tel.noteCheckpoint("checkpointed", when, phase.Remaining.Events())
 		cur, err = replan(observe(when), phase.Remaining, st.Clone(), when)
 		if err != nil {
 			return nil, err
@@ -191,6 +193,7 @@ func RunCheckpointed(net Network, observe func(t float64) *netmodel.Perf, plan *
 			return nil, fmt.Errorf("sim: replanner changed the event count from %d to %d",
 				phase.Remaining.Events(), cur.Events())
 		}
+		tel.noteReplan("checkpointed", when, cur.Events())
 		res.Checkpoints++
 	}
 	return res, nil

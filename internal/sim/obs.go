@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hetsched/internal/obs"
+)
+
+// Telemetry wiring. The sim package exposes free functions rather than
+// an object, so its telemetry is process-wide: SetTelemetry installs a
+// registry/tracer pair behind an atomic pointer, and the execution
+// loops load it once per run. With nothing installed (the default) the
+// hooks reduce to one pointer load.
+
+// simTelemetry holds the resolved instruments for the execution loops.
+type simTelemetry struct {
+	tracer      *obs.Tracer
+	checkpoints *obs.Counter
+	replans     *obs.Counter
+}
+
+var simTel atomic.Pointer[simTelemetry]
+
+// SetTelemetry wires the simulator's checkpoint/replan instruments to
+// reg and tr (either may be nil). Passing nil for both disables
+// telemetry again. Checkpoint and replan trace instants are stamped in
+// simulated time — seconds on the Schedule timeline, rendered as
+// microseconds — so they line up with TraceSchedule's tracks when both
+// are written to the same tracer.
+func SetTelemetry(reg *obs.Registry, tr *obs.Tracer) {
+	if reg == nil && tr == nil {
+		simTel.Store(nil)
+		return
+	}
+	t := &simTelemetry{tracer: tr}
+	if reg != nil {
+		t.checkpoints = reg.Counter(obs.MetricSimCheckpoints,
+			"Checkpoints taken during checkpointed or reactive execution.")
+		t.replans = reg.Counter(obs.MetricSimReplans,
+			"Checkpoints at which the remaining tail was replanned.")
+	}
+	simTel.Store(t)
+}
+
+// noteCheckpoint records one checkpoint at simulated time `when`
+// (seconds) with the number of undispatched events remaining.
+func (t *simTelemetry) noteCheckpoint(kind string, when float64, remaining int) {
+	if t == nil {
+		return
+	}
+	t.checkpoints.Inc()
+	t.tracer.InstantAt("control", "checkpoint", when*1e6,
+		obs.L("kind", kind), obs.L("remaining", fmt.Sprintf("%d", remaining)))
+}
+
+// noteReplan records that the tail was rescheduled at simulated time
+// `when` (seconds).
+func (t *simTelemetry) noteReplan(kind string, when float64, remaining int) {
+	if t == nil {
+		return
+	}
+	t.replans.Inc()
+	t.tracer.InstantAt("control", "replan", when*1e6,
+		obs.L("kind", kind), obs.L("remaining", fmt.Sprintf("%d", remaining)))
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/obs"
+	"hetsched/internal/sched"
+)
+
+// telemetryPlan builds a runnable plan for n processors.
+func telemetryPlan(t *testing.T, n int) (*netmodel.Perf, *Plan) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	perf := netmodel.RandomPerf(rng, n, netmodel.GustoGuided())
+	m, err := model.Build(perf, model.UniformSizes(n, 1<<18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sched.NewOpenShop().Schedule(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanFromSchedule(r.Schedule, model.UniformSizes(n, 1<<18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return perf, plan
+}
+
+// TestSetTelemetry checks the package-level hooks: counters track the
+// result's own Checkpoints count, and checkpoint/replan instants land
+// on the "control" track of the tracer in simulated time.
+func TestSetTelemetry(t *testing.T) {
+	perf, plan := telemetryPlan(t, 5)
+	reg := obs.New()
+	tr := obs.NewTracer(nil)
+	SetTelemetry(reg, tr)
+	defer SetTelemetry(nil, nil)
+
+	net := NewStatic(perf)
+	observe := func(float64) *netmodel.Perf { return perf }
+	ck, err := RunCheckpointed(net, observe, plan, Halving{}, ReplanOpenShop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Checkpoints == 0 {
+		t.Fatal("halving policy took no checkpoints")
+	}
+	ckC := reg.Counter(obs.MetricSimCheckpoints, "").Value()
+	rpC := reg.Counter(obs.MetricSimReplans, "").Value()
+	if ckC != uint64(ck.Checkpoints) {
+		t.Errorf("checkpoint counter = %d, result says %d", ckC, ck.Checkpoints)
+	}
+	if rpC != uint64(ck.Checkpoints) {
+		t.Errorf("replan counter = %d, want %d (checkpointed mode always replans)", rpC, ck.Checkpoints)
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	trace := sb.String()
+	for _, want := range []string{`"control"`, `"checkpoint"`, `"replan"`} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %s:\n%s", want, trace)
+		}
+	}
+}
+
+// TestReactiveTelemetry: with no fault times, checkpoints are counted
+// but nothing is replanned.
+func TestReactiveTelemetry(t *testing.T) {
+	perf, plan := telemetryPlan(t, 5)
+	reg := obs.New()
+	SetTelemetry(reg, nil)
+	defer SetTelemetry(nil, nil)
+
+	net := NewStatic(perf)
+	observe := func(float64) *netmodel.Perf { return perf }
+	rr, err := RunReactive(net, observe, nil, plan, Halving{}, ReplanOpenShop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Checkpoints == 0 {
+		t.Fatal("halving policy took no checkpoints")
+	}
+	if got := reg.Counter(obs.MetricSimCheckpoints, "").Value(); got != uint64(rr.Checkpoints) {
+		t.Errorf("checkpoint counter = %d, result says %d", got, rr.Checkpoints)
+	}
+	if got := reg.Counter(obs.MetricSimReplans, "").Value(); got != 0 {
+		t.Errorf("replan counter = %d with no faults", got)
+	}
+}
+
+// TestTelemetryDisabled: the default state must run clean (one pointer
+// load per checkpoint, no recording anywhere).
+func TestTelemetryDisabled(t *testing.T) {
+	perf, plan := telemetryPlan(t, 4)
+	SetTelemetry(nil, nil)
+	net := NewStatic(perf)
+	observe := func(float64) *netmodel.Perf { return perf }
+	if _, err := RunCheckpointed(net, observe, plan, Halving{}, ReplanOpenShop); err != nil {
+		t.Fatal(err)
+	}
+}

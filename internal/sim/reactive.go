@@ -45,6 +45,7 @@ func RunReactive(net Network, observe func(t float64) *netmodel.Perf, faultTimes
 		next++
 	}
 
+	tel := simTel.Load()
 	cur := plan.Clone()
 	st := NewState(plan.N)
 	out := &timing.Schedule{N: plan.N}
@@ -71,6 +72,7 @@ func RunReactive(net Network, observe func(t float64) *netmodel.Perf, faultTimes
 		}
 		res.Checkpoints++
 		when := maxFloat(st.SendFree)
+		tel.noteCheckpoint("reactive", when, phase.Remaining.Events())
 		fired := false
 		for next < len(times) && times[next] <= when {
 			next++
@@ -90,6 +92,7 @@ func RunReactive(net Network, observe func(t float64) *netmodel.Perf, faultTimes
 			return nil, fmt.Errorf("sim: replanner changed the event count from %d to %d",
 				phase.Remaining.Events(), cur.Events())
 		}
+		tel.noteReplan("reactive", when, cur.Events())
 		res.Replans++
 	}
 	return res, nil

@@ -2,19 +2,25 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-short chaos ci bench bench-json cover figures examples clean
+.PHONY: all build test vet lint race race-short chaos ci bench bench-json cover figures examples clean
 
-all: build vet test
+all: build lint test
 
-# What CI runs (.github/workflows/ci.yml): build, vet, the full test
-# suite, and the race detector in short mode.
-ci: build vet test race-short
+# What CI runs (.github/workflows/ci.yml): build, lint (go vet plus the
+# project's own hetvet suite), the full test suite, and the race
+# detector in short mode.
+ci: build lint test race-short
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint is go vet followed by hetvet, the project-specific checker suite
+# (nilguard, determinism, lockio, errdiscard — see DESIGN.md §9).
+lint: vet
+	$(GO) run ./cmd/hetvet ./...
 
 test:
 	$(GO) test ./...

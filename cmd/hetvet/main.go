@@ -1,0 +1,78 @@
+// Command hetvet runs the project's static-analysis suite: four
+// checkers enforcing the repo's concurrency, determinism, and telemetry
+// invariants (see internal/analysis and DESIGN.md §9).
+//
+// Usage:
+//
+//	hetvet [-json] [packages]
+//
+// Packages default to ./... and are resolved against the enclosing
+// module. Exit status: 0 when clean, 1 when findings were reported,
+// 2 on usage or load errors. With -json each diagnostic is one JSON
+// object per line ({"file","line","col","check","message"}), the form
+// CI annotations and tooling consume; the default output is
+// "file:line: [check] message".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hetsched/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("hetvet", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	jsonOut := flags.Bool("json", false, "emit one JSON diagnostic per line")
+	list := flags.Bool("checks", false, "list the checks and exit")
+	flags.Usage = func() {
+		fmt.Fprintln(stderr, "usage: hetvet [-json] [-checks] [packages]")
+		flags.PrintDefaults()
+	}
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, c := range analysis.DefaultCheckers() {
+			fmt.Fprintf(stdout, "%-12s %s\n", c.Name(), c.Desc())
+		}
+		return 0
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "hetvet:", err)
+		return 2
+	}
+	root, modPath, err := analysis.ModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "hetvet:", err)
+		return 2
+	}
+	loader := analysis.NewLoader(root, modPath)
+	pkgs, err := loader.Load(flags.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, "hetvet:", err)
+		return 2
+	}
+	diags := analysis.Run(pkgs, analysis.DefaultCheckers(), root)
+	if *jsonOut {
+		err = analysis.WriteJSON(stdout, diags)
+	} else {
+		err = analysis.WriteText(stdout, diags)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "hetvet:", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

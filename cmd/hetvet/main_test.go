@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdir moves the test process into dir and restores the previous
+// working directory on cleanup.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// fixture resolves one of internal/analysis's testdata trees. The
+// golden and clean fixtures carry their own go.mod, so running hetvet
+// from inside them analyzes the fixture, not the enclosing repo.
+func fixture(t *testing.T, name string) string {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("..", "..", "internal", "analysis", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestUsageErrorExits2(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit = %d, want 2 (stderr: %s)", code, errBuf.String())
+	}
+}
+
+func TestLoadErrorExits2(t *testing.T) {
+	chdir(t, fixture(t, "golden"))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"does/not/exist"}, &out, &errBuf); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errBuf.String(), "hetvet:") {
+		t.Errorf("stderr = %q, want a hetvet: error", errBuf.String())
+	}
+}
+
+func TestChecksListingExits0(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-checks"}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"nilguard", "determinism", "lockio", "errdiscard"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-checks output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestFindingsExit1(t *testing.T) {
+	chdir(t, fixture(t, "golden"))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errBuf.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(lines), out.String())
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "internal/g/g.go:") || !strings.Contains(line, "[errdiscard]") {
+			t.Errorf("unexpected finding line: %s", line)
+		}
+	}
+}
+
+func TestJSONFindingsExit1(t *testing.T) {
+	chdir(t, fixture(t, "golden"))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errBuf); code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errBuf.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSON lines, want 2:\n%s", len(lines), out.String())
+	}
+	for _, line := range lines {
+		var d struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		}
+		if err := json.Unmarshal([]byte(line), &d); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if d.File != "internal/g/g.go" || d.Check != "errdiscard" || d.Line == 0 || d.Message == "" {
+			t.Errorf("unexpected JSON finding: %+v", d)
+		}
+	}
+}
+
+func TestCleanTreeExits0(t *testing.T) {
+	chdir(t, fixture(t, "clean"))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errBuf); code != 0 {
+		t.Fatalf("exit = %d, want 0:\n%s%s", code, out.String(), errBuf.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean run produced output:\n%s", out.String())
+	}
+}

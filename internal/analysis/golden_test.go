@@ -1,0 +1,44 @@
+package analysis
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDiagnosticString locks the canonical rendering.
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "internal/x/x.go", Line: 7, Col: 3, Check: "lockio", Message: "boom"}
+	if got, want := d.String(), "internal/x/x.go:7: [lockio] boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestGoldenOutput locks the full text and JSON-lines forms over the
+// golden fixture, byte for byte: file paths relative to the module
+// root, sorted by position, one finding per line.
+func TestGoldenOutput(t *testing.T) {
+	root, pkgs := loadFixture(t, "golden")
+	diags := Run(pkgs, DefaultCheckers(), root)
+
+	const wantText = `internal/g/g.go:12: [errdiscard] result error of fail is silently discarded; handle it, return it, or annotate why it is unactionable
+internal/g/g.go:13: [errdiscard] error from fail discarded with _; handle it, return it, or annotate why it is unactionable
+`
+	var text bytes.Buffer
+	if err := WriteText(&text, diags); err != nil {
+		t.Fatal(err)
+	}
+	if text.String() != wantText {
+		t.Errorf("WriteText:\n got: %q\nwant: %q", text.String(), wantText)
+	}
+
+	const wantJSON = `{"file":"internal/g/g.go","line":12,"col":2,"check":"errdiscard","message":"result error of fail is silently discarded; handle it, return it, or annotate why it is unactionable"}
+{"file":"internal/g/g.go","line":13,"col":2,"check":"errdiscard","message":"error from fail discarded with _; handle it, return it, or annotate why it is unactionable"}
+`
+	var jsonBuf bytes.Buffer
+	if err := WriteJSON(&jsonBuf, diags); err != nil {
+		t.Fatal(err)
+	}
+	if jsonBuf.String() != wantJSON {
+		t.Errorf("WriteJSON:\n got: %q\nwant: %q", jsonBuf.String(), wantJSON)
+	}
+}

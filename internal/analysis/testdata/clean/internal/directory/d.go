@@ -1,0 +1,70 @@
+// Package directory is the finding-free fixture for the lockio,
+// determinism, and errdiscard checkers: locks guard bookkeeping only,
+// randomness is seeded, map iteration is sorted, and errors are
+// handled.
+package directory
+
+import (
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+)
+
+// Pool snapshots under its lock and does network I/O outside it.
+type Pool struct {
+	mu   sync.Mutex
+	conn net.Conn
+	ch   chan int
+}
+
+// Write snapshots the connection, then writes unlocked.
+func (p *Pool) Write(buf []byte) error {
+	p.mu.Lock()
+	c := p.conn
+	p.mu.Unlock()
+	_, err := c.Write(buf)
+	return err
+}
+
+// Notify never parks while holding the lock.
+func (p *Pool) Notify(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case p.ch <- v:
+	default:
+	}
+}
+
+// Close tears the connection down outside the lock and returns the
+// error.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	c := p.conn
+	p.conn = nil
+	p.mu.Unlock()
+	if c == nil {
+		return nil
+	}
+	return c.Close()
+}
+
+// Shuffle uses an explicitly seeded source.
+func Shuffle(xs []int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// SortedKeys iterates the map in a deterministic order: it collects
+// every key (annotated order-insensitive) and sorts before anyone
+// observes the order.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//hetvet:ignore determinism collecting keys is order-insensitive; the sort below fixes the order
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,22 @@
+// Package obs is the finding-free half of the clean fixture: every
+// pattern here is the sanctioned way to satisfy the nilguard contract.
+package obs
+
+// Counter is an instrument with the guard discipline applied.
+type Counter struct{ n int64 }
+
+// Inc is a no-op on a nil receiver.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Value returns zero on a nil receiver.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}

@@ -1,0 +1,60 @@
+// Package sched is a fixture for the determinism checker: it sits in a
+// scoped package, so wall-clock reads, global rand, and map ranges are
+// findings.
+package sched
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want determinism "wall-clock read time.Now"
+}
+
+// Elapsed reads it through time.Since.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want determinism "wall-clock read time.Since"
+}
+
+// Jitter draws from the process-global source.
+func Jitter() int {
+	return rand.Intn(10) // want determinism "process-global source"
+}
+
+// Seeded uses the sanctioned constructors — no finding, including the
+// *rand.Rand type in the signature.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Keys lets map order leak.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want determinism "range over map"
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum is order-insensitive and says so.
+func Sum(m map[string]int) int {
+	total := 0
+	//hetvet:ignore determinism addition is commutative; iteration order cannot reach the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Slices and channels range freely.
+func Total(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

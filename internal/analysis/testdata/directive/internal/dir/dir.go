@@ -1,0 +1,12 @@
+// Package dir exercises malformed hetvet:ignore directives: each one
+// below is itself reported under the pseudo-check "directive".
+package dir
+
+//hetvet:ignore errdiscard
+func MissingReason() {}
+
+//hetvet:ignore bogus because the check does not exist
+func UnknownCheck() {}
+
+//hetvet:ignore
+func Empty() {}

@@ -1,0 +1,3 @@
+module hetsched
+
+go 1.21

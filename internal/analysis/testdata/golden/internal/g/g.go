@@ -1,0 +1,14 @@
+// Package g is the golden fixture: exactly two findings on known
+// lines, used to lock the text format, the JSON format, and the CLI's
+// exit codes.
+package g
+
+import "errors"
+
+func fail() error { return errors.New("x") }
+
+// F discards twice.
+func F() {
+	fail()
+	_ = fail()
+}

@@ -1,0 +1,108 @@
+// Package directory is a fixture for the lockio checker: network I/O,
+// sleeps, and channel operations between Lock and Unlock are findings.
+package directory
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Pool is the fixture's lock-holding type.
+type Pool struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	conn net.Conn
+	ch   chan int
+}
+
+// Write blocks the mutex on the network.
+func (p *Pool) Write(buf []byte) {
+	p.mu.Lock()
+	p.conn.Write(buf) // want lockio "net connection Write while p.mu is held"
+	p.mu.Unlock()
+}
+
+// Nap holds via defer to the end of the function.
+func (p *Pool) Nap() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	time.Sleep(time.Millisecond) // want lockio "time.Sleep while p.mu is held"
+}
+
+// Send parks on a channel under the lock.
+func (p *Pool) Send(v int) {
+	p.mu.Lock()
+	p.ch <- v // want lockio "channel send while p.mu is held"
+	p.mu.Unlock()
+}
+
+// ReadLocked blocks the read lock too.
+func (p *Pool) ReadLocked() int {
+	p.rw.RLock()
+	defer p.rw.RUnlock()
+	return <-p.ch // want lockio "channel receive while p.rw is held"
+}
+
+// Good snapshots under the lock and does I/O after unlocking.
+func (p *Pool) Good(buf []byte) error {
+	p.mu.Lock()
+	c := p.conn
+	p.mu.Unlock()
+	_, err := c.Write(buf)
+	return err
+}
+
+// NonBlocking uses select with a default — never parks, so holding the
+// lock is fine.
+func (p *Pool) NonBlocking(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select {
+	case p.ch <- v:
+	default:
+	}
+}
+
+// Park is a plain select without a default.
+func (p *Pool) Park(v int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	select { // want lockio "select while p.mu is held"
+	case p.ch <- v:
+	}
+}
+
+// redial blocks: calling it under the lock is caught by the one-level
+// call summary.
+func (p *Pool) redial(addr string) {
+	c, err := net.Dial("tcp", addr)
+	if err == nil {
+		p.conn = c
+	}
+}
+
+// Swap redials while holding the lock.
+func (p *Pool) Swap(addr string) {
+	p.mu.Lock()
+	p.redial(addr) // want lockio "call to redial"
+	p.mu.Unlock()
+}
+
+// Annotated holds the lock across a write on purpose and says why.
+func (p *Pool) Annotated(buf []byte) {
+	p.mu.Lock()
+	//hetvet:ignore lockio the mutex is this fixture's framing lock
+	p.conn.Write(buf)
+	p.mu.Unlock()
+}
+
+// Async spawns the blocking work: function literals run on their own
+// schedule, so the lock is not lexically held inside them.
+func (p *Pool) Async(buf []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() {
+		p.conn.Write(buf)
+	}()
+}

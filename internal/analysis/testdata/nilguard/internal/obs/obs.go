@@ -1,0 +1,70 @@
+// Package obs is a fixture: exported pointer-receiver methods on its
+// exported types are held to the nil-guard contract.
+package obs
+
+// Counter is an instrument type (exported, with exported pointer
+// methods), so the checker discovers it automatically.
+type Counter struct{ n int64 }
+
+// Inc opens with the guard — no finding.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Add is missing the guard.
+func (c *Counter) Add(d int64) { // want nilguard "must begin with `if c == nil { return ... }`"
+	c.n += d
+}
+
+// Value inverts the guard on purpose and says why.
+//
+//hetvet:ignore nilguard a nil counter reads as zero through the inverted branch
+func (c *Counter) Value() int64 {
+	if c != nil {
+		return c.n
+	}
+	return 0
+}
+
+// Flipped writes the guard with nil on the left — still a guard.
+func (c *Counter) Flipped() {
+	if nil == c {
+		return
+	}
+	c.n++
+}
+
+// reset is unexported: out of contract.
+func (c *Counter) reset() { c.n = 0 }
+
+// Gauge never names its receiver, so the guard cannot exist.
+type Gauge struct{ v float64 }
+
+// Set has no receiver name.
+func (*Gauge) Set(float64) {} // want nilguard "must name its receiver"
+
+// Get is fine.
+func (g *Gauge) Get() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// snapshot is unexported: its methods are out of contract.
+type snapshot struct{ n int64 }
+
+// N needs no guard.
+func (s *snapshot) N() int64 { return s.n }
+
+// Reading has a value receiver: nil cannot reach it.
+type Reading struct{ v float64 }
+
+// V needs no guard.
+func (r Reading) V() float64 { return r.v }
+
+var _ = (&Counter{}).reset
+var _ = (&snapshot{}).N

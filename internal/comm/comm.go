@@ -139,6 +139,7 @@ func New(n int, source Source, cfg Config) (*Communicator, error) {
 		cfg.BaselineScheduler = sched.Baseline{}
 	}
 	if cfg.Clock == nil {
+		//hetvet:ignore determinism the communicator's one wall-clock default; tests and sims inject Clock
 		cfg.Clock = time.Now
 	}
 	return &Communicator{n: n, source: source, cfg: cfg,

@@ -26,6 +26,14 @@ var (
 	ErrUnavailable = errors.New("directory: server unavailable")
 )
 
+// wallClock is this package's single sanctioned wall-clock source.
+// Every deadline — client round trips, server idle timeouts, resilient
+// retry pacing — flows through an injectable clock defaulting to it,
+// so tests and chaos runs can substitute a fake clock.
+//
+//hetvet:ignore determinism the package's one wall-clock default; every other site injects
+var wallClock = time.Now
+
 // Client talks to a directory server over TCP. It is safe for
 // concurrent use; requests on one client are serialized over one
 // connection (the protocol is strictly request/response).
@@ -44,6 +52,7 @@ type Client struct {
 	rd         *bufio.Scanner
 	broken     bool
 	reqTimeout time.Duration
+	clock      func() time.Time
 }
 
 // Dial connects to a directory server. timeout bounds the connection
@@ -54,7 +63,7 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnavailable, addr, err)
 	}
-	c := &Client{addr: addr, dialTimeout: timeout}
+	c := &Client{addr: addr, dialTimeout: timeout, clock: wallClock}
 	c.attach(conn)
 	return c, nil
 }
@@ -77,14 +86,33 @@ func (c *Client) SetRequestTimeout(d time.Duration) {
 	c.reqTimeout = d
 }
 
+// SetClock injects the clock used to compute request deadlines; nil
+// restores the wall clock. Note ResilientConfig.Clock is deliberately
+// NOT propagated here: that clock is virtual time for cache ages,
+// while deadlines must track the wall clock the kernel enforces.
+func (c *Client) SetClock(clock func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if clock == nil {
+		clock = wallClock
+	}
+	c.clock = clock
+}
+
 // Reconnect drops the current connection and dials a fresh one to the
-// original address, clearing the broken state on success.
+// original address, clearing the broken state on success. The swap
+// happens while holding c.mu on purpose: callers blocked in roundTrip
+// must see either the old connection or the fully attached new one,
+// never a half-installed state. Use ResilientClient when redial
+// latency must not stall concurrent requests.
 func (c *Client) Reconnect() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn != nil {
+		//hetvet:ignore lockio,errdiscard atomic swap under the framing lock; the old connection's close error is meaningless
 		c.conn.Close()
 	}
+	//hetvet:ignore lockio atomic swap under the framing lock (see doc comment)
 	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
 	if err != nil {
 		c.broken = true
@@ -101,12 +129,16 @@ func (c *Client) Broken() bool {
 	return c.broken
 }
 
-// Close shuts the connection; later calls return ErrBroken.
+// Close shuts the connection; later calls return ErrBroken. The flag
+// flips under c.mu but the close itself happens after unlocking, so a
+// caller that grabs the lock next fails fast instead of queueing
+// behind network teardown.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.broken = true
-	return c.conn.Close()
+	conn := c.conn
+	c.mu.Unlock()
+	return conn.Close()
 }
 
 func (c *Client) roundTrip(req request) (response, error) {
@@ -120,11 +152,20 @@ func (c *Client) roundTrip(req request) (response, error) {
 		// Nothing touched the wire; the connection is still clean.
 		return response{}, fmt.Errorf("directory: send: %w", err)
 	}
+	// The wire work below runs under c.mu on purpose: the JSON-line
+	// protocol is strictly one request, one response, so the mutex IS
+	// the per-connection framing lock. A second goroutine interleaving
+	// writes here would corrupt the stream, not speed it up.
+	var dl time.Time // zero clears the deadline
 	if c.reqTimeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.reqTimeout))
-	} else {
-		c.conn.SetDeadline(time.Time{})
+		dl = c.clock().Add(c.reqTimeout)
 	}
+	//hetvet:ignore lockio the mutex is the framing lock; see comment above
+	if err := c.conn.SetDeadline(dl); err != nil {
+		c.broken = true
+		return response{}, fmt.Errorf("%w: set deadline: %v", ErrUnavailable, err)
+	}
+	//hetvet:ignore lockio the mutex is the framing lock; see comment above
 	if _, err := c.conn.Write(out); err != nil {
 		c.broken = true
 		return response{}, fmt.Errorf("%w: send: %v", ErrUnavailable, err)

@@ -82,7 +82,7 @@ func (cfg ResilientConfig) withDefaults() ResilientConfig {
 		cfg.Seed = 1
 	}
 	if cfg.Clock == nil {
-		cfg.Clock = time.Now
+		cfg.Clock = wallClock
 	}
 	if cfg.Sleep == nil {
 		cfg.Sleep = time.Sleep
@@ -159,52 +159,74 @@ func (r *ResilientClient) Counters() ResilientCounters {
 }
 
 // Close shuts any live connection. The client may be used again; the
-// next request redials.
+// next request redials. As everywhere in this type, r.mu only guards
+// the pointer swap — the network close runs after unlocking.
 func (r *ResilientClient) Close() error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.cl == nil {
+	cl := r.cl
+	r.cl = nil
+	r.mu.Unlock()
+	if cl == nil {
 		return nil
 	}
-	err := r.cl.Close()
-	r.cl = nil
-	return err
+	return cl.Close()
 }
 
 // client returns a live connection, dialing (or redialing after a
-// break) as needed.
+// break) as needed. The dial runs outside r.mu so a slow or dead
+// server never blocks concurrent callers that only need bookkeeping
+// (Counters, backoff jitter, the stale cache). Two callers may race
+// to redial; the loser's connection is discarded.
 func (r *ResilientClient) client() (*Client, error) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.cl != nil && !r.cl.Broken() {
-		return r.cl, nil
+	cur := r.cl
+	r.mu.Unlock()
+	if cur != nil && !cur.Broken() {
+		return cur, nil
 	}
-	if r.cl != nil {
-		r.cl.Close()
-		r.cl = nil
-	}
-	cl, err := Dial(r.addr, r.cfg.DialTimeout)
+	fresh, err := Dial(r.addr, r.cfg.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
-	cl.SetRequestTimeout(r.cfg.RequestTimeout)
-	if r.dialed {
+	fresh.SetRequestTimeout(r.cfg.RequestTimeout)
+	r.mu.Lock()
+	old := r.cl
+	if old != nil && old != cur && !old.Broken() {
+		// A concurrent caller installed a healthy connection while we
+		// were dialing; keep theirs and discard ours.
+		r.mu.Unlock()
+		//hetvet:ignore errdiscard best-effort close of the losing duplicate dial
+		fresh.Close()
+		return old, nil
+	}
+	r.cl = fresh
+	redial := r.dialed
+	r.dialed = true
+	if redial {
 		r.ctr.Reconnects++
+	}
+	r.mu.Unlock()
+	if redial {
 		r.mRedials.Inc()
 		r.tracer.Instant("directory", "redial")
 	}
-	r.dialed = true
-	r.cl = cl
-	return cl, nil
+	if old != nil {
+		//hetvet:ignore errdiscard the connection already broke; its close error adds nothing
+		old.Close()
+	}
+	return fresh, nil
 }
 
-// drop discards the current connection after a transport failure.
+// drop discards the current connection after a transport failure. The
+// close happens outside r.mu; only the pointer swap is locked.
 func (r *ResilientClient) drop() {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.cl != nil {
-		r.cl.Close()
-		r.cl = nil
+	cl := r.cl
+	r.cl = nil
+	r.mu.Unlock()
+	if cl != nil {
+		//hetvet:ignore errdiscard the connection already failed; its close error adds nothing
+		cl.Close()
 	}
 }
 

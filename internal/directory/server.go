@@ -25,6 +25,7 @@ type Server struct {
 	wg          sync.WaitGroup
 	idleTimeout time.Duration
 	wrapConn    func(net.Conn) net.Conn
+	clock       func() time.Time
 
 	// resolved telemetry instruments; all nil when metrics are off.
 	mConns   *obs.Counter
@@ -34,7 +35,18 @@ type Server struct {
 
 // NewServer wraps a store.
 func NewServer(store *Store) *Server {
-	return &Server{store: store, conns: map[net.Conn]struct{}{}}
+	return &Server{store: store, conns: map[net.Conn]struct{}{}, clock: wallClock}
+}
+
+// SetClock injects the clock used to compute idle deadlines; nil
+// restores the wall clock. Call before Listen.
+func (s *Server) SetClock(clock func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if clock == nil {
+		clock = wallClock
+	}
+	s.clock = clock
 }
 
 // SetIdleTimeout makes the server drop connections that stay silent
@@ -103,6 +115,7 @@ func (s *Server) Listen(addr string) (string, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		//hetvet:ignore errdiscard best-effort close of a listener that never served
 		ln.Close()
 		return "", errors.New("directory: server already closed")
 	}
@@ -123,6 +136,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
+			//hetvet:ignore errdiscard best-effort close of a connection that raced shutdown
 			conn.Close()
 			return
 		}
@@ -147,12 +161,15 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	s.mu.Lock()
 	idle := s.idleTimeout
+	clock := s.clock
 	s.mu.Unlock()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	for {
 		if idle > 0 {
-			conn.SetReadDeadline(time.Now().Add(idle))
+			if err := conn.SetReadDeadline(clock().Add(idle)); err != nil {
+				return // connection already torn down
+			}
 		}
 		if !sc.Scan() {
 			return // client hung up, idle deadline expired, or read error
@@ -220,7 +237,13 @@ func (s *Server) handle(req request) response {
 }
 
 // Close stops the listener and all connections and waits for the
-// serving goroutines to drain. It is safe to call more than once.
+// serving goroutines to drain. It is safe to call more than once. The
+// mutex only guards the bookkeeping: the closed flag flips and the
+// live connections are snapshotted under s.mu, then every network
+// teardown happens after unlocking so accept and serve goroutines are
+// never queued behind it. The listener's close error is returned;
+// per-connection close errors are expected noise (each serving
+// goroutine's deferred close races this one).
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -229,13 +252,21 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
-	if s.listener != nil {
-		s.listener.Close()
-	}
+	ln := s.listener
+	conns := make([]net.Conn, 0, len(s.conns))
+	//hetvet:ignore determinism order-insensitive: every live connection is closed regardless of iteration order
 	for c := range s.conns {
-		c.Close()
+		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		//hetvet:ignore errdiscard racing the serving goroutine's own deferred close; either error is noise
+		c.Close()
+	}
 	s.wg.Wait()
-	return nil
+	return err
 }

@@ -150,6 +150,7 @@ func (s *Store) Subscribe() (<-chan uint64, func()) {
 // notifyLocked pushes the version to all subscribers without blocking:
 // a full buffer is drained first so the latest version always lands.
 func (s *Store) notifyLocked(v uint64) {
+	//hetvet:ignore determinism order-insensitive: each subscriber gets the same version regardless of iteration order
 	for _, ch := range s.subs {
 		select {
 		case ch <- v:

@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race race-short chaos ci bench bench-json cover figures examples clean
+.PHONY: all build test vet lint race race-short chaos exec-chaos ci bench bench-json cover figures examples clean
 
 all: build lint test
 
 # What CI runs (.github/workflows/ci.yml): build, lint (go vet plus the
-# project's own hetvet suite), the full test suite, and the race
-# detector in short mode.
-ci: build lint test race-short
+# project's own hetvet suite), the full test suite, the race detector
+# in short mode, and the data-plane chaos suite.
+ci: build lint test race-short exec-chaos
 
 build:
 	$(GO) build ./...
@@ -37,6 +37,14 @@ race-short:
 chaos:
 	$(GO) test -race -short -run 'Chaos|Resilient|Degraded|Ladder|Broken|IdleTimeout|Fault|Reactive|Injector' \
 		./internal/directory/ ./internal/comm/ ./internal/faults/ ./internal/sim/
+
+# The data-plane chaos suite under the race detector: executor kills
+# mid-exchange with residual rescheduling, seeded latency/stall
+# injection, duplicate suppression, and the plan-cache invalidation
+# race (all deterministic — fixed seeds).
+exec-chaos:
+	$(GO) test -race -short -run 'Exec|Residual|Latency|Invalidate' \
+		./internal/exec/ ./internal/faults/ ./internal/sched/ ./internal/comm/
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -11,6 +11,8 @@
 //	hcsim -net state.json -alg maxmatch                     # saved network
 //	hcsim -replay rec.json -checkpoint every -replan        # replay a recording
 //	hcsim -p 16 -trace out.json                             # write a Chrome/Perfetto trace
+//	hcsim -p 8 -execute -transport mem                      # real byte transfers, in-process
+//	hcsim -p 8 -execute -transport tcp -faults 2            # loopback TCP, 2 seeded node kills
 package main
 
 import (
@@ -19,8 +21,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sync"
 
 	"hetsched"
+	dataplane "hetsched/internal/exec"
 	"hetsched/internal/faults"
 	"hetsched/internal/netmodel"
 	"hetsched/internal/obs"
@@ -44,6 +48,9 @@ func main() {
 		faultCount = flag.Int("faults", 0, "inject this many seeded mid-run link degradations/failures (exclusive model)")
 		checkpoint = flag.String("checkpoint", "none", "checkpoint policy: none, every, halving")
 		replan     = flag.Bool("replan", false, "reschedule the tail at checkpoints (otherwise keep order)")
+		execute    = flag.Bool("execute", false, "perform the plan as real byte transfers over a transport (with -execute, -faults kills that many seeded nodes mid-exchange)")
+		transport  = flag.String("transport", "mem", "-execute transport: mem (in-process pipes) or tcp (loopback sockets)")
+		slack      = flag.Float64("slack", 0, "-execute deadline slack factor over modeled transfer times (0 = executor default)")
 	)
 	flag.Parse()
 
@@ -107,6 +114,12 @@ func main() {
 	}
 	fmt.Printf("plan: %s over %d processors, %d events\n", res.Algorithm, n, plan.Events())
 	fmt.Printf("planned completion: %.4g s (lower bound %.4g s)\n", res.CompletionTime(), res.LowerBound)
+
+	if *execute {
+		runExecute(rng, res, m, sizes, *transport, *slack, *faultCount, tracer)
+		writeTrace(tracer, *traceOut, nil, names)
+		return
+	}
 
 	// The execution network, optionally shifting mid-run.
 	var network hetsched.Network = sim.NewStatic(perf)
@@ -224,22 +237,95 @@ func main() {
 		fatal(fmt.Errorf("unknown receive model %q", *modelName))
 	}
 
-	if tracer != nil && executed != nil {
-		obs.TraceSchedule(tracer, "exec", executed, names)
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := tracer.WriteJSON(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("trace: %d events written to %s (load in chrome://tracing or Perfetto)\n",
-			tracer.Len(), *traceOut)
+	writeTrace(tracer, *traceOut, executed, names)
+}
+
+// writeTrace renders the executed schedule (when there is one) plus
+// any instants the run recorded into one Perfetto-loadable file.
+func writeTrace(tracer *obs.Tracer, path string, executed *timing.Schedule, names []string) {
+	if tracer == nil || path == "" {
+		return
 	}
+	if executed != nil {
+		obs.TraceSchedule(tracer, "exec", executed, names)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tracer.WriteJSON(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace: %d events written to %s (load in chrome://tracing or Perfetto)\n",
+		tracer.Len(), path)
+}
+
+// runExecute performs the plan as real byte transfers over a data-plane
+// transport. With faultCount > 0 it kills that many seeded nodes
+// mid-exchange — each kill triggers after a seeded number of deliveries
+// — and lets the executor recover via residual rescheduling.
+func runExecute(rng *rand.Rand, res *hetsched.Result, m *hetsched.Matrix,
+	sizes *hetsched.Sizes, transport string, slack float64, faultCount int, tracer *obs.Tracer) {
+	n := m.N()
+	var tr dataplane.Transport
+	var err error
+	switch transport {
+	case "mem":
+		tr, err = dataplane.NewMem(n)
+	case "tcp":
+		tr, err = dataplane.NewTCP(n)
+	default:
+		err = fmt.Errorf("unknown transport %q (mem, tcp)", transport)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if faultCount > n-2 {
+		faultCount = n - 2
+		fmt.Printf("capping -faults at %d so at least two nodes survive\n", faultCount)
+	}
+	victims := rng.Perm(n)[:max(faultCount, 0)]
+	total := n * (n - 1)
+	triggers := make([]int, len(victims))
+	for i := range triggers {
+		// Seeded points spread across the exchange's delivery count.
+		triggers[i] = 1 + rng.Intn(max(total/2, 1)) + i*total/(2*max(len(victims), 1))
+	}
+	var (
+		mu        sync.Mutex
+		delivered int
+		nextKill  int
+	)
+	cfg := dataplane.Config{Slack: slack, Tracer: tracer}
+	cfg.Deliver = func(src, dst int, payload []byte) {
+		mu.Lock()
+		delivered++
+		kill := -1
+		if nextKill < len(victims) && delivered >= triggers[nextKill] {
+			kill = victims[nextKill]
+			nextKill++
+		}
+		mu.Unlock()
+		if kill >= 0 {
+			fmt.Printf("fault: killing P%d after %d deliveries\n", kill, delivered)
+			tr.Kill(kill)
+		}
+	}
+	ex, err := dataplane.New(tr, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := ex.Run(res, m, sizes)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("executed (%s transport): %d/%d transfers delivered\n",
+		transport, rep.DeliveredTransfers+rep.ReroutedTransfers, total)
+	fmt.Print(rep.String())
 }
 
 func fatal(err error) {

@@ -46,6 +46,7 @@ import (
 	"hetsched/internal/comm"
 	"hetsched/internal/directory"
 	"hetsched/internal/exact"
+	"hetsched/internal/exec"
 	"hetsched/internal/faults"
 	"hetsched/internal/incremental"
 	"hetsched/internal/indirect"
@@ -613,6 +614,64 @@ var NewFaultyNetwork = faults.NewNetwork
 // RandomLinkEvents draws seeded link degradations and failures on
 // distinct links inside a time window.
 var RandomLinkEvents = faults.RandomLinkEvents
+
+// Data-plane execution (internal/exec): a schedule is not just a
+// prediction — the executor moves real bytes over a transport in
+// timing-diagram order under the port model, retries transient
+// failures, and replans the residual among survivors when a node dies
+// mid-exchange.
+type (
+	// ExecTransport moves bytes between nodes (in-memory pipes or TCP
+	// loopback).
+	ExecTransport = exec.Transport
+	// ExecConfig tunes the data-plane executor.
+	ExecConfig = exec.Config
+	// Executor runs a planned exchange over a transport.
+	Executor = exec.Executor
+	// DeliveryReport accounts for every byte of one executed exchange.
+	DeliveryReport = exec.DeliveryReport
+	// DestReport is a DeliveryReport's per-destination accounting.
+	DestReport = exec.DestReport
+	// PeerDeadError marks a node declared (or injected) dead.
+	PeerDeadError = exec.PeerDeadError
+)
+
+// Executor failure sentinels, testable with errors.Is.
+var (
+	// ErrPeerDead matches any PeerDeadError.
+	ErrPeerDead = exec.ErrPeerDead
+	// ErrExecTransportClosed marks a transport torn down mid-call.
+	ErrExecTransportClosed = exec.ErrTransportClosed
+)
+
+// NewExecutor creates a data-plane executor over a transport.
+var NewExecutor = exec.New
+
+// NewMemTransport creates an in-memory pipe transport for n nodes.
+var NewMemTransport = exec.NewMem
+
+// NewTCPTransport creates a TCP-loopback transport for n nodes.
+var NewTCPTransport = exec.NewTCP
+
+// ResidualPattern returns the survivor-to-survivor pairs still
+// undelivered after a mid-exchange failure.
+var ResidualPattern = sched.ResidualPattern
+
+// ReplanResidual schedules a residual pattern on the
+// survivor-restricted matrix.
+var ReplanResidual = sched.ReplanResidual
+
+// Seeded latency/stall injection for transport-level chaos tests.
+type (
+	// LatencyFaultConfig parameterizes seeded delay and stall injection.
+	LatencyFaultConfig = faults.LatencyConfig
+	// LatencyFaultInjector wraps net.Conns with seeded latency and
+	// stalls; install with a transport's SetConnWrapper.
+	LatencyFaultInjector = faults.LatencyInjector
+)
+
+// NewLatencyFaultInjector creates a deterministic latency injector.
+var NewLatencyFaultInjector = faults.NewLatencyInjector
 
 // Broadcast algorithms.
 const (

@@ -36,6 +36,7 @@ var determinismScope = []string{
 	"internal/experiments",
 	"internal/comm",
 	"internal/directory",
+	"internal/exec",
 }
 
 func (determinismChecker) Name() string { return "determinism" }

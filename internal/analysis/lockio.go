@@ -35,11 +35,12 @@ type lockioChecker struct{}
 var lockioScope = []string{
 	"internal/directory",
 	"internal/comm",
+	"internal/exec",
 }
 
 func (lockioChecker) Name() string { return "lockio" }
 func (lockioChecker) Desc() string {
-	return "no network I/O, time.Sleep, or channel operations while a mutex is held in internal/directory and internal/comm"
+	return "no network I/O, time.Sleep, or channel operations while a mutex is held in internal/directory, internal/comm, and internal/exec"
 }
 
 func (lockioChecker) Run(pkg *Package) []Diagnostic {

@@ -96,7 +96,12 @@ type Communicator struct {
 	tel    commTelemetry
 
 	mu sync.Mutex // guards the fields below
-	// cached state for AllToAllRepeated
+	// cached state for AllToAllRepeated. planGen is bumped by
+	// Invalidate; a plan or repair may only install (or serve a repair
+	// of) cached state whose generation it observed, so a repair racing
+	// an Invalidate can never serve a schedule descended from the
+	// just-dropped plan.
+	planGen    uint64
 	lastMatrix *model.Matrix
 	lastSteps  *timing.StepSchedule
 	stats      Stats
@@ -310,8 +315,13 @@ func (c *Communicator) AllToAllBatch(sizes []*model.Sizes, workers int) ([]*sche
 // directory and repair only the steps whose event costs drifted past
 // the threshold, recomputing from scratch when most steps are dirty.
 // The returned result always reflects current network conditions.
-// Concurrent callers are serialized on the cache so each repair builds
-// on a consistent previous schedule.
+//
+// Planning and repair run outside the cache mutex (schedulers and
+// incremental.Refine never mutate their inputs), so concurrent
+// repeated calls plan in parallel; each install is atomic and
+// generation-checked, so a repair that raced an Invalidate is
+// discarded — never served, never cached — and the call replans from
+// scratch instead.
 func (c *Communicator) AllToAllRepeated(sizes *model.Sizes) (*sched.Result, error) {
 	m, h, err := c.snapshotMatrix(sizes)
 	if err != nil {
@@ -334,10 +344,11 @@ func (c *Communicator) AllToAllRepeated(sizes *model.Sizes) (*sched.Result, erro
 	}
 	c.noteServed(h)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.lastSteps == nil || c.lastMatrix == nil {
+	gen, steps, last := c.planGen, c.lastSteps, c.lastMatrix
+	c.mu.Unlock()
+	if steps == nil || last == nil {
 		r, err := c.timedResult(h, "repeated", func() (*sched.Result, error) {
-			return c.planRepeatedLocked(m)
+			return c.planRepeated(m)
 		})
 		if err != nil {
 			return nil, err
@@ -345,20 +356,25 @@ func (c *Communicator) AllToAllRepeated(sizes *model.Sizes) (*sched.Result, erro
 		return tagResult(r, h), nil
 	}
 	r, err := c.timedResult(h, "repair", func() (*sched.Result, error) {
-		repaired, st, err := incremental.Refine(c.lastSteps, c.lastMatrix, m,
+		repaired, st, err := incremental.Refine(steps, last, m,
 			incremental.Options{Threshold: c.cfg.RepairThreshold, Max: true})
 		if err != nil {
 			return nil, err
 		}
 		if st.Steps > 0 && float64(st.DirtySteps) > c.cfg.RecomputeFraction*float64(st.Steps) {
+			c.mu.Lock()
 			c.stats.Recomputes++
+			c.mu.Unlock()
 			c.tel.recomputes.Inc()
-			return c.planRepeatedLocked(m)
+			return c.planRepeated(m)
 		}
-		c.stats.Repairs++
+		if !c.installRepaired(gen, m, repaired) {
+			// Invalidate ran while we repaired: this schedule descends
+			// from the plan the caller just dropped, so serving it would
+			// resurrect invalidated state. Discard and plan fresh.
+			return c.planRepeated(m)
+		}
 		c.tel.repairs.Inc()
-		c.lastMatrix = m
-		c.lastSteps = repaired
 		s, err := repaired.Evaluate(m)
 		if err != nil {
 			return nil, err
@@ -376,9 +392,30 @@ func (c *Communicator) AllToAllRepeated(sizes *model.Sizes) (*sched.Result, erro
 	return tagResult(r, h), nil
 }
 
-// planRepeatedLocked computes a fresh step decomposition and caches
-// it. The caller must hold c.mu.
-func (c *Communicator) planRepeatedLocked(m *model.Matrix) (*sched.Result, error) {
+// installRepaired publishes a repaired schedule into the cache iff the
+// plan generation is still the one the repair was computed under. It
+// reports whether the install happened; on false the repair must not
+// be served.
+func (c *Communicator) installRepaired(gen uint64, m *model.Matrix, repaired *timing.StepSchedule) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.planGen != gen {
+		return false
+	}
+	c.stats.Repairs++
+	c.lastMatrix = m
+	c.lastSteps = repaired
+	return true
+}
+
+// planRepeated computes a fresh step decomposition off-lock and caches
+// it, unless an Invalidate arrived while planning — a scratch plan is
+// built from a live snapshot, so it is always servable, but the cache
+// install still respects the newer generation.
+func (c *Communicator) planRepeated(m *model.Matrix) (*sched.Result, error) {
+	c.mu.Lock()
+	gen := c.planGen
+	c.mu.Unlock()
 	r, err := c.cfg.RepairScheduler.Schedule(m)
 	if err != nil {
 		return nil, err
@@ -386,18 +423,25 @@ func (c *Communicator) planRepeatedLocked(m *model.Matrix) (*sched.Result, error
 	if r.Steps == nil {
 		return nil, fmt.Errorf("comm: repair scheduler %q produced no step structure", c.cfg.RepairScheduler.Name())
 	}
+	c.mu.Lock()
 	c.stats.Plans++
+	if c.planGen == gen {
+		c.lastMatrix = m
+		c.lastSteps = r.Steps
+	}
+	c.mu.Unlock()
 	c.tel.plans.Inc()
-	c.lastMatrix = m
-	c.lastSteps = r.Steps
 	return r, nil
 }
 
 // Invalidate drops the cached schedule so the next repeated call
-// replans from scratch.
+// replans from scratch. Bumping the plan generation also dooms any
+// repair in flight: its generation-checked install will fail and the
+// caller will replan instead of serving the invalidated lineage.
 func (c *Communicator) Invalidate() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.planGen++
 	c.lastMatrix = nil
 	c.lastSteps = nil
 }

@@ -1,0 +1,65 @@
+package comm
+
+import (
+	"hetsched/internal/exec"
+	"hetsched/internal/model"
+	"hetsched/internal/sched"
+)
+
+// Execute plans a total exchange through the fallback ladder and then
+// actually moves the bytes: the plan is handed to a data-plane
+// executor (internal/exec) running over the given transport, which
+// honors the timing diagram under the port model, retries transient
+// failures, and — when a node dies mid-exchange — replans the residual
+// among survivors through this communicator's schedulers. It returns
+// the executor's byte-level delivery report alongside the plan it
+// executed.
+//
+// The executor's Metrics and Tracer default to the communicator's when
+// unset. Its Clock deliberately does not: communicator clocks are
+// often fake (staleness tests, simulations), while transfer deadlines
+// must track the real wall clock the transport I/O lives on. When
+// ecfg.Replan is unset, residual replans route through the ladder too:
+// the residual is planned on the survivor-restricted matrix with the
+// configured scheduler's partial variant.
+func (c *Communicator) Execute(tr exec.Transport, sizes *model.Sizes, ecfg exec.Config) (*exec.DeliveryReport, *sched.Result, error) {
+	m, h, err := c.snapshotMatrix(sizes)
+	if err != nil {
+		return nil, nil, err
+	}
+	scheduler := c.cfg.Scheduler
+	if h == HealthDegraded {
+		scheduler = c.cfg.BaselineScheduler
+	}
+	c.mu.Lock()
+	c.stats.Plans++
+	c.mu.Unlock()
+	c.tel.plans.Inc()
+	r, err := c.timedSchedule(scheduler, m, h, "execute")
+	if err != nil {
+		return nil, nil, err
+	}
+	c.noteServed(h)
+	r = tagResult(r, h)
+
+	if ecfg.Metrics == nil {
+		ecfg.Metrics = c.cfg.Metrics
+	}
+	if ecfg.Tracer == nil {
+		ecfg.Tracer = c.cfg.Tracer
+	}
+	if ecfg.Replan == nil {
+		ecfg.Replan = func(m *model.Matrix, residual sched.Pattern, alive func(int) bool) (*sched.Result, error) {
+			return sched.ReplanResidual(m, residual, alive)
+		}
+	}
+	ex, err := exec.New(tr, ecfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := ex.Run(r, m, sizes)
+	if err != nil {
+		return nil, r, err
+	}
+	return rep, r, nil
+}

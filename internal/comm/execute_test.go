@@ -1,0 +1,77 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+
+	"hetsched/internal/exec"
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+)
+
+// TestExecuteEndToEnd plans through the communicator and moves real
+// bytes over the in-memory transport: every pair's payload must land
+// exactly once and the report must account for every byte.
+func TestExecuteEndToEnd(t *testing.T) {
+	c := newComm(t, netmodel.Gusto(), Config{})
+	n := 5
+	tr, err := exec.NewMem(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	sizes := model.UniformSizes(n, 512)
+
+	var mu sync.Mutex
+	got := map[[2]int]int64{}
+	rep, r, err := c.Execute(tr, sizes, exec.Config{
+		MinDeadline: 250_000_000, // 250ms: scheduling noise must not kill transfers
+		Deliver: func(src, dst int, payload []byte) {
+			mu.Lock()
+			got[[2]int{src, dst}] += int64(len(payload))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil || r.Algorithm == "" {
+		t.Fatal("no tagged plan returned")
+	}
+	if !rep.Accounted() {
+		t.Fatalf("report does not account for all bytes: %s", rep)
+	}
+	if rep.AbandonedBytes != 0 || len(rep.Dead) != 0 {
+		t.Fatalf("fault-free exchange lost bytes: %s", rep)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			if got[[2]int{src, dst}] != 512 {
+				t.Fatalf("pair (%d,%d) delivered %d bytes, want 512",
+					src, dst, got[[2]int{src, dst}])
+			}
+		}
+	}
+	if c.Stats().Plans == 0 {
+		t.Fatal("Execute did not count a plan")
+	}
+}
+
+// TestExecuteShapeMismatch: the sizes matrix must match the
+// communicator's node count before any bytes move.
+func TestExecuteShapeMismatch(t *testing.T) {
+	c := newComm(t, netmodel.Gusto(), Config{})
+	tr, err := exec.NewMem(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, _, err := c.Execute(tr, model.UniformSizes(4, 1), exec.Config{}); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package comm
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+)
+
+// TestInvalidateDoomsInflightRepair reproduces the plan-cache race
+// deterministically: a repair computed under one plan generation must
+// not install — and must not be served — once Invalidate has bumped
+// the generation, because the repaired schedule descends from the
+// invalidated plan.
+func TestInvalidateDoomsInflightRepair(t *testing.T) {
+	c := newComm(t, netmodel.Gusto(), Config{})
+	sizes := model.UniformSizes(5, 1<<20)
+	if _, err := c.AllToAllRepeated(sizes); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot what a repair in flight would have observed.
+	c.mu.Lock()
+	gen, steps, last := c.planGen, c.lastSteps, c.lastMatrix
+	c.mu.Unlock()
+	if steps == nil || last == nil {
+		t.Fatal("first repeated call did not seed the cache")
+	}
+	// The Invalidate lands while that repair is "computing".
+	c.Invalidate()
+	if c.installRepaired(gen, last, steps) {
+		t.Fatal("repair from a pre-Invalidate generation installed")
+	}
+	c.mu.Lock()
+	cleared := c.lastSteps == nil && c.lastMatrix == nil
+	c.mu.Unlock()
+	if !cleared {
+		t.Fatal("doomed install left state in the cache")
+	}
+	if c.Stats().Repairs != 0 {
+		t.Fatalf("doomed install counted as a repair: %+v", c.Stats())
+	}
+	// The next repeated call replans from scratch, not from the corpse.
+	before := c.Stats().Plans
+	r, err := c.AllToAllRepeated(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(r.Algorithm, "+repair") {
+		t.Fatalf("post-Invalidate call served a repair: %q", r.Algorithm)
+	}
+	if c.Stats().Plans != before+1 {
+		t.Fatalf("post-Invalidate call did not plan from scratch: %+v", c.Stats())
+	}
+}
+
+// TestInvalidateScratchPlanStillServable: a scratch plan raced by an
+// Invalidate is built from a live snapshot — it must be served, but
+// the bumped generation keeps it out of the cache.
+func TestInvalidateScratchPlanStillServable(t *testing.T) {
+	c := newComm(t, netmodel.Gusto(), Config{})
+	sizes := model.UniformSizes(5, 1<<20)
+	if _, err := c.AllToAllRepeated(sizes); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.planGen++ // an Invalidate arrives mid-plan
+	c.lastMatrix, c.lastSteps = nil, nil
+	c.mu.Unlock()
+	r, err := c.AllToAllRepeated(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil || r.Schedule == nil {
+		t.Fatal("scratch plan not served")
+	}
+}
+
+// TestInvalidateRacesRepeatedUnderLoad drives repeated exchanges,
+// batches, and invalidations concurrently. Run under -race this is
+// the regression test for the plan-generation fix; semantically, no
+// call may fail and no served result may be structurally empty.
+func TestInvalidateRacesRepeatedUnderLoad(t *testing.T) {
+	c := newComm(t, netmodel.Gusto(), Config{})
+	sizes := model.UniformSizes(5, 1<<20)
+	const iters = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, 4*iters)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r, err := c.AllToAllRepeated(sizes)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := r.Schedule.ValidateTotalExchange(nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if _, err := c.AllToAllBatch([]*model.Sizes{sizes, sizes}, 2); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			c.Invalidate()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,670 @@
+// Package exec is the data-plane exchange executor: it takes the
+// timing diagram a scheduler produced (sched.Result) and performs the
+// real byte transfers it describes over a pluggable Transport,
+// honoring the paper's port model — at most one active send and one
+// active receive per node, enforced with per-node semaphores.
+//
+// Each transfer runs under a deadline derived from its modeled time
+// (Slack × the event's duration, floored at MinDeadline), with bounded
+// retries and seeded-jitter backoff. Failures are classified: a
+// *PeerDeadError from the transport — or retry exhaustion — declares
+// the peer dead, at which point the executor computes the residual
+// communication pattern (undelivered survivor-to-survivor entries
+// only), re-plans it through sched.ReplanResidual (or an injected
+// ReplanFunc routing through the communicator's scheduler ladder), and
+// resumes. Run returns a DeliveryReport accounting for every byte of
+// the exchange: delivered under the original plan, rerouted under a
+// replan, or abandoned with a reason, plus measured wall clock against
+// the plan's modeled t_max.
+//
+// Delivery is exactly-once to the Deliver sink: the sender side is
+// at-least-once (retries may duplicate an attempt whose ack was lost),
+// and the receiver side deduplicates through a per-exchange ledger,
+// acking duplicates without re-applying them. DESIGN.md §10 gives the
+// full state machine.
+package exec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetsched/internal/model"
+	"hetsched/internal/obs"
+	"hetsched/internal/sched"
+	"hetsched/internal/timing"
+)
+
+//hetvet:ignore determinism the package's one wall-clock default; every other site injects Clock
+var wallClock = time.Now
+
+// ReplanFunc plans the residual pattern among survivors after a node
+// death. It receives the original communication matrix, the pattern of
+// undelivered survivor-to-survivor pairs, and the liveness predicate;
+// it must return a schedule containing exactly those pairs.
+type ReplanFunc func(m *model.Matrix, residual sched.Pattern, alive func(int) bool) (*sched.Result, error)
+
+// PayloadFunc produces the bytes node src owes node dst. It must be
+// deterministic in its arguments: the receiver regenerates the payload
+// to verify what arrived.
+type PayloadFunc func(src, dst int, size int64) []byte
+
+// DeliverFunc is the application sink. The executor calls it exactly
+// once per delivered (src, dst) pair, outside all executor locks.
+type DeliverFunc func(src, dst int, payload []byte)
+
+// Config tunes an Executor. The zero value selects working defaults
+// for every field.
+type Config struct {
+	// Slack scales a transfer's modeled duration into its attempt
+	// deadline. 0 selects 4.
+	Slack float64
+	// MinDeadline floors the attempt deadline, so near-zero modeled
+	// times still leave room for real I/O. 0 selects 50ms.
+	MinDeadline time.Duration
+	// MaxRetries bounds extra attempts per transfer per round before
+	// the destination is declared dead. 0 selects 3; negative is an
+	// error.
+	MaxRetries int
+	// Backoff is the base retry backoff, doubled per attempt with
+	// seeded jitter in [0, Backoff). 0 selects 2ms.
+	Backoff time.Duration
+	// Seed drives the backoff jitter. 0 selects 1.
+	Seed int64
+	// MaxRounds bounds plan rounds (the original plan plus residual
+	// replans). 0 selects the node count.
+	MaxRounds int
+	// Replan plans the residual after a death. Nil selects
+	// sched.ReplanResidual (open shop on the survivor-restricted
+	// matrix).
+	Replan ReplanFunc
+	// Payload generates transfer bytes. Nil selects a deterministic
+	// generator keyed on (src, dst, offset).
+	Payload PayloadFunc
+	// Deliver receives each delivered payload exactly once. Nil
+	// discards payloads after verification.
+	Deliver DeliverFunc
+	// Clock supplies deadlines and wall-clock measurement; nil selects
+	// the wall clock.
+	Clock func() time.Time
+	// Sleep implements retry backoff; nil selects time.Sleep.
+	Sleep func(time.Duration)
+	// Metrics receives exec counters and histograms; nil disables.
+	Metrics *obs.Registry
+	// Tracer receives exchange/round spans and death/replan instants;
+	// nil disables.
+	Tracer *obs.Tracer
+}
+
+// Executor runs exchanges over one transport. Create with New; one
+// exchange at a time per transport (Run owns the accept streams).
+type Executor struct {
+	tr  Transport
+	cfg Config
+	xid atomic.Uint64
+}
+
+// New validates the configuration, fills defaults, and returns an
+// executor bound to the transport.
+func New(tr Transport, cfg Config) (*Executor, error) {
+	if tr == nil {
+		return nil, errors.New("exec: nil transport")
+	}
+	if cfg.Slack < 0 {
+		return nil, fmt.Errorf("exec: negative slack %g", cfg.Slack)
+	}
+	if cfg.MaxRetries < 0 {
+		return nil, fmt.Errorf("exec: negative retry bound %d", cfg.MaxRetries)
+	}
+	if cfg.MinDeadline < 0 || cfg.Backoff < 0 || cfg.MaxRounds < 0 {
+		return nil, errors.New("exec: negative durations or round bound")
+	}
+	if cfg.Slack == 0 {
+		cfg.Slack = 4
+	}
+	if cfg.MinDeadline == 0 {
+		cfg.MinDeadline = 50 * time.Millisecond
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.Backoff == 0 {
+		cfg.Backoff = 2 * time.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Replan == nil {
+		cfg.Replan = func(m *model.Matrix, residual sched.Pattern, alive func(int) bool) (*sched.Result, error) {
+			return sched.ReplanResidual(m, residual, alive)
+		}
+	}
+	if cfg.Payload == nil {
+		cfg.Payload = DefaultPayload
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = wallClock
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return &Executor{tr: tr, cfg: cfg}, nil
+}
+
+// DefaultPayload is the executor's deterministic payload generator: a
+// byte pattern keyed on (src, dst, offset), cheap to regenerate on the
+// receive side for verification.
+func DefaultPayload(src, dst int, size int64) []byte {
+	if size <= 0 {
+		return nil
+	}
+	b := make([]byte, size)
+	for i := range b {
+		b[i] = byte(7*src + 13*dst + 31*i + 5)
+	}
+	return b
+}
+
+// transfer is the executor's ledger entry for one (src, dst) cell of
+// the size matrix. All mutable fields are guarded by run.mu.
+type transfer struct {
+	src, dst int
+	size     int64
+
+	applied bool // payload handed to the Deliver sink (exactly once)
+	round   int  // plan round the applied attempt was sent under
+	retries int  // extra attempts beyond the first, across rounds
+}
+
+// run is the state of one exchange execution.
+type run struct {
+	ex  *Executor
+	xid uint64
+	n   int
+
+	mu         sync.Mutex // guards alive, deadReason, st fields, dup, aborted — never held across I/O
+	alive      []bool
+	deadReason []string
+	st         [][]*transfer
+	dup        int  // duplicate applies suppressed by the ledger
+	aborted    bool // a death invalidated the current round's plan
+
+	sendSem []chan struct{} // the port model: one active send per node
+	recvSem []chan struct{} // and one active receive per node
+	closing chan struct{}   // closed when rounds are done; frees semaphore waiters
+
+	recvWindow time.Duration // receive-side deadline bound
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	acceptWg  sync.WaitGroup
+	handlerWg sync.WaitGroup
+}
+
+// Run executes the planned exchange: res is the schedule to honor, m
+// the communication-time matrix it was planned from (reused for
+// residual replans), sizes the byte counts to move. It blocks until
+// every byte is delivered, rerouted, or abandoned, then reports.
+func (e *Executor) Run(res *sched.Result, m *model.Matrix, sizes *model.Sizes) (*DeliveryReport, error) {
+	if res == nil || res.Schedule == nil || m == nil || sizes == nil {
+		return nil, errors.New("exec: nil plan, matrix, or sizes")
+	}
+	n := e.tr.N()
+	if res.Schedule.N != n || m.N() != n || sizes.N() != n {
+		return nil, fmt.Errorf("exec: transport has %d nodes but plan=%d matrix=%d sizes=%d",
+			n, res.Schedule.N, m.N(), sizes.N())
+	}
+	maxRounds := e.cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = n
+		if maxRounds < 1 {
+			maxRounds = 1
+		}
+	}
+
+	r := &run{
+		ex:         e,
+		xid:        e.xid.Add(1),
+		n:          n,
+		alive:      make([]bool, n),
+		deadReason: make([]string, n),
+		st:         make([][]*transfer, n),
+		sendSem:    make([]chan struct{}, n),
+		recvSem:    make([]chan struct{}, n),
+		closing:    make(chan struct{}),
+		rng:        rand.New(rand.NewSource(e.cfg.Seed)),
+	}
+	maxModeled := 0.0
+	for i := 0; i < n; i++ {
+		r.alive[i] = true
+		r.st[i] = make([]*transfer, n)
+		r.sendSem[i] = make(chan struct{}, 1)
+		r.recvSem[i] = make(chan struct{}, 1)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			r.st[i][j] = &transfer{src: i, dst: j, size: sizes.At(i, j)}
+			if d := m.At(i, j); d > maxModeled {
+				maxModeled = d
+			}
+		}
+	}
+	r.recvWindow = r.attemptDeadline(maxModeled) + e.cfg.MinDeadline
+
+	span := e.cfg.Tracer.Begin("exec", "exchange", obs.L("transport", fmt.Sprintf("%T", e.tr)))
+	start := e.cfg.Clock()
+
+	r.acceptWg.Add(n)
+	for node := 0; node < n; node++ {
+		go r.acceptLoop(node)
+	}
+
+	plan := res
+	rounds, replans := 0, 0
+	for round := 0; round < maxRounds; round++ {
+		r.runRound(round, plan)
+		rounds++
+		residual := r.residualPattern()
+		if len(residual) == 0 {
+			break
+		}
+		if round+1 >= maxRounds {
+			break
+		}
+		next, err := e.cfg.Replan(m, residual, r.isAlive)
+		if err != nil {
+			e.cfg.Tracer.Instant("exec", "replan failed", obs.L("error", err.Error()))
+			break
+		}
+		replans++
+		e.counter(MetricExecReplans).Inc()
+		e.cfg.Tracer.Instant("exec", "replan", obs.L("pairs", fmt.Sprintf("%d", len(residual))))
+		plan = next
+	}
+
+	close(r.closing)
+	if err := e.tr.Close(); err != nil {
+		return nil, fmt.Errorf("exec: closing transport: %w", err)
+	}
+	r.acceptWg.Wait()
+	r.handlerWg.Wait()
+
+	rep := r.finalize(rounds, replans, res.CompletionTime(), e.cfg.Clock().Sub(start))
+	span.SetArg("dead", fmt.Sprintf("%d", len(rep.Dead)))
+	span.End()
+	e.observeReport(rep)
+	return rep, nil
+}
+
+// isAlive reports current liveness; safe from any goroutine.
+func (r *run) isAlive(node int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return node >= 0 && node < r.n && r.alive[node]
+}
+
+// markDead records a node death once, with the first-observed reason,
+// aborts the round (the death invalidates the plan's port pairings, so
+// the remainder is residual work to re-plan among survivors), and
+// severs the node at the transport so subsequent dials fail fast. The
+// transport call happens outside the lock.
+func (r *run) markDead(node int, reason string) {
+	if node < 0 || node >= r.n {
+		return
+	}
+	r.mu.Lock()
+	already := !r.alive[node]
+	if !already {
+		r.alive[node] = false
+		r.deadReason[node] = reason
+		r.aborted = true
+	}
+	r.mu.Unlock()
+	if already {
+		return
+	}
+	r.ex.counter(MetricExecPeerDeaths).Inc()
+	r.ex.cfg.Tracer.Instant("exec", "peer dead",
+		obs.L("node", fmt.Sprintf("%d", node)), obs.L("reason", reason))
+	r.ex.tr.Kill(node)
+}
+
+// residualPattern snapshots the undelivered survivor-to-survivor pairs.
+func (r *run) residualPattern() sched.Pattern {
+	r.mu.Lock()
+	alive := append([]bool(nil), r.alive...)
+	applied := make([]bool, r.n*r.n)
+	for i := 0; i < r.n; i++ {
+		for j := 0; j < r.n; j++ {
+			if t := r.st[i][j]; t != nil && t.applied {
+				applied[i*r.n+j] = true
+			}
+		}
+	}
+	r.mu.Unlock()
+	return sched.ResidualPattern(r.n,
+		func(i int) bool { return alive[i] },
+		func(i, j int) bool { return applied[i*r.n+j] })
+}
+
+// attemptDeadline converts a modeled duration (seconds) into the wall
+// budget for one attempt.
+func (r *run) attemptDeadline(modeled float64) time.Duration {
+	d := time.Duration(modeled * r.ex.cfg.Slack * float64(time.Second))
+	if d < r.ex.cfg.MinDeadline {
+		d = r.ex.cfg.MinDeadline
+	}
+	return d
+}
+
+// backoff returns the sleep before retry number attempt+1: the base
+// doubled per attempt (capped at 1s) plus seeded jitter in [0, base).
+func (r *run) backoff(attempt int) time.Duration {
+	base := r.ex.cfg.Backoff
+	for i := 0; i < attempt && base < time.Second; i++ {
+		base *= 2
+	}
+	if base > time.Second {
+		base = time.Second
+	}
+	r.rngMu.Lock()
+	j := time.Duration(r.rng.Int63n(int64(r.ex.cfg.Backoff)))
+	r.rngMu.Unlock()
+	return base + j
+}
+
+// roundAborted reports whether a death has invalidated the round's
+// plan since the round started.
+func (r *run) roundAborted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.aborted
+}
+
+// runRound executes one plan round: each alive sender walks its own
+// events in start order (its send column of the timing diagram), all
+// senders concurrently. The round ends when every sender column is
+// drained — or early, when a death aborts the plan and leaves the
+// remainder as residual work.
+func (r *run) runRound(round int, plan *sched.Result) {
+	r.mu.Lock()
+	r.aborted = false
+	r.mu.Unlock()
+	perSender := make([][]timing.Event, r.n)
+	for _, e := range plan.Schedule.ByStart() {
+		perSender[e.Src] = append(perSender[e.Src], e)
+	}
+	var wg sync.WaitGroup
+	for src := 0; src < r.n; src++ {
+		if len(perSender[src]) == 0 || !r.isAlive(src) {
+			continue
+		}
+		wg.Add(1)
+		go func(src int, evs []timing.Event) {
+			defer wg.Done()
+			r.sendLoop(round, src, evs)
+		}(src, perSender[src])
+	}
+	wg.Wait()
+}
+
+// sendLoop drains one sender's column for the round, stopping when a
+// death aborts the plan and skipping pairs that died or were already
+// applied (a retry whose ack was lost may have landed).
+func (r *run) sendLoop(round, src int, evs []timing.Event) {
+	for _, e := range evs {
+		if r.roundAborted() || !r.isAlive(src) {
+			return
+		}
+		if !r.isAlive(e.Dst) {
+			continue
+		}
+		t := r.st[src][e.Dst]
+		r.mu.Lock()
+		done := t.applied
+		r.mu.Unlock()
+		if done {
+			continue
+		}
+		r.sendOne(round, t, e.Duration())
+	}
+}
+
+// sendOne pushes one transfer through the attempt/retry ladder while
+// holding the sender's port semaphore.
+func (r *run) sendOne(round int, t *transfer, modeled float64) {
+	select {
+	case r.sendSem[t.src] <- struct{}{}:
+	case <-r.closing:
+		return
+	}
+	defer func() { <-r.sendSem[t.src] }()
+
+	deadline := r.attemptDeadline(modeled)
+	for attempt := 0; ; attempt++ {
+		err := r.attempt(round, attempt, t, deadline)
+		r.ex.counter(MetricExecAttempts).Inc()
+		if err == nil {
+			return
+		}
+		if errors.Is(err, ErrTransportClosed) {
+			return
+		}
+		var pd *PeerDeadError
+		if errors.As(err, &pd) {
+			r.markDead(pd.Node, fmt.Sprintf("transport: %v", err))
+			return
+		}
+		if attempt >= r.ex.cfg.MaxRetries {
+			r.markDead(t.dst, fmt.Sprintf("unreachable after %d attempts: %v", attempt+1, err))
+			return
+		}
+		r.noteRetry(t)
+		r.ex.cfg.Sleep(r.backoff(attempt))
+	}
+}
+
+// noteRetry counts one extra attempt against the transfer.
+func (r *run) noteRetry(t *transfer) {
+	r.mu.Lock()
+	t.retries++
+	r.mu.Unlock()
+	r.ex.counter(MetricExecRetries).Inc()
+}
+
+// attempt performs one transfer attempt over a fresh connection: dial,
+// deadline, header + payload out, ack back. Any error is retriable
+// unless it classifies as peer-dead or transport-closed.
+func (r *run) attempt(round, attempt int, t *transfer, deadline time.Duration) error {
+	c, err := r.ex.tr.Dial(t.src, t.dst)
+	if err != nil {
+		return err
+	}
+	defer severAll([]net.Conn{c})
+	if err := c.SetDeadline(r.ex.cfg.Clock().Add(deadline)); err != nil {
+		return fmt.Errorf("exec: set deadline %d→%d: %w", t.src, t.dst, err)
+	}
+	h := frameHeader{Exchange: r.xid, Src: t.src, Dst: t.dst, Round: round, Attempt: attempt, Size: t.size}
+	if err := writeLine(c, h); err != nil {
+		return err
+	}
+	if t.size > 0 {
+		if _, err := c.Write(r.ex.cfg.Payload(t.src, t.dst, t.size)); err != nil {
+			return fmt.Errorf("exec: write payload %d→%d: %w", t.src, t.dst, err)
+		}
+	}
+	var ack frameAck
+	if err := readLine(newFrameReader(c), &ack); err != nil {
+		return err
+	}
+	if !ack.OK {
+		return fmt.Errorf("exec: receiver rejected %d→%d: %s", t.src, t.dst, ack.Error)
+	}
+	return nil
+}
+
+// acceptLoop owns one node's inbound connection stream for the life of
+// the run.
+func (r *run) acceptLoop(node int) {
+	defer r.acceptWg.Done()
+	for {
+		c, err := r.ex.tr.Accept(node)
+		if err != nil {
+			return
+		}
+		r.handlerWg.Add(1)
+		go r.handle(node, c)
+	}
+}
+
+// handle serves one inbound connection: acquire the node's receive
+// port, read and verify one transfer, apply it through the ledger, and
+// ack. The connection always closes here.
+func (r *run) handle(node int, c net.Conn) {
+	defer r.handlerWg.Done()
+	defer severAll([]net.Conn{c})
+	select {
+	case r.recvSem[node] <- struct{}{}:
+	case <-r.closing:
+		return
+	}
+	defer func() { <-r.recvSem[node] }()
+	if err := c.SetDeadline(r.ex.cfg.Clock().Add(r.recvWindow)); err != nil {
+		return
+	}
+	br := newFrameReader(c)
+	var h frameHeader
+	if err := readLine(br, &h); err != nil {
+		return
+	}
+	ack := r.receive(node, br, h)
+	if err := writeLine(c, ack); err != nil {
+		return
+	}
+}
+
+// receive validates a header against the run, reads and verifies the
+// payload, and applies it exactly once through the ledger.
+func (r *run) receive(node int, br io.Reader, h frameHeader) frameAck {
+	reject := func(format string, args ...any) frameAck {
+		return frameAck{OK: false, Error: fmt.Sprintf(format, args...)}
+	}
+	if h.Exchange != r.xid {
+		return reject("exchange %d, want %d", h.Exchange, r.xid)
+	}
+	if h.Dst != node {
+		return reject("misrouted: header says dst %d at node %d", h.Dst, node)
+	}
+	if h.Src < 0 || h.Src >= r.n || h.Src == node {
+		return reject("invalid src %d", h.Src)
+	}
+	t := r.st[h.Src][h.Dst]
+	if h.Size != t.size {
+		return reject("size %d, sizes matrix says %d", h.Size, t.size)
+	}
+	var payload []byte
+	if h.Size > 0 {
+		payload = make([]byte, h.Size)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return reject("short payload: %v", err)
+		}
+		if !bytes.Equal(payload, r.ex.cfg.Payload(h.Src, h.Dst, h.Size)) {
+			return reject("payload corrupt")
+		}
+	}
+	r.mu.Lock()
+	dup := t.applied
+	if dup {
+		r.dup++
+	} else {
+		t.applied = true
+		t.round = h.Round
+	}
+	r.mu.Unlock()
+	if dup {
+		return frameAck{OK: true, Dup: true}
+	}
+	if r.ex.cfg.Deliver != nil {
+		r.ex.cfg.Deliver(h.Src, h.Dst, payload)
+	}
+	return frameAck{OK: true}
+}
+
+// finalize folds the ledger into the delivery report. It runs after
+// every handler has exited, so the ledger is quiescent.
+func (r *run) finalize(rounds, replans int, modeled float64, wall time.Duration) *DeliveryReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &DeliveryReport{
+		N: r.n, Rounds: rounds, Replans: replans,
+		Modeled: modeled, Wall: wall,
+	}
+	for node := 0; node < r.n; node++ {
+		if !r.alive[node] {
+			rep.Dead = append(rep.Dead, node)
+		}
+	}
+	sort.Ints(rep.Dead)
+	for dst := 0; dst < r.n; dst++ {
+		d := DestReport{Dst: dst}
+		seen := map[string]bool{}
+		for src := 0; src < r.n; src++ {
+			t := r.st[src][dst]
+			if t == nil {
+				continue
+			}
+			d.Transfers++
+			d.Retries += t.retries
+			rep.Retries += t.retries
+			rep.TotalBytes += t.size
+			if t.retries > 0 {
+				d.Retried += t.size
+				rep.RetriedBytes += t.size
+			}
+			switch {
+			case t.applied && t.round == 0:
+				d.Delivered += t.size
+				rep.DeliveredBytes += t.size
+				rep.DeliveredTransfers++
+			case t.applied:
+				d.Rerouted += t.size
+				rep.ReroutedBytes += t.size
+				rep.ReroutedTransfers++
+			default:
+				d.Abandoned += t.size
+				rep.AbandonedBytes += t.size
+				rep.AbandonedTransfers++
+				reason := r.abandonReason(src, dst)
+				if !seen[reason] {
+					seen[reason] = true
+					d.Reasons = append(d.Reasons, reason)
+				}
+			}
+		}
+		rep.Dests = append(rep.Dests, d)
+	}
+	rep.DupSuppressed = r.dup
+	return rep
+}
+
+// abandonReason explains why a pending transfer can no longer move.
+// Called with r.mu held.
+func (r *run) abandonReason(src, dst int) string {
+	switch {
+	case !r.alive[dst]:
+		return fmt.Sprintf("P%d dead: %s", dst, r.deadReason[dst])
+	case !r.alive[src]:
+		return fmt.Sprintf("sender P%d dead: %s", src, r.deadReason[src])
+	default:
+		return "rounds exhausted"
+	}
+}

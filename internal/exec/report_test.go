@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"testing"
+	"time"
+)
+
+// TestExecReportGolden locks the DeliveryReport rendering: operators
+// grep these lines and EXPERIMENTS.md quotes them, so layout changes
+// must be deliberate.
+func TestExecReportGolden(t *testing.T) {
+	rep := &DeliveryReport{
+		N: 4, Rounds: 2, Replans: 1, Dead: []int{2},
+		TotalBytes: 1200, DeliveredBytes: 700, ReroutedBytes: 200, AbandonedBytes: 300,
+		RetriedBytes: 100, Retries: 3, DupSuppressed: 1,
+		Modeled: 0.4439, Wall: 2063 * time.Microsecond,
+		Dests: []DestReport{
+			{Dst: 0, Delivered: 300, Transfers: 3},
+			{Dst: 1, Delivered: 200, Rerouted: 200, Transfers: 3, Retries: 2},
+			{Dst: 2, Delivered: 100, Abandoned: 200, Transfers: 3, Retries: 1,
+				Reasons: []string{"P2 dead: transport: exec: peer P2 dead"}},
+			{Dst: 3, Delivered: 100, Abandoned: 100, Transfers: 3,
+				Reasons: []string{"sender P2 dead: transport: exec: peer P2 dead"}},
+		},
+	}
+	want := `delivery report: P=4, 2 round(s), 1 replan(s), dead: P2
+  bytes: 1200 total = 700 delivered + 200 rerouted + 300 abandoned (100 retried, 3 retries, 1 dup suppressed)
+  time: 0.002063 s measured vs 0.4439 s modeled t_max (ratio 0.00465)
+  dst    delivered   rerouted  abandoned  retries  reasons
+  P0           300          0          0        0
+  P1           200        200          0        2
+  P2           100          0        200        1  P2 dead: transport: exec: peer P2 dead
+  P3           100          0        100        0  sender P2 dead: transport: exec: peer P2 dead
+`
+	if got := rep.String(); got != want {
+		t.Fatalf("rendering drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if !rep.Accounted() {
+		t.Fatal("golden report does not partition its bytes")
+	}
+	if r := rep.Ratio(); r < 0.00464 || r > 0.00466 {
+		t.Fatalf("ratio %g outside expected window", r)
+	}
+}
+
+func TestExecReportNoDeadRendersNone(t *testing.T) {
+	rep := &DeliveryReport{N: 2, Rounds: 1}
+	got := rep.String()
+	want := "delivery report: P=2, 1 round(s), 0 replan(s), dead: none\n"
+	if got[:len(want)] != want {
+		t.Fatalf("header drifted: %q", got)
+	}
+}
+
+func TestExecReportRatioZeroModel(t *testing.T) {
+	rep := &DeliveryReport{Wall: time.Second}
+	if rep.Ratio() != 0 {
+		t.Fatal("zero-model ratio must be 0")
+	}
+}

@@ -1,0 +1,46 @@
+package exec
+
+import (
+	"hetsched/internal/obs"
+)
+
+// Re-exported metric family names, so exec callers don't import obs
+// just to find them. Declared in obs/families.go with the rest of the
+// canonical surface.
+const (
+	MetricExecTransfers  = obs.MetricExecTransfers
+	MetricExecAttempts   = obs.MetricExecAttempts
+	MetricExecRetries    = obs.MetricExecRetries
+	MetricExecBytes      = obs.MetricExecBytes
+	MetricExecPeerDeaths = obs.MetricExecPeerDeaths
+	MetricExecReplans    = obs.MetricExecReplans
+	MetricExecWallRatio  = obs.MetricExecWallRatio
+)
+
+// counter fetches an exec counter from the configured registry;
+// nil-safe end to end.
+func (e *Executor) counter(name string, labels ...obs.Label) *obs.Counter {
+	return e.cfg.Metrics.Counter(name, "exec data-plane counter", labels...)
+}
+
+// observeReport folds a finished exchange's accounting into the metric
+// surface: transfers and bytes by outcome, and the measured wall-clock
+// to modeled-t_max ratio.
+func (e *Executor) observeReport(rep *DeliveryReport) {
+	if e.cfg.Metrics == nil {
+		return
+	}
+	outcome := func(name string, transfers int, bytes int64) {
+		l := obs.L("outcome", name)
+		e.counter(MetricExecTransfers, l).Add(uint64(transfers))
+		e.counter(MetricExecBytes, l).Add(uint64(bytes))
+	}
+	outcome("delivered", rep.DeliveredTransfers, rep.DeliveredBytes)
+	outcome("rerouted", rep.ReroutedTransfers, rep.ReroutedBytes)
+	outcome("abandoned", rep.AbandonedTransfers, rep.AbandonedBytes)
+	if rep.Modeled > 0 {
+		e.cfg.Metrics.Histogram(MetricExecWallRatio,
+			"Measured wall clock over modeled t_max per exchange.",
+			obs.RatioBuckets).Observe(rep.Ratio())
+	}
+}

@@ -1,0 +1,187 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// transports under test, by constructor.
+func transportsUnderTest() map[string]func(n int) (Transport, error) {
+	return map[string]func(n int) (Transport, error){
+		"mem": func(n int) (Transport, error) { return NewMem(n) },
+		"tcp": func(n int) (Transport, error) { return NewTCP(n) },
+	}
+}
+
+func TestExecTransportRoundTrip(t *testing.T) {
+	for _, name := range []string{"mem", "tcp"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr, err := transportsUnderTest()[name](3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			if tr.N() != 3 {
+				t.Fatalf("N=%d", tr.N())
+			}
+			done := make(chan error, 1)
+			go func() {
+				c, err := tr.Accept(1)
+				if err != nil {
+					done <- err
+					return
+				}
+				defer c.Close()
+				buf := make([]byte, 5)
+				if _, err := c.Read(buf); err != nil {
+					done <- err
+					return
+				}
+				_, err = c.Write(buf)
+				done <- err
+			}()
+			c, err := tr.Dial(0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if err := c.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.Write([]byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			buf := make([]byte, 5)
+			if _, err := c.Read(buf); err != nil {
+				t.Fatal(err)
+			}
+			if string(buf) != "hello" {
+				t.Fatalf("echoed %q", buf)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestExecTransportKillSemantics(t *testing.T) {
+	for _, name := range []string{"mem", "tcp"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr, err := transportsUnderTest()[name](3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			acceptErr := make(chan error, 1)
+			go func() {
+				_, err := tr.Accept(1)
+				acceptErr <- err
+			}()
+			tr.Kill(1)
+			tr.Kill(1) // idempotent
+			var pd *PeerDeadError
+			if _, err := tr.Dial(0, 1); !errors.As(err, &pd) || pd.Node != 1 {
+				t.Fatalf("dial to killed node: %v", err)
+			}
+			if _, err := tr.Dial(1, 0); !errors.As(err, &pd) || pd.Node != 1 {
+				t.Fatalf("dial from killed node: %v", err)
+			}
+			select {
+			case err := <-acceptErr:
+				if !errors.Is(err, ErrPeerDead) {
+					t.Fatalf("accept at killed node: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("accept did not observe the kill")
+			}
+			// Other nodes keep working.
+			go func() {
+				c, err := tr.Accept(2)
+				if err == nil {
+					c.Close()
+				}
+			}()
+			c, err := tr.Dial(0, 2)
+			if err != nil {
+				t.Fatalf("survivor dial failed: %v", err)
+			}
+			c.Close()
+		})
+	}
+}
+
+func TestExecTransportCloseSemantics(t *testing.T) {
+	for _, name := range []string{"mem", "tcp"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			tr, err := transportsUnderTest()[name](2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acceptErr := make(chan error, 1)
+			go func() {
+				_, err := tr.Accept(0)
+				acceptErr <- err
+			}()
+			if err := tr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Close(); err != nil {
+				t.Fatal("second close must be a no-op:", err)
+			}
+			if _, err := tr.Dial(0, 1); !errors.Is(err, ErrTransportClosed) {
+				t.Fatalf("dial after close: %v", err)
+			}
+			select {
+			case err := <-acceptErr:
+				// Either classification is acceptable post-close for a
+				// node that was never killed, but it must be terminal.
+				if !errors.Is(err, ErrTransportClosed) && !errors.Is(err, ErrPeerDead) {
+					t.Fatalf("accept after close: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("accept did not observe the close")
+			}
+		})
+	}
+}
+
+func TestExecTransportInvalidLinks(t *testing.T) {
+	tr, err := NewMem(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for _, pair := range [][2]int{{0, 0}, {-1, 1}, {0, 3}} {
+		if _, err := tr.Dial(pair[0], pair[1]); err == nil {
+			t.Fatalf("dial %v accepted", pair)
+		}
+	}
+	if _, err := tr.Accept(9); err == nil {
+		t.Fatal("accept at invalid node accepted")
+	}
+	if _, err := NewMem(-1); err == nil {
+		t.Fatal("negative node count accepted")
+	}
+	if _, err := NewTCP(-1); err == nil {
+		t.Fatal("negative node count accepted")
+	}
+}
+
+func TestExecPeerDeadErrorIdentity(t *testing.T) {
+	err := error(&PeerDeadError{Node: 3})
+	if !errors.Is(err, ErrPeerDead) {
+		t.Fatal("errors.Is failed")
+	}
+	var pd *PeerDeadError
+	if !errors.As(err, &pd) || pd.Node != 3 {
+		t.Fatal("errors.As failed")
+	}
+	if err.Error() == "" {
+		t.Fatal("empty message")
+	}
+}

@@ -1,0 +1,209 @@
+package faults
+
+import (
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// LatencyConfig sets the fault mix for a latency/stall injector. Unlike
+// ConnConfig (drops and torn writes), this injector never corrupts the
+// stream — it only makes it slow or silent, which is how the executor's
+// deadline and retry paths are exercised without losing bytes.
+type LatencyConfig struct {
+	// Seed drives the rolls and the jitter; 0 selects 1.
+	Seed int64
+	// DelayProb delays the operation by Delay plus seeded jitter.
+	DelayProb float64
+	// Delay is the base injected delay; 0 selects 2ms.
+	Delay time.Duration
+	// Jitter is the maximum extra delay, drawn uniformly per roll from
+	// the seeded sequence; 0 selects Delay (so delays span [d, 2d)).
+	Jitter time.Duration
+	// StallProb hard-stalls the operation: it never proceeds, blocking
+	// until the connection's deadline expires (returning the standard
+	// timeout error) or the connection is closed. A hard-stalled port
+	// with no deadline blocks until teardown — the "silent peer" the
+	// executor must classify as dead.
+	StallProb float64
+
+	// Sleep performs the injected delays; nil selects time.Sleep. Tests
+	// inject an instant sleep so delay paths run without wall-clock
+	// flakiness.
+	Sleep func(time.Duration)
+	// Clock supplies the time used to compute how long a hard stall
+	// must hold before the deadline fires; nil selects time.Now.
+	Clock func() time.Time
+	// After supplies the timer for hard stalls; nil selects time.After.
+	// Tests inject an already-expired timer to take the deadline branch
+	// instantly.
+	After func(time.Duration) <-chan time.Time
+}
+
+// LatencyCounts reports what a LatencyInjector has done.
+type LatencyCounts struct {
+	Conns  int // connections wrapped
+	Delays int
+	Stalls int
+}
+
+// LatencyInjector wraps net.Conns with seeded delays and hard stalls.
+// As with ConnInjector, all rolls draw from one seeded sequence, so a
+// fixed seed and call order replay the same faults.
+type LatencyInjector struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+	cfg LatencyConfig
+	ctr LatencyCounts
+}
+
+// NewLatencyInjector builds an injector, applying config defaults.
+func NewLatencyInjector(cfg LatencyConfig) *LatencyInjector {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Delay <= 0 {
+		cfg.Delay = 2 * time.Millisecond
+	}
+	if cfg.Jitter <= 0 {
+		cfg.Jitter = cfg.Delay
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.After == nil {
+		cfg.After = time.After
+	}
+	return &LatencyInjector{rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+}
+
+// Counts returns a copy of the injector's counters.
+func (in *LatencyInjector) Counts() LatencyCounts {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ctr
+}
+
+// Wrap returns a connection whose reads and writes suffer the
+// configured delays and stalls. Deadlines set on the wrapper are
+// honored by hard stalls (the stall breaks with a timeout error when
+// the deadline passes) and forwarded to the underlying connection.
+func (in *LatencyInjector) Wrap(c net.Conn) net.Conn {
+	in.mu.Lock()
+	in.ctr.Conns++
+	in.mu.Unlock()
+	return &latentConn{Conn: c, in: in, closed: make(chan struct{})}
+}
+
+// latency fates.
+const (
+	latencyOK = iota
+	latencyDelay
+	latencyStall
+)
+
+// roll decides one operation's fate and, for delays, its jittered
+// duration.
+func (in *LatencyInjector) roll() (int, time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	x := in.rng.Float64()
+	if x < in.cfg.StallProb {
+		in.ctr.Stalls++
+		return latencyStall, 0
+	}
+	x -= in.cfg.StallProb
+	if x < in.cfg.DelayProb {
+		in.ctr.Delays++
+		d := in.cfg.Delay + time.Duration(in.rng.Int63n(int64(in.cfg.Jitter)))
+		return latencyDelay, d
+	}
+	return latencyOK, 0
+}
+
+// latentConn applies the injector's latency faults to one connection.
+// It tracks the most recent deadline so hard stalls can surface the
+// same timeout error the kernel would.
+type latentConn struct {
+	net.Conn
+	in *LatencyInjector
+
+	mu       sync.Mutex
+	deadline time.Time
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func (l *latentConn) setDeadline(t time.Time) {
+	l.mu.Lock()
+	l.deadline = t
+	l.mu.Unlock()
+}
+
+func (l *latentConn) SetDeadline(t time.Time) error {
+	l.setDeadline(t)
+	return l.Conn.SetDeadline(t)
+}
+
+func (l *latentConn) SetReadDeadline(t time.Time) error {
+	l.setDeadline(t)
+	return l.Conn.SetReadDeadline(t)
+}
+
+func (l *latentConn) SetWriteDeadline(t time.Time) error {
+	l.setDeadline(t)
+	return l.Conn.SetWriteDeadline(t)
+}
+
+func (l *latentConn) Close() error {
+	l.closeOnce.Do(func() { close(l.closed) })
+	return l.Conn.Close()
+}
+
+// stall blocks until the connection's deadline passes (timeout error)
+// or it is closed, never performing the operation.
+func (l *latentConn) stall(op string) error {
+	l.mu.Lock()
+	dl := l.deadline
+	l.mu.Unlock()
+	if dl.IsZero() {
+		// No deadline: silent until teardown.
+		<-l.closed
+		return &net.OpError{Op: op, Net: "fault", Err: net.ErrClosed}
+	}
+	remaining := dl.Sub(l.in.cfg.Clock())
+	if remaining > 0 {
+		select {
+		case <-l.closed:
+			return &net.OpError{Op: op, Net: "fault", Err: net.ErrClosed}
+		case <-l.in.cfg.After(remaining):
+		}
+	}
+	return &net.OpError{Op: op, Net: "fault", Err: os.ErrDeadlineExceeded}
+}
+
+func (l *latentConn) Read(p []byte) (int, error) {
+	switch fate, d := l.in.roll(); fate {
+	case latencyStall:
+		return 0, l.stall("read")
+	case latencyDelay:
+		l.in.cfg.Sleep(d)
+	}
+	return l.Conn.Read(p)
+}
+
+func (l *latentConn) Write(p []byte) (int, error) {
+	switch fate, d := l.in.roll(); fate {
+	case latencyStall:
+		return 0, l.stall("write")
+	case latencyDelay:
+		l.in.cfg.Sleep(d)
+	}
+	return l.Conn.Write(p)
+}

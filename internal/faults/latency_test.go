@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyInjectorDelays(t *testing.T) {
+	var mu sync.Mutex
+	var slept []time.Duration
+	in := NewLatencyInjector(LatencyConfig{
+		Seed:      5,
+		DelayProb: 1,
+		Delay:     3 * time.Millisecond,
+		Jitter:    2 * time.Millisecond,
+		Sleep: func(d time.Duration) {
+			mu.Lock()
+			slept = append(slept, d)
+			mu.Unlock()
+		},
+	})
+	client, server := net.Pipe()
+	defer client.Close()
+	wrapped := in.Wrap(server)
+	defer wrapped.Close()
+	go func() {
+		buf := make([]byte, 2)
+		wrapped.Read(buf)
+		wrapped.Write(buf)
+	}()
+	if _, err := client.Write([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := client.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(slept) != 2 {
+		t.Fatalf("expected 2 injected delays, got %d", len(slept))
+	}
+	for _, d := range slept {
+		if d < 3*time.Millisecond || d >= 5*time.Millisecond {
+			t.Fatalf("delay %v outside [3ms, 5ms)", d)
+		}
+	}
+	c := in.Counts()
+	if c.Conns != 1 || c.Delays != 2 || c.Stalls != 0 {
+		t.Fatalf("counts %+v", c)
+	}
+}
+
+func TestLatencyInjectorSeededDeterminism(t *testing.T) {
+	fates := func(seed int64) []int {
+		in := NewLatencyInjector(LatencyConfig{Seed: seed, DelayProb: 0.3, StallProb: 0.3})
+		var out []int
+		for i := 0; i < 32; i++ {
+			f, _ := in.roll()
+			out = append(out, f)
+		}
+		return out
+	}
+	a, b := fates(9), fates(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at roll %d", i)
+		}
+	}
+	c := fates(10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fate sequences")
+	}
+}
+
+func TestLatencyInjectorStallHonorsDeadline(t *testing.T) {
+	in := NewLatencyInjector(LatencyConfig{
+		Seed:      2,
+		StallProb: 1,
+		// An already-fired timer makes the deadline branch instant.
+		After: func(time.Duration) <-chan time.Time {
+			ch := make(chan time.Time, 1)
+			ch <- time.Time{}
+			return ch
+		},
+	})
+	client, server := net.Pipe()
+	defer client.Close()
+	wrapped := in.Wrap(server)
+	defer wrapped.Close()
+	if err := wrapped.SetDeadline(time.Now().Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	_, err := wrapped.Read(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read returned %v, want deadline exceeded", err)
+	}
+	if in.Counts().Stalls != 1 {
+		t.Fatalf("counts %+v", in.Counts())
+	}
+}
+
+func TestLatencyInjectorStallUnblocksOnClose(t *testing.T) {
+	in := NewLatencyInjector(LatencyConfig{Seed: 2, StallProb: 1})
+	client, server := net.Pipe()
+	defer client.Close()
+	wrapped := in.Wrap(server)
+	errc := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := wrapped.Read(buf) // no deadline: silent until teardown
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := wrapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("stalled read returned %v, want closed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stalled read never unblocked after close")
+	}
+}
+
+func TestLatencyInjectorPassThrough(t *testing.T) {
+	in := NewLatencyInjector(LatencyConfig{Seed: 1}) // no faults configured
+	client, server := net.Pipe()
+	defer client.Close()
+	wrapped := in.Wrap(server)
+	defer wrapped.Close()
+	go func() {
+		buf := make([]byte, 4)
+		wrapped.Read(buf)
+		wrapped.Write(buf)
+	}()
+	if err := client.SetDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := client.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "ping" {
+		t.Fatalf("got %q", buf)
+	}
+	c := in.Counts()
+	if c.Delays != 0 || c.Stalls != 0 {
+		t.Fatalf("faults injected with zero probabilities: %+v", c)
+	}
+}

@@ -38,6 +38,17 @@ const (
 	// Simulator checkpointing (internal/sim).
 	MetricSimCheckpoints = "hetsched_sim_checkpoints_total"
 	MetricSimReplans     = "hetsched_sim_replans_total"
+
+	// Data-plane exchange executor (internal/exec). Labels:
+	//   - outcome: how bytes resolved ("delivered", "rerouted",
+	//     "abandoned")
+	MetricExecTransfers  = "hetsched_exec_transfers_total"
+	MetricExecAttempts   = "hetsched_exec_attempts_total"
+	MetricExecRetries    = "hetsched_exec_retries_total"
+	MetricExecBytes      = "hetsched_exec_bytes_total"
+	MetricExecPeerDeaths = "hetsched_exec_peer_deaths_total"
+	MetricExecReplans    = "hetsched_exec_replans_total"
+	MetricExecWallRatio  = "hetsched_exec_wall_to_modeled_ratio"
 )
 
 // standardFamilies lists every canonical family with its metadata.
@@ -61,6 +72,13 @@ var standardFamilies = []struct {
 	{MetricScheduleQuality, "Schedule quality t_max/t_lb, by algorithm.", TypeHistogram, nil},
 	{MetricSimCheckpoints, "Checkpoints taken during simulated executions.", TypeCounter, nil},
 	{MetricSimReplans, "Checkpoints at which the tail was replanned.", TypeCounter, nil},
+	{MetricExecTransfers, "Executed transfers, by outcome.", TypeCounter, nil},
+	{MetricExecAttempts, "Transfer attempts made by the exchange executor.", TypeCounter, nil},
+	{MetricExecRetries, "Extra transfer attempts after transient failures.", TypeCounter, nil},
+	{MetricExecBytes, "Bytes moved (or abandoned) by the executor, by outcome.", TypeCounter, nil},
+	{MetricExecPeerDeaths, "Nodes declared dead mid-exchange.", TypeCounter, nil},
+	{MetricExecReplans, "Residual replans performed mid-exchange.", TypeCounter, nil},
+	{MetricExecWallRatio, "Measured wall clock over modeled t_max per exchange.", TypeHistogram, nil},
 }
 
 // DeclareStandard registers metadata for every canonical family so a
@@ -75,7 +93,7 @@ func DeclareStandard(r *Registry) {
 		bounds := f.bounds
 		if f.typ == TypeHistogram && bounds == nil {
 			bounds = DurationBuckets
-			if f.name == MetricScheduleQuality {
+			if f.name == MetricScheduleQuality || f.name == MetricExecWallRatio {
 				bounds = RatioBuckets
 			}
 		}

@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"fmt"
+
+	"hetsched/internal/model"
+	"hetsched/internal/timing"
+)
+
+// Residual rescheduling support for the data-plane executor
+// (internal/exec). When a node dies mid-exchange, the undelivered
+// remainder of the total exchange is itself an all-to-some pattern
+// among the survivors, so it slots straight into the partial
+// schedulers above: compute the residual pattern, re-plan it, resume.
+
+// ResidualPattern returns the communications still owed after a
+// partial execution: every ordered pair (src, dst), src ≠ dst, where
+// both endpoints are alive and delivered(src, dst) reports false.
+// Pairs touching a dead node are excluded — their bytes can no longer
+// move and are the executor's to abandon. The pattern is emitted in
+// row-major (src, then dst) order, so identical inputs produce an
+// identical plan downstream.
+func ResidualPattern(n int, alive func(int) bool, delivered func(src, dst int) bool) Pattern {
+	var p Pattern
+	for src := 0; src < n; src++ {
+		if !alive(src) {
+			continue
+		}
+		for dst := 0; dst < n; dst++ {
+			if src == dst || !alive(dst) || delivered(src, dst) {
+				continue
+			}
+			p = append(p, timing.Pair{Src: src, Dst: dst})
+		}
+	}
+	return p
+}
+
+// ResidualMatrix restricts a communication matrix to the survivors:
+// every entry whose row or column belongs to a dead node is zeroed.
+// The shape is preserved (schedulers and patterns keep using original
+// processor ids), but dead nodes contribute nothing to lower bounds or
+// matching weights computed from the result.
+func ResidualMatrix(m *model.Matrix, alive func(int) bool) *model.Matrix {
+	out := m.Clone()
+	n := m.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if !alive(i) || !alive(j) {
+				out.Set(i, j, 0)
+			}
+		}
+	}
+	return out
+}
+
+// ReplanResidual plans a residual pattern on the survivor-restricted
+// matrix with the open shop heuristic — the executor's default
+// mid-exchange recovery step. It validates that the pattern avoids
+// dead nodes so a stale pattern fails loudly instead of scheduling a
+// send to a corpse.
+func ReplanResidual(m *model.Matrix, p Pattern, alive func(int) bool) (*Result, error) {
+	for _, pr := range p {
+		if !alive(pr.Src) || !alive(pr.Dst) {
+			return nil, fmt.Errorf("sched: residual pattern includes dead node in %d→%d", pr.Src, pr.Dst)
+		}
+	}
+	return PartialOpenShop(ResidualMatrix(m, alive), p)
+}

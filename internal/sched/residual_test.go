@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"testing"
+
+	"hetsched/internal/model"
+	"hetsched/internal/timing"
+)
+
+func residualAlive(dead ...int) func(int) bool {
+	set := map[int]bool{}
+	for _, d := range dead {
+		set[d] = true
+	}
+	return func(i int) bool { return !set[i] }
+}
+
+func TestResidualPatternExcludesDeadAndDelivered(t *testing.T) {
+	n := 4
+	delivered := func(src, dst int) bool { return src == 0 && dst == 1 }
+	p := ResidualPattern(n, residualAlive(2), delivered)
+	for _, pr := range p {
+		if pr.Src == 2 || pr.Dst == 2 {
+			t.Fatalf("pattern includes dead node: %v", pr)
+		}
+		if pr.Src == 0 && pr.Dst == 1 {
+			t.Fatal("pattern includes delivered pair")
+		}
+		if pr.Src == pr.Dst {
+			t.Fatalf("self pair %v", pr)
+		}
+	}
+	// 3 survivors → 6 ordered pairs, minus the delivered one.
+	if len(p) != 5 {
+		t.Fatalf("pattern has %d pairs, want 5", len(p))
+	}
+	// Deterministic row-major order: same inputs, same pattern.
+	q := ResidualPattern(n, residualAlive(2), delivered)
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatalf("pattern order not deterministic at %d: %v vs %v", i, p[i], q[i])
+		}
+	}
+}
+
+func TestResidualPatternNothingPending(t *testing.T) {
+	p := ResidualPattern(3, residualAlive(), func(int, int) bool { return true })
+	if len(p) != 0 {
+		t.Fatalf("fully delivered exchange has residual %v", p)
+	}
+}
+
+func TestResidualMatrixZeroesDeadLinks(t *testing.T) {
+	m := model.ExampleMatrix()
+	n := m.N()
+	rm := ResidualMatrix(m, residualAlive(1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			want := m.At(i, j)
+			if i == 1 || j == 1 {
+				want = 0
+			}
+			if rm.At(i, j) != want {
+				t.Fatalf("residual[%d][%d] = %g, want %g", i, j, rm.At(i, j), want)
+			}
+		}
+	}
+	// The original is untouched.
+	if m.At(1, 0) == 0 && m.At(0, 1) == 0 {
+		t.Fatal("input matrix mutated")
+	}
+}
+
+func TestReplanResidualCoversExactlyThePattern(t *testing.T) {
+	m := model.ExampleMatrix()
+	alive := residualAlive(0)
+	p := ResidualPattern(m.N(), alive, func(src, dst int) bool { return false })
+	r, err := ReplanResidual(m, p, alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Schedule.Validate(nil); err != nil {
+		t.Fatalf("replanned schedule invalid: %v", err)
+	}
+	seen := map[timing.Pair]bool{}
+	for _, e := range r.Schedule.Events {
+		pr := timing.Pair{Src: e.Src, Dst: e.Dst}
+		if seen[pr] {
+			t.Fatalf("pair %v scheduled twice", pr)
+		}
+		seen[pr] = true
+	}
+	if len(seen) != len(p) {
+		t.Fatalf("schedule covers %d pairs, pattern has %d", len(seen), len(p))
+	}
+	for _, pr := range p {
+		if !seen[pr] {
+			t.Fatalf("pattern pair %v missing from schedule", pr)
+		}
+	}
+}
+
+func TestReplanResidualRejectsDeadPair(t *testing.T) {
+	m := model.ExampleMatrix()
+	stale := Pattern{{Src: 0, Dst: 1}} // 0 is dead below
+	if _, err := ReplanResidual(m, stale, residualAlive(0)); err == nil {
+		t.Fatal("stale pattern naming a dead node accepted")
+	}
+}

@@ -49,10 +49,15 @@ exec-chaos:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
-# Machine-readable figure sweeps: mean and p95 ratio-to-lower-bound per
-# (P, algorithm) plus per-figure wall clock, written to bench.json.
+# Machine-readable benchmark outputs: the figure sweeps (mean and p95
+# ratio-to-lower-bound per (P, algorithm) plus per-figure wall clock)
+# as bench.json, and the planning micro-benchmarks (cold plan, warm
+# replan, drift repair — plans/sec, mean and p95 ns/op, allocs/op,
+# warm-vs-cold speedup) as BENCH_plan.json. CI's bench job uploads
+# both as artifacts; EXPERIMENTS.md documents the schemas.
 bench-json:
 	$(GO) run ./cmd/hcbench -fig sweeps -json bench.json
+	$(GO) run ./cmd/hcbench -bench-json BENCH_plan.json
 
 cover:
 	$(GO) test -cover ./...

@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"hetsched/internal/experiments"
@@ -30,13 +31,20 @@ import (
 
 // jsonFigure is one figure sweep in the -json report: the aggregate
 // cells (mean and p95 ratio to the lower bound, mean completion,
-// geometric-mean speedup) plus how long the sweep took to run.
+// geometric-mean speedup) plus how the sweep itself ran — wall clock,
+// schedules planned, and mean ns and allocs per planned schedule so
+// engine-cost regressions show up next to the quality numbers. The
+// quality cells stay deterministic; the engine-cost fields vary run to
+// run like any timing does. EXPERIMENTS.md documents the schema.
 type jsonFigure struct {
 	Figure      string             `json:"figure"`
 	Workload    string             `json:"workload"`
 	Trials      int                `json:"trials"`
 	Seed        int64              `json:"seed"`
 	WallSeconds float64            `json:"wall_clock_seconds"`
+	Schedules   int                `json:"schedules_planned"`
+	MeanNsOp    float64            `json:"mean_ns_per_schedule"`
+	AllocsOp    float64            `json:"allocs_per_schedule"`
 	Cells       []experiments.Cell `json:"cells"`
 }
 
@@ -49,9 +57,17 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of tables (figure sweeps only)")
 		jsonOut = flag.String("json", "", "also write figure sweeps as JSON to this file")
 		workers = flag.Int("workers", 0, "worker goroutines per experiment (0 = GOMAXPROCS, 1 = sequential); output is identical for any value")
+		benchJS = flag.String("bench-json", "", "run the planning micro-benchmarks (cold plan, warm replan, drift repair at P ∈ {8,16,50}) and write BENCH_plan.json-style output to this file, skipping the figure sweeps")
 	)
 	flag.Parse()
 	experiments.SetDefaultWorkers(*workers)
+	if *benchJS != "" {
+		if err := runBenchPlan(*benchJS); err != nil {
+			fmt.Fprintln(os.Stderr, "hcbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var report []jsonFigure
 
 	run := func(name string) error {
@@ -70,12 +86,15 @@ func main() {
 				ps = append(ps, p)
 			}
 			cfg.Ps = ps
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
 			start := time.Now()
 			res, err := experiments.RunFigure(cfg)
 			if err != nil {
 				return err
 			}
 			wall := time.Since(start)
+			runtime.ReadMemStats(&ms1)
 			fmt.Printf("=== Figure %s ===\n", name)
 			if *csv {
 				fmt.Print(res.FormatCSV())
@@ -83,14 +102,23 @@ func main() {
 				fmt.Print(res.FormatTable())
 			}
 			if *jsonOut != "" {
-				report = append(report, jsonFigure{
+				// One schedule per (P, trial, algorithm); the engine-cost
+				// ratios below are per planned schedule.
+				ops := cfg.Trials * len(cfg.Ps) * len(res.Algorithms)
+				fig := jsonFigure{
 					Figure:      name,
 					Workload:    res.Kind.String(),
 					Trials:      cfg.Trials,
 					Seed:        cfg.Seed,
 					WallSeconds: wall.Seconds(),
+					Schedules:   ops,
 					Cells:       res.Cells,
-				})
+				}
+				if ops > 0 {
+					fig.MeanNsOp = float64(wall.Nanoseconds()) / float64(ops)
+					fig.AllocsOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(ops)
+				}
+				report = append(report, fig)
 			}
 		case "example":
 			out, err := experiments.RunningExample()

@@ -37,10 +37,22 @@ func checkSquare(cost [][]float64) (int, error) {
 	return n, nil
 }
 
+// flatten copies a validated square matrix into a fresh flat row-major
+// slice, the shape the Solver core consumes.
+func flatten(cost [][]float64, n int) []float64 {
+	flat := make([]float64, n*n)
+	for i, row := range cost {
+		copy(flat[i*n:(i+1)*n], row)
+	}
+	return flat
+}
+
 // SolveMin returns rowToCol, the minimum-cost perfect assignment of
 // rows to columns, and its total cost. The algorithm is the
 // shortest-augmenting-path method with dual potentials used by the
-// Jonker–Volgenant solver, running in O(n³) time.
+// Jonker–Volgenant solver, running in O(n³) time. It is a convenience
+// wrapper over Solver, which hot paths should use directly to reuse
+// buffers (and warm starts) across solves.
 //
 // Entries set to Forbidden are treated as unusable; if every perfect
 // assignment must use a forbidden edge, SolveMin returns an error.
@@ -52,77 +64,13 @@ func SolveMin(cost [][]float64) ([]int, float64, error) {
 	if n == 0 {
 		return nil, 0, nil
 	}
-
-	// 1-based internal arrays; column 0 is a virtual root.
-	u := make([]float64, n+1) // row potentials
-	v := make([]float64, n+1) // column potentials
-	p := make([]int, n+1)     // p[j]: row assigned to column j (0 = none)
-	way := make([]int, n+1)   // way[j]: previous column on the alternating path
-
-	for i := 1; i <= n; i++ {
-		p[0] = i
-		j0 := 0
-		minv := make([]float64, n+1)
-		used := make([]bool, n+1)
-		for j := range minv {
-			minv[j] = math.Inf(1)
-		}
-		for {
-			used[j0] = true
-			i0 := p[j0]
-			j1 := 0
-			delta := math.Inf(1)
-			for j := 1; j <= n; j++ {
-				if used[j] {
-					continue
-				}
-				cur := cost[i0-1][j-1] - u[i0] - v[j]
-				if cur < minv[j] {
-					minv[j] = cur
-					way[j] = j0
-				}
-				if minv[j] < delta {
-					delta = minv[j]
-					j1 = j
-				}
-			}
-			if math.IsInf(delta, 1) {
-				return nil, 0, fmt.Errorf("assignment: no augmenting path for row %d", i-1)
-			}
-			for j := 0; j <= n; j++ {
-				if used[j] {
-					u[p[j]] += delta
-					v[j] -= delta
-				} else {
-					minv[j] -= delta
-				}
-			}
-			j0 = j1
-			if p[j0] == 0 {
-				break
-			}
-		}
-		// Augment along the alternating path back to the root.
-		for j0 != 0 {
-			j1 := way[j0]
-			p[j0] = p[j1]
-			j0 = j1
-		}
+	var s Solver
+	out := make([]int, n)
+	total, err := s.solveMinFlat(out, flatten(cost, n), n)
+	if err != nil {
+		return nil, 0, err
 	}
-
-	rowToCol := make([]int, n)
-	total := 0.0
-	for j := 1; j <= n; j++ {
-		if p[j] == 0 {
-			return nil, 0, fmt.Errorf("assignment: column %d left unassigned", j-1)
-		}
-		rowToCol[p[j]-1] = j - 1
-		total += cost[p[j]-1][j-1]
-	}
-	if total >= Forbidden {
-		return nil, 0, fmt.Errorf("assignment: optimal assignment requires a forbidden edge")
-	}
-	return rowToCol, total, nil
+	return out, total, nil
 }
 
 // SolveMax returns the maximum-cost perfect assignment by negating the
@@ -134,22 +82,16 @@ func SolveMax(cost [][]float64) ([]int, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	neg := make([][]float64, n)
-	for i := range neg {
-		neg[i] = make([]float64, n)
-		for j := range neg[i] {
-			if cost[i][j] <= -Forbidden {
-				neg[i][j] = Forbidden
-			} else {
-				neg[i][j] = -cost[i][j]
-			}
-		}
+	if n == 0 {
+		return nil, 0, nil
 	}
-	assign, negTotal, err := SolveMin(neg)
+	var s Solver
+	out := make([]int, n)
+	total, err := s.SolveMaxInto(out, flatten(cost, n), n)
 	if err != nil {
 		return nil, 0, err
 	}
-	return assign, -negTotal, nil
+	return out, total, nil
 }
 
 // TotalCost sums cost[i][assign[i]] over all rows. It is a convenience

@@ -1,0 +1,5 @@
+//go:build !race
+
+package assignment
+
+const raceEnabled = false

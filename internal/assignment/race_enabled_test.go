@@ -1,0 +1,7 @@
+//go:build race
+
+package assignment
+
+// raceEnabled reports that this test binary was built with the race
+// detector, under which allocation counts are not meaningful.
+const raceEnabled = true

@@ -1,0 +1,397 @@
+package assignment
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refSolveMin is the original nested-slice implementation of the
+// shortest-augmenting-path solver, kept verbatim as a reference: the
+// flat Solver core must reproduce it bit-for-bit (permutation and
+// total), which FuzzWarmStartEquivalence and the tests below pin.
+func refSolveMin(cost [][]float64) ([]int, float64, error) {
+	n, err := checkSquare(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n == 0 {
+		return nil, 0, nil
+	}
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = math.Inf(1)
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			j1 := 0
+			delta := math.Inf(1)
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if math.IsInf(delta, 1) {
+				return nil, 0, errNoPath
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	rowToCol := make([]int, n)
+	total := 0.0
+	for j := 1; j <= n; j++ {
+		rowToCol[p[j]-1] = j - 1
+		total += cost[p[j]-1][j-1]
+	}
+	if total >= Forbidden {
+		return nil, 0, errForbidden
+	}
+	return rowToCol, total, nil
+}
+
+var (
+	errNoPath    = errString("no augmenting path")
+	errForbidden = errString("forbidden edge")
+)
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// randMatrix builds a random cost matrix with a zero diagonal, the
+// shape the schedulers feed the solver.
+func randCostMatrix(rng *rand.Rand, n int) [][]float64 {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		for j := range rows[i] {
+			if i != j {
+				rows[i][j] = rng.Float64()*10 + 0.01
+			}
+		}
+	}
+	return rows
+}
+
+func flatOf(rows [][]float64) []float64 {
+	n := len(rows)
+	return flatten(rows, n)
+}
+
+func sameAssign(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSolverMatchesReference cross-checks the flat core against the
+// retained original implementation on random instances, including the
+// exact float total.
+func TestSolverMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var s Solver
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		rows := randCostMatrix(rng, n)
+		refAssign, refTotal, refErr := refSolveMin(rows)
+		if refErr != nil {
+			t.Fatalf("reference failed: %v", refErr)
+		}
+		out := make([]int, n)
+		total, err := s.SolveMinInto(out, flatOf(rows), n)
+		if err != nil {
+			t.Fatalf("flat solver failed: %v", err)
+		}
+		if !sameAssign(refAssign, out) {
+			t.Fatalf("n=%d: assign %v != reference %v", n, out, refAssign)
+		}
+		if math.Float64bits(total) != math.Float64bits(refTotal) {
+			t.Fatalf("n=%d: total %v != reference %v (bit-exact)", n, total, refTotal)
+		}
+	}
+}
+
+// TestSolveMinStillOptimal keeps the package wrapper honest against
+// brute force after the Solver refactor.
+func TestSolveMinStillOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		rows := randCostMatrix(rng, n)
+		assign, total, err := SolveMin(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bestTotal := BruteForceMin(rows)
+		if math.Abs(total-bestTotal) > 1e-9 {
+			t.Fatalf("n=%d: total %v, brute force %v", n, total, bestTotal)
+		}
+		if !IsPermutation(assign) {
+			t.Fatalf("not a permutation: %v", assign)
+		}
+	}
+}
+
+// driftStep perturbs some off-diagonal entries in place, the way a
+// drifting directory snapshot moves pair costs between plans.
+func driftStep(rng *rand.Rand, rows [][]float64, prob, scale float64) {
+	n := len(rows)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || rng.Float64() >= prob {
+				continue
+			}
+			rows[i][j] *= 1 + (rng.Float64()*2-1)*scale
+			if rows[i][j] <= 0 {
+				rows[i][j] = 0.01
+			}
+		}
+	}
+}
+
+// TestWarmStartEquivalenceSequences runs drift sequences (the repeated
+// exchange pattern) and requires the warm-started solver to match the
+// cold solver bit-for-bit at every step, in both directions.
+func TestWarmStartEquivalenceSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(1998))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(14)
+		rows := randCostMatrix(rng, n)
+		var s Solver
+		var wsMin, wsMax WarmStart
+		out := make([]int, n)
+		for step := 0; step < 12; step++ {
+			switch step % 3 {
+			case 1:
+				driftStep(rng, rows, 0.05, 0.2)
+			case 2:
+				// Mask a random edge the way matching rounds do.
+				i, j := rng.Intn(n), rng.Intn(n)
+				if i != j {
+					rows[i][j] = -Forbidden
+				}
+			}
+			flat := flatOf(rows)
+
+			coldAssign, coldTotal, coldErr := SolveMax(rows)
+			warmTotal, _, warmErr := s.SolveMaxWarm(out, flat, n, &wsMax)
+			checkSame(t, "max", coldAssign, coldTotal, coldErr, out, warmTotal, warmErr)
+
+			coldAssign, coldTotal, coldErr = SolveMin(rows)
+			warmTotal, _, warmErr = s.SolveMinWarm(out, flat, n, &wsMin)
+			checkSame(t, "min", coldAssign, coldTotal, coldErr, out, warmTotal, warmErr)
+		}
+	}
+}
+
+func checkSame(t *testing.T, dir string, coldAssign []int, coldTotal float64, coldErr error,
+	warmAssign []int, warmTotal float64, warmErr error) {
+	t.Helper()
+	if (coldErr == nil) != (warmErr == nil) {
+		t.Fatalf("%s: cold err %v, warm err %v", dir, coldErr, warmErr)
+	}
+	if coldErr != nil {
+		return
+	}
+	if !sameAssign(coldAssign, warmAssign) {
+		t.Fatalf("%s: warm assign %v != cold %v", dir, warmAssign, coldAssign)
+	}
+	if math.Float64bits(coldTotal) != math.Float64bits(warmTotal) {
+		t.Fatalf("%s: warm total %x != cold total %x", dir, math.Float64bits(warmTotal), math.Float64bits(coldTotal))
+	}
+}
+
+// TestWarmStartHitsSteadyState pins the performance premise: re-solving
+// an unchanged matrix must be served by the O(n²) certificate, not the
+// O(n³) core. Without this the warm path would still be correct but
+// worthless.
+func TestWarmStartHitsSteadyState(t *testing.T) {
+	for _, n := range []int{8, 16, 50} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		rows := randCostMatrix(rng, n)
+		flat := flatOf(rows)
+		var s Solver
+		var ws WarmStart
+		out := make([]int, n)
+		for iter := 0; iter < 20; iter++ {
+			_, hit, err := s.SolveMaxWarm(out, flat, n, &ws)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if iter > 0 && !hit {
+				t.Fatalf("n=%d iter %d: steady-state solve missed the certificate", n, iter)
+			}
+		}
+		if ws.Hits != 19 || ws.Misses != 1 {
+			t.Fatalf("n=%d: hits=%d misses=%d, want 19/1", n, ws.Hits, ws.Misses)
+		}
+	}
+}
+
+// TestSolverZeroAlloc asserts the steady-state warm solve allocates
+// nothing. It runs in every build mode; the companion comm-level alloc
+// tests carry the build-tag story (see internal/comm/alloc_test.go).
+func TestSolverZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		// -race instrumentation changes escape analysis; allocation
+		// counts are meaningless under it. The !race CI step runs this
+		// for real (see .github/workflows/ci.yml).
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	n := 50
+	rng := rand.New(rand.NewSource(3))
+	flat := flatOf(randCostMatrix(rng, n))
+	var s Solver
+	var ws WarmStart
+	out := make([]int, n)
+	if _, _, err := s.SolveMaxWarm(out, flat, n, &ws); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := s.SolveMaxWarm(out, flat, n, &ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state warm solve: %v allocs/op, want 0", allocs)
+	}
+	// The cold flat path must also be allocation-free after warmup.
+	allocs = testing.AllocsPerRun(20, func() {
+		if _, err := s.SolveMaxInto(out, flat, n); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cold flat solve: %v allocs/op, want 0", allocs)
+	}
+}
+
+// FuzzWarmStartEquivalence drives random matrices through random drift
+// sequences (scaling drifts, forbidden-edge masking, full rewrites) and
+// requires warm-started solves to be byte-identical to cold solves at
+// every step.
+func FuzzWarmStartEquivalence(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(8), uint8(40))
+	f.Add(int64(1998), uint8(12), uint8(4), uint8(0))
+	f.Add(int64(-7), uint8(2), uint8(12), uint8(255))
+	f.Add(int64(424242), uint8(9), uint8(6), uint8(128))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw, steps, driftRaw uint8) {
+		n := 1 + int(nRaw)%12
+		rng := rand.New(rand.NewSource(seed))
+		rows := randCostMatrix(rng, n)
+		prob := float64(driftRaw) / 255
+		var s Solver
+		var ws WarmStart
+		out := make([]int, n)
+		for step := 0; step < 2+int(steps)%12; step++ {
+			switch rng.Intn(4) {
+			case 0:
+				// unchanged matrix: the certify fast path
+			case 1:
+				driftStep(rng, rows, prob, 0.5)
+			case 2:
+				i, j := rng.Intn(n), rng.Intn(n)
+				if i != j {
+					rows[i][j] = -Forbidden
+				}
+			case 3:
+				rows = randCostMatrix(rng, n)
+			}
+			coldAssign, coldTotal, coldErr := SolveMax(rows)
+			warmTotal, _, warmErr := s.SolveMaxWarm(out, flatOf(rows), n, &ws)
+			checkSame(t, "max", coldAssign, coldTotal, coldErr, out, warmTotal, warmErr)
+		}
+	})
+}
+
+func BenchmarkSolveMaxCold(b *testing.B) {
+	for _, n := range []int{8, 16, 50} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			flat := flatOf(randCostMatrix(rng, n))
+			var s Solver
+			out := make([]int, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.SolveMaxInto(out, flat, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSolveMaxWarm(b *testing.B) {
+	for _, n := range []int{8, 16, 50} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(n)))
+			flat := flatOf(randCostMatrix(rng, n))
+			var s Solver
+			var ws WarmStart
+			out := make([]int, n)
+			if _, _, err := s.SolveMaxWarm(out, flat, n, &ws); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.SolveMaxWarm(out, flat, n, &ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 8:
+		return "P8"
+	case 16:
+		return "P16"
+	case 50:
+		return "P50"
+	}
+	return "P?"
+}

@@ -17,7 +17,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"hetsched/internal/incremental"
 	"hetsched/internal/model"
 	"hetsched/internal/netmodel"
 	"hetsched/internal/obs"
@@ -95,6 +94,15 @@ type Communicator struct {
 	cfg    Config
 	tel    commTelemetry
 
+	// repairName is RepairScheduler.Name()+"+repair", precomputed so
+	// serving a repaired schedule does not build a string per call.
+	repairName string
+	// scratch pools PlanScratch values for AllToAllRepeated, whose
+	// callers receive heap-owned results and so cannot hold a scratch
+	// across calls themselves. Pooling is what lets concurrent repeated
+	// calls keep warm planner state without serializing on one scratch.
+	scratch sync.Pool
+
 	mu sync.Mutex // guards the fields below
 	// cached state for AllToAllRepeated. planGen is bumped by
 	// Invalidate; a plan or repair may only install (or serve a repair
@@ -147,8 +155,11 @@ func New(n int, source Source, cfg Config) (*Communicator, error) {
 		//hetvet:ignore determinism the communicator's one wall-clock default; tests and sims inject Clock
 		cfg.Clock = time.Now
 	}
-	return &Communicator{n: n, source: source, cfg: cfg,
-		tel: newCommTelemetry(cfg.Metrics, cfg.Tracer)}, nil
+	c := &Communicator{n: n, source: source, cfg: cfg,
+		tel:        newCommTelemetry(cfg.Metrics, cfg.Tracer),
+		repairName: cfg.RepairScheduler.Name() + "+repair"}
+	c.scratch.New = func() any { return new(PlanScratch) }
+	return c, nil
 }
 
 // Health reports which rung of the fallback ladder served the most
@@ -182,7 +193,11 @@ func (c *Communicator) snapshotMatrix(sizes *model.Sizes) (*model.Matrix, Health
 			return nil, HealthOK, fmt.Errorf("comm: directory reports %d processors, want %d", perf.N(), c.n)
 		}
 		c.mu.Lock()
-		c.lastPerf = perf.Clone()
+		// An unchanged table keeps the existing cached clone; only the
+		// timestamp is refreshed.
+		if c.lastPerf == nil || !c.lastPerf.Equal(perf) {
+			c.lastPerf = perf.Clone()
+		}
 		c.lastPerfAt = c.cfg.Clock()
 		c.mu.Unlock()
 		m, err := model.Build(perf, sizes)
@@ -323,73 +338,29 @@ func (c *Communicator) AllToAllBatch(sizes []*model.Sizes, workers int) ([]*sche
 // discarded — never served, never cached — and the call replans from
 // scratch instead.
 func (c *Communicator) AllToAllRepeated(sizes *model.Sizes) (*sched.Result, error) {
-	m, h, err := c.snapshotMatrix(sizes)
+	// The heavy lifting happens in the scratch core on a pooled
+	// PlanScratch, which carries warm solver state and reusable buffers
+	// between calls. The result is detached from scratch memory before
+	// the scratch returns to the pool; the cached steps it may share
+	// with the communicator are never mutated, so handing them to the
+	// caller is safe.
+	sc := c.scratch.Get().(*PlanScratch)
+	r, err := c.AllToAllRepeatedScratch(sizes, sc)
 	if err != nil {
+		c.scratch.Put(sc)
 		return nil, err
 	}
-	if h == HealthDegraded {
-		// The uniform matrix carries no real information; planning the
-		// blind baseline without touching the repair cache keeps the
-		// cached schedule intact for when the directory returns.
-		r, err := c.timedSchedule(c.cfg.BaselineScheduler, m, h, "repeated")
-		if err != nil {
-			return nil, err
-		}
-		c.mu.Lock()
-		c.stats.Plans++
-		c.mu.Unlock()
-		c.tel.plans.Inc()
-		c.noteServed(h)
-		return tagResult(r, h), nil
+	out := &sched.Result{
+		Algorithm:  r.Algorithm,
+		Steps:      r.Steps,
+		Schedule:   r.Schedule,
+		LowerBound: r.LowerBound,
 	}
-	c.noteServed(h)
-	c.mu.Lock()
-	gen, steps, last := c.planGen, c.lastSteps, c.lastMatrix
-	c.mu.Unlock()
-	if steps == nil || last == nil {
-		r, err := c.timedResult(h, "repeated", func() (*sched.Result, error) {
-			return c.planRepeated(m)
-		})
-		if err != nil {
-			return nil, err
-		}
-		return tagResult(r, h), nil
+	if out.Schedule == &sc.schedule {
+		out.Schedule = out.Schedule.Clone()
 	}
-	r, err := c.timedResult(h, "repair", func() (*sched.Result, error) {
-		repaired, st, err := incremental.Refine(steps, last, m,
-			incremental.Options{Threshold: c.cfg.RepairThreshold, Max: true})
-		if err != nil {
-			return nil, err
-		}
-		if st.Steps > 0 && float64(st.DirtySteps) > c.cfg.RecomputeFraction*float64(st.Steps) {
-			c.mu.Lock()
-			c.stats.Recomputes++
-			c.mu.Unlock()
-			c.tel.recomputes.Inc()
-			return c.planRepeated(m)
-		}
-		if !c.installRepaired(gen, m, repaired) {
-			// Invalidate ran while we repaired: this schedule descends
-			// from the plan the caller just dropped, so serving it would
-			// resurrect invalidated state. Discard and plan fresh.
-			return c.planRepeated(m)
-		}
-		c.tel.repairs.Inc()
-		s, err := repaired.Evaluate(m)
-		if err != nil {
-			return nil, err
-		}
-		return &sched.Result{
-			Algorithm:  c.cfg.RepairScheduler.Name() + "+repair",
-			Steps:      repaired,
-			Schedule:   s,
-			LowerBound: m.LowerBound(),
-		}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return tagResult(r, h), nil
+	c.scratch.Put(sc)
+	return out, nil
 }
 
 // installRepaired publishes a repaired schedule into the cache iff the
@@ -406,32 +377,6 @@ func (c *Communicator) installRepaired(gen uint64, m *model.Matrix, repaired *ti
 	c.lastMatrix = m
 	c.lastSteps = repaired
 	return true
-}
-
-// planRepeated computes a fresh step decomposition off-lock and caches
-// it, unless an Invalidate arrived while planning — a scratch plan is
-// built from a live snapshot, so it is always servable, but the cache
-// install still respects the newer generation.
-func (c *Communicator) planRepeated(m *model.Matrix) (*sched.Result, error) {
-	c.mu.Lock()
-	gen := c.planGen
-	c.mu.Unlock()
-	r, err := c.cfg.RepairScheduler.Schedule(m)
-	if err != nil {
-		return nil, err
-	}
-	if r.Steps == nil {
-		return nil, fmt.Errorf("comm: repair scheduler %q produced no step structure", c.cfg.RepairScheduler.Name())
-	}
-	c.mu.Lock()
-	c.stats.Plans++
-	if c.planGen == gen {
-		c.lastMatrix = m
-		c.lastSteps = r.Steps
-	}
-	c.mu.Unlock()
-	c.tel.plans.Inc()
-	return r, nil
 }
 
 // Invalidate drops the cached schedule so the next repeated call

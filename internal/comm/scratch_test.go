@@ -1,0 +1,321 @@
+package comm
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"hetsched/internal/model"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/sched"
+	"hetsched/internal/timing"
+)
+
+// seqSource replays a fixed sequence of performance tables, serving
+// the last one forever; indices listed in fail return a source error
+// instead. Two instances over the same slices behave identically, so
+// two communicators can be driven through the same network history.
+type seqSource struct {
+	perfs []*netmodel.Perf
+	fail  map[int]bool
+	i     int
+}
+
+func (s *seqSource) next() (*netmodel.Perf, error) {
+	i := s.i
+	s.i++
+	if s.fail[i] {
+		return nil, errors.New("directory unreachable")
+	}
+	if i >= len(s.perfs) {
+		i = len(s.perfs) - 1
+	}
+	return s.perfs[i].Clone(), nil
+}
+
+// driftHistory builds a deterministic network history exercising every
+// replan regime: steady state, small drift (repairable), heavy drift
+// (forces recompute), and recovery back to steady state.
+func driftHistory(seed int64, n, rounds int) []*netmodel.Perf {
+	rng := rand.New(rand.NewSource(seed))
+	base := netmodel.RandomPerf(rng, n, netmodel.GustoGuided())
+	out := []*netmodel.Perf{base}
+	cur := base
+	for len(out) < rounds {
+		switch len(out) % 5 {
+		case 1, 2: // steady: identical table
+			out = append(out, cur)
+		case 3: // small drift on a few pairs
+			next := cur.Clone()
+			for k := 0; k < n/2; k++ {
+				i, j := rng.Intn(n), rng.Intn(n)
+				if i == j {
+					continue
+				}
+				pp := next.At(i, j)
+				pp.Bandwidth *= 1 + 0.02*(rng.Float64()-0.5)
+				next.Set(i, j, pp)
+			}
+			cur = next
+			out = append(out, cur)
+		case 4: // heavy drift everywhere
+			next := cur.Clone()
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if i == j {
+						continue
+					}
+					pp := next.At(i, j)
+					pp.Bandwidth *= 0.3 + rng.Float64()
+					pp.Latency *= 0.5 + rng.Float64()
+					next.Set(i, j, pp)
+				}
+			}
+			cur = next
+			out = append(out, cur)
+		default:
+			out = append(out, cur)
+		}
+	}
+	return out[:rounds]
+}
+
+// sameResult compares two served results bit for bit: algorithm,
+// lower bound, step structure and rendered events.
+func sameResult(t *testing.T, round int, a, b *sched.Result) {
+	t.Helper()
+	if a.Algorithm != b.Algorithm {
+		t.Fatalf("round %d: algorithm %q vs %q", round, a.Algorithm, b.Algorithm)
+	}
+	if math.Float64bits(a.LowerBound) != math.Float64bits(b.LowerBound) {
+		t.Fatalf("round %d: lower bound %v vs %v", round, a.LowerBound, b.LowerBound)
+	}
+	if (a.Steps == nil) != (b.Steps == nil) {
+		t.Fatalf("round %d: step presence differs", round)
+	}
+	if a.Steps != nil {
+		if a.Steps.N != b.Steps.N || len(a.Steps.Steps) != len(b.Steps.Steps) {
+			t.Fatalf("round %d: step shape differs", round)
+		}
+		for si := range a.Steps.Steps {
+			if len(a.Steps.Steps[si]) != len(b.Steps.Steps[si]) {
+				t.Fatalf("round %d: step %d length differs", round, si)
+			}
+			for pi := range a.Steps.Steps[si] {
+				if a.Steps.Steps[si][pi] != b.Steps.Steps[si][pi] {
+					t.Fatalf("round %d: step %d pair %d differs", round, si, pi)
+				}
+			}
+		}
+	}
+	if a.Schedule.N != b.Schedule.N || len(a.Schedule.Events) != len(b.Schedule.Events) {
+		t.Fatalf("round %d: schedule shape differs", round)
+	}
+	for i := range a.Schedule.Events {
+		x, y := a.Schedule.Events[i], b.Schedule.Events[i]
+		if x.Src != y.Src || x.Dst != y.Dst ||
+			math.Float64bits(x.Start) != math.Float64bits(y.Start) ||
+			math.Float64bits(x.Finish) != math.Float64bits(y.Finish) {
+			t.Fatalf("round %d: event %d differs: %+v vs %+v", round, i, x, y)
+		}
+	}
+}
+
+// TestRepeatedScratchMatchesRepeated is the comm-level equivalence
+// property: driven through an identical network history — steady
+// rounds, repairable drift, recompute-forcing drift, source outages
+// and an Invalidate — the scratch path must serve results, stats and
+// health transitions identical to AllToAllRepeated.
+func TestRepeatedScratchMatchesRepeated(t *testing.T) {
+	const n, rounds = 8, 16
+	hist := driftHistory(42, n, rounds)
+	fail := map[int]bool{9: true} // one outage mid-run → stale rung
+	srcA := &seqSource{perfs: hist, fail: fail}
+	srcB := &seqSource{perfs: hist, fail: fail}
+	t0 := time.Unix(1000, 0)
+	clock := func() time.Time { return t0 }
+	cfg := Config{Clock: clock}
+	plain, err := New(n, srcA.next, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch, err := New(n, srcB.next, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := model.UniformSizes(n, 1<<18)
+	var sc PlanScratch
+	for round := 0; round < rounds; round++ {
+		if round == 12 {
+			plain.Invalidate()
+			scratch.Invalidate()
+		}
+		ra, errA := plain.AllToAllRepeated(sizes)
+		rb, errB := scratch.AllToAllRepeatedScratch(sizes, &sc)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("round %d: error mismatch: %v vs %v", round, errA, errB)
+		}
+		if errA != nil {
+			if errA.Error() != errB.Error() {
+				t.Fatalf("round %d: error text mismatch: %v vs %v", round, errA, errB)
+			}
+			continue
+		}
+		sameResult(t, round, ra, rb)
+		if err := ra.Schedule.ValidateTotalExchange(nil); err != nil {
+			t.Fatalf("round %d: plain schedule invalid: %v", round, err)
+		}
+		if plain.Health() != scratch.Health() {
+			t.Fatalf("round %d: health %v vs %v", round, plain.Health(), scratch.Health())
+		}
+		if plain.Stats() != scratch.Stats() {
+			t.Fatalf("round %d: stats %+v vs %+v", round, plain.Stats(), scratch.Stats())
+		}
+	}
+	st := scratch.Stats()
+	if st.Repairs == 0 || st.Recomputes == 0 || st.ServedStale == 0 {
+		t.Fatalf("history did not exercise every regime: %+v", st)
+	}
+}
+
+// TestRepeatedScratchSteadyServesCache pins the steady-state short
+// circuit: with the network unchanged, every later call counts as a
+// repair, serves the cached step structure itself, and never replaces
+// the cache.
+func TestRepeatedScratchSteadyServesCache(t *testing.T) {
+	perf := netmodel.Gusto()
+	c := newComm(t, perf, Config{})
+	sizes := model.UniformSizes(perf.N(), 1<<20)
+	var sc PlanScratch
+	r0, err := c.AllToAllRepeatedScratch(sizes, &sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.Algorithm != "maxmatch" {
+		t.Fatalf("first call algorithm %q", r0.Algorithm)
+	}
+	c.mu.Lock()
+	cachedSteps, cachedMatrix := c.lastSteps, c.lastMatrix
+	c.mu.Unlock()
+	for i := 0; i < 3; i++ {
+		r, err := c.AllToAllRepeatedScratch(sizes, &sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Algorithm != "maxmatch+repair" {
+			t.Fatalf("steady call %d algorithm %q", i, r.Algorithm)
+		}
+		if r.Steps != cachedSteps {
+			t.Fatalf("steady call %d did not serve the cached steps", i)
+		}
+	}
+	c.mu.Lock()
+	sameCache := c.lastSteps == cachedSteps && c.lastMatrix == cachedMatrix
+	c.mu.Unlock()
+	if !sameCache {
+		t.Fatal("steady-state serving replaced the cache")
+	}
+	if st := c.Stats(); st.Plans != 1 || st.Repairs != 3 {
+		t.Fatalf("stats = %+v, want 1 plan + 3 repairs", st)
+	}
+}
+
+// TestRepeatedScratchResultLifetime documents the reuse contract: the
+// result returned by the scratch path is only valid until the next
+// call with the same scratch, while AllToAllRepeated's results are
+// detached and stay stable.
+func TestRepeatedScratchResultLifetime(t *testing.T) {
+	perf := netmodel.Gusto()
+	c := newComm(t, perf, Config{})
+	sizes := model.UniformSizes(perf.N(), 1<<20)
+	stable, err := c.AllToAllRepeated(sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := append([]timing.Event(nil), stable.Schedule.Events...)
+	var sc PlanScratch
+	if _, err := c.AllToAllRepeatedScratch(sizes, &sc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AllToAllRepeatedScratch(sizes, &sc); err != nil {
+		t.Fatal(err)
+	}
+	if len(stable.Schedule.Events) != len(events) {
+		t.Fatal("detached result changed shape")
+	}
+	for i := range events {
+		if stable.Schedule.Events[i] != events[i] {
+			t.Fatal("detached result mutated by later scratch calls")
+		}
+	}
+}
+
+// TestRepeatedScratchPoolInvalidateRace hammers the pooled scratch
+// machinery from every side at once: two communicators, each serving
+// plain repeated calls (drawing from their scratch pools) and a
+// dedicated caller-owned scratch, while Invalidate fires mid-plan on
+// both. Under -race (the exec-chaos CI leg) this is the memory-safety
+// proof for scratch reuse; semantically, every served schedule must
+// still be a complete valid total exchange.
+func TestRepeatedScratchPoolInvalidateRace(t *testing.T) {
+	perfs := []*netmodel.Perf{netmodel.Gusto(), netmodel.Gusto()}
+	comms := make([]*Communicator, len(perfs))
+	for i, p := range perfs {
+		comms[i] = newComm(t, p, Config{})
+	}
+	sizes := model.UniformSizes(5, 1<<20)
+	const iters = 30
+	var wg sync.WaitGroup
+	errs := make(chan error, 6*iters*len(comms))
+	for _, c := range comms {
+		c := c
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					r, err := c.AllToAllRepeated(sizes)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if err := r.Schedule.ValidateTotalExchange(nil); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc PlanScratch
+			for i := 0; i < iters; i++ {
+				r, err := c.AllToAllRepeatedScratch(sizes, &sc)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := r.Schedule.ValidateTotalExchange(nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Invalidate()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

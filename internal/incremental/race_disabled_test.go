@@ -1,0 +1,5 @@
+//go:build !race
+
+package incremental
+
+const raceEnabled = false

@@ -1,0 +1,254 @@
+package incremental
+
+import (
+	"fmt"
+	"math"
+
+	"hetsched/internal/assignment"
+	"hetsched/internal/model"
+	"hetsched/internal/timing"
+)
+
+// Scratch owns every buffer RefineInto needs — flat availability and
+// event-count matrices instead of maps, a reusable flat cost slice, a
+// warm-started assignment solver, and the pair arena backing the output
+// steps — so steady-state repairs perform zero heap allocations. A
+// Scratch is not safe for concurrent use; give each goroutine its own
+// (comm.PlanScratch does).
+type Scratch struct {
+	n      int
+	solver assignment.Solver
+	warm   []assignment.WarmStart // one per decomposition round, grown on demand
+
+	avail  []bool    // flat n×n pool membership
+	counts []int     // flat n×n event counting for the samePairs check
+	cost   []float64 // flat n×n matching costs
+	perm   []int
+	sendU  []bool // flat step validation
+	recvU  []bool
+
+	pool  []timing.Pair // events gathered from dirty steps
+	pairs []timing.Pair // arena backing every emitted step
+	steps []timing.Step
+}
+
+// Invalidate drops the warm-start state of the embedded solver, forcing
+// the next repair's matchings to solve cold. Buffers are kept.
+func (sc *Scratch) Invalidate() {
+	for i := range sc.warm {
+		sc.warm[i].Reset()
+	}
+}
+
+// grow sizes the scratch for n processors and a schedule of totalPairs
+// events.
+func (sc *Scratch) grow(n, totalPairs int) {
+	if n > sc.n || sc.avail == nil {
+		sc.n = n
+		sc.avail = make([]bool, n*n)
+		sc.counts = make([]int, n*n)
+		sc.cost = make([]float64, n*n)
+		sc.perm = make([]int, n)
+		sc.sendU = make([]bool, n)
+		sc.recvU = make([]bool, n)
+	}
+	if cap(sc.pool) < totalPairs {
+		sc.pool = make([]timing.Pair, 0, totalPairs)
+	}
+	// The pair arena must never reallocate mid-repair (emitted steps
+	// alias it), and every event is emitted exactly once.
+	if cap(sc.pairs) < totalPairs {
+		sc.pairs = make([]timing.Pair, 0, totalPairs)
+	}
+}
+
+// validateStepsFlat mirrors timing.StepSchedule.ValidateSteps without
+// allocating; on violation it re-runs the allocating original to return
+// the identical error.
+func (sc *Scratch) validateStepsFlat(ss *timing.StepSchedule) error {
+	n := ss.N
+	for _, step := range ss.Steps {
+		for i := 0; i < n; i++ {
+			sc.sendU[i], sc.recvU[i] = false, false
+		}
+		for _, p := range step {
+			if p.Src < 0 || p.Src >= n || p.Dst < 0 || p.Dst >= n ||
+				p.Src == p.Dst || sc.sendU[p.Src] || sc.recvU[p.Dst] {
+				return ss.ValidateSteps()
+			}
+			sc.sendU[p.Src] = true
+			sc.recvU[p.Dst] = true
+		}
+	}
+	return nil
+}
+
+// samePairsFlat mirrors samePairs on the scratch count matrix.
+func (sc *Scratch) samePairsFlat(a, b *timing.StepSchedule, n int) bool {
+	counts := sc.counts[:n*n]
+	for k := range counts {
+		counts[k] = 0
+	}
+	for _, s := range a.Steps {
+		for _, p := range s {
+			counts[p.Src*n+p.Dst]++
+		}
+	}
+	for _, s := range b.Steps {
+		for _, p := range s {
+			k := p.Src*n + p.Dst
+			counts[k]--
+			if counts[k] < 0 {
+				return false
+			}
+		}
+	}
+	for _, c := range counts {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// RefineInto is Refine with caller-owned output and reusable scratch:
+// the repaired schedule is written into dst, whose Steps alias
+// scratch-owned memory valid until the next RefineInto call on sc.
+// Output, stats and error behavior are byte-identical to Refine
+// (TestRefineIntoMatchesRefine pins this); the difference is purely
+// operational — zero steady-state heap allocations and warm-started
+// re-matching rounds.
+func RefineInto(dst *timing.StepSchedule, sc *Scratch, prev *timing.StepSchedule, old, cur *model.Matrix, opts Options) (Stats, error) {
+	var st Stats
+	if old.N() != prev.N || cur.N() != prev.N {
+		return st, fmt.Errorf("incremental: shape mismatch: steps P=%d, old P=%d, new P=%d", prev.N, old.N(), cur.N())
+	}
+	n := prev.N
+	totalPairs := 0
+	for _, s := range prev.Steps {
+		totalPairs += len(s)
+	}
+	sc.grow(n, totalPairs)
+	if err := sc.validateStepsFlat(prev); err != nil {
+		return st, err
+	}
+	if opts.Threshold < 0 {
+		return st, fmt.Errorf("incremental: negative threshold %g", opts.Threshold)
+	}
+	st.Steps = len(prev.Steps)
+
+	const eps = 1e-12
+	dst.N = n
+	dst.Steps = sc.steps[:0]
+	pairs := sc.pairs[:0]
+	pool := sc.pool[:0]
+	dirtySteps := 0
+	for _, step := range prev.Steps {
+		isDirty := false
+		for _, p := range step {
+			o, c := old.At(p.Src, p.Dst), cur.At(p.Src, p.Dst)
+			if math.Abs(c-o) > opts.Threshold*math.Max(o, eps) {
+				isDirty = true
+				break
+			}
+		}
+		if !isDirty {
+			start := len(pairs)
+			pairs = append(pairs, step...)
+			dst.Steps = append(dst.Steps, timing.Step(pairs[start:len(pairs):len(pairs)]))
+			continue
+		}
+		dirtySteps++
+		pool = append(pool, step...)
+	}
+	st.DirtySteps = dirtySteps
+	defer func() {
+		if cap(dst.Steps) > cap(sc.steps) {
+			sc.steps = dst.Steps
+		}
+	}()
+	if len(pool) == 0 {
+		return st, nil
+	}
+
+	matchings, err := sc.decomposePoolFlat(dst, &pairs, pool, cur, opts.Max, n)
+	if err != nil {
+		return st, err
+	}
+	st.Matchings = matchings
+	st.EventsMoved = len(pool)
+
+	if err := sc.validateStepsFlat(dst); err != nil {
+		return st, fmt.Errorf("incremental: repaired schedule invalid: %w", err)
+	}
+	if !sc.samePairsFlat(prev, dst, n) {
+		return st, fmt.Errorf("incremental: repair changed the event set")
+	}
+	return st, nil
+}
+
+// decomposePoolFlat is decomposePool on flat scratch with warm-started
+// matchings, appending the new steps to dst.
+func (sc *Scratch) decomposePoolFlat(dst *timing.StepSchedule, pairs *[]timing.Pair, pool []timing.Pair, cur *model.Matrix, max bool, n int) (int, error) {
+	avail := sc.avail[:n*n]
+	for k := range avail {
+		avail[k] = false
+	}
+	cmax := 0.0
+	for _, p := range pool {
+		k := p.Src*n + p.Dst
+		if avail[k] {
+			return 0, fmt.Errorf("incremental: duplicate event %d→%d in dirty steps", p.Src, p.Dst)
+		}
+		avail[k] = true
+		if c := cur.At(p.Src, p.Dst); c > cmax {
+			cmax = c
+		}
+	}
+	// With bonus > n·cmax, one extra pool edge always outweighs any
+	// cost rearrangement among the others.
+	bonus := float64(n)*cmax + 1
+	cost := sc.cost[:n*n]
+	perm := sc.perm[:n]
+	matchings := 0
+	remaining := len(pool)
+	for guard := 0; remaining > 0; guard++ {
+		if guard > len(pool) {
+			return matchings, fmt.Errorf("incremental: decomposition did not converge")
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				k := i*n + j
+				switch {
+				case !avail[k]:
+					cost[k] = 0 // idle / no-op pairing
+				case max:
+					cost[k] = bonus + cur.At(i, j)
+				default:
+					cost[k] = bonus + (cmax - cur.At(i, j))
+				}
+			}
+		}
+		if matchings >= len(sc.warm) {
+			sc.warm = append(sc.warm, assignment.WarmStart{})
+		}
+		if _, _, err := sc.solver.SolveMaxWarm(perm, cost, n, &sc.warm[matchings]); err != nil {
+			return matchings, fmt.Errorf("incremental: re-matching failed: %w", err)
+		}
+		matchings++
+		start := len(*pairs)
+		for i, j := range perm {
+			k := i*n + j
+			if avail[k] {
+				*pairs = append(*pairs, timing.Pair{Src: i, Dst: j})
+				avail[k] = false
+				remaining--
+			}
+		}
+		if len(*pairs) == start {
+			return matchings, fmt.Errorf("incremental: empty matching with %d events left", remaining)
+		}
+		dst.Steps = append(dst.Steps, timing.Step((*pairs)[start:len(*pairs):len(*pairs)]))
+	}
+	return matchings, nil
+}

@@ -1,0 +1,143 @@
+package incremental
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetsched/internal/timing"
+)
+
+// stepsEqual reports exact step-structure equality.
+func stepsEqual(a, b *timing.StepSchedule) bool {
+	if a.N != b.N || len(a.Steps) != len(b.Steps) {
+		return false
+	}
+	for si := range a.Steps {
+		if len(a.Steps[si]) != len(b.Steps[si]) {
+			return false
+		}
+		for pi := range a.Steps[si] {
+			if a.Steps[si][pi] != b.Steps[si][pi] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRefineIntoMatchesRefine is the repair-path equivalence property:
+// across drift magnitudes, thresholds and both matching directions,
+// RefineInto must reproduce Refine's output, stats and errors exactly —
+// including repairs where every step is dirty and where none is.
+func TestRefineIntoMatchesRefine(t *testing.T) {
+	var sc Scratch
+	var dst timing.StepSchedule
+	for _, n := range []int{2, 3, 5, 8, 13} {
+		m, steps := problem(t, int64(n), n)
+		rng := rand.New(rand.NewSource(int64(n) * 31))
+		for trial := 0; trial < 12; trial++ {
+			cur := perturb(m, rng, rng.Float64(), 1+rng.Float64())
+			if trial%4 == 0 {
+				cur = m // no-op repair
+			}
+			opts := DefaultOptions()
+			opts.Max = trial%2 == 0
+			if trial%3 == 0 {
+				opts.Threshold = 0.01
+			}
+			want, wantSt, wantErr := Refine(steps, m, cur, opts)
+			gotSt, gotErr := RefineInto(&dst, &sc, steps, m, cur, opts)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("n=%d trial %d: error mismatch: Refine=%v RefineInto=%v", n, trial, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("n=%d trial %d: error text mismatch:\n  %v\n  %v", n, trial, wantErr, gotErr)
+				}
+				continue
+			}
+			if wantSt != gotSt {
+				t.Fatalf("n=%d trial %d: stats mismatch: %+v vs %+v", n, trial, wantSt, gotSt)
+			}
+			if !stepsEqual(want, &dst) {
+				t.Fatalf("n=%d trial %d: repaired steps differ", n, trial)
+			}
+		}
+	}
+}
+
+// TestRefineIntoErrorsMatchRefine drives the explicit error paths
+// through both entry points.
+func TestRefineIntoErrorsMatchRefine(t *testing.T) {
+	m, steps := problem(t, 1, 5)
+	var sc Scratch
+	var dst timing.StepSchedule
+	small, stepsSmall := problem(t, 2, 4)
+	bad := &timing.StepSchedule{N: 5, Steps: []timing.Step{{{Src: 0, Dst: 0}}}}
+	negOpts := DefaultOptions()
+	negOpts.Threshold = -1
+	cases := []struct {
+		name string
+		run  func() (error, error)
+	}{
+		{"shape", func() (error, error) {
+			_, _, e1 := Refine(stepsSmall, small, m, DefaultOptions())
+			_, e2 := RefineInto(&dst, &sc, stepsSmall, small, m, DefaultOptions())
+			return e1, e2
+		}},
+		{"invalid steps", func() (error, error) {
+			_, _, e1 := Refine(bad, m, m, DefaultOptions())
+			_, e2 := RefineInto(&dst, &sc, bad, m, m, DefaultOptions())
+			return e1, e2
+		}},
+		{"negative threshold", func() (error, error) {
+			_, _, e1 := Refine(steps, m, m, negOpts)
+			_, e2 := RefineInto(&dst, &sc, steps, m, m, negOpts)
+			return e1, e2
+		}},
+	}
+	for _, tc := range cases {
+		e1, e2 := tc.run()
+		if e1 == nil || e2 == nil {
+			t.Fatalf("%s: expected errors, got %v / %v", tc.name, e1, e2)
+		}
+		if e1.Error() != e2.Error() {
+			t.Fatalf("%s: error text mismatch:\n  %v\n  %v", tc.name, e1, e2)
+		}
+	}
+}
+
+// TestRefineIntoZeroAlloc asserts the steady-state repair allocates
+// nothing, with and without dirty steps, at P = 50.
+func TestRefineIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		// -race instrumentation changes escape analysis; allocation
+		// counts are meaningless under it. The !race CI step runs this
+		// for real (see .github/workflows/ci.yml).
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	n := 50
+	m, steps := problem(t, 3, n)
+	cur := perturb(m, rand.New(rand.NewSource(9)), 0.1, 2.0)
+	var sc Scratch
+	var dst timing.StepSchedule
+	if _, err := RefineInto(&dst, &sc, steps, m, cur, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := RefineInto(&dst, &sc, steps, m, cur, DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state dirty repair: %v allocs/op, want 0", allocs)
+	}
+	allocs = testing.AllocsPerRun(20, func() {
+		if _, err := RefineInto(&dst, &sc, steps, m, m, DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state clean repair: %v allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,108 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hetsched/internal/netmodel"
+)
+
+// TestMatrixEqual pins exact-equality semantics: the replan fast path
+// uses Equal to recognize an unchanged model, so any entry change must
+// read as "not equal".
+func TestMatrixEqual(t *testing.T) {
+	m := ExampleMatrix()
+	if !m.Equal(m) || !m.Equal(m.Clone()) {
+		t.Fatal("matrix not equal to itself / its clone")
+	}
+	if m.Equal(nil) {
+		t.Fatal("matrix equal to nil")
+	}
+	if m.Equal(NewMatrix(m.N() - 1)) {
+		t.Fatal("matrices of different sizes equal")
+	}
+	c := m.Clone()
+	c.Set(1, 3, math.Nextafter(c.At(1, 3), math.Inf(1)))
+	if m.Equal(c) {
+		t.Fatal("one-ulp entry change not detected")
+	}
+}
+
+// TestMatrixReset checks Reset zeroes in place, reusing storage when
+// it can and growing when it must.
+func TestMatrixReset(t *testing.T) {
+	m := ExampleMatrix()
+	m.Reset(3)
+	if m.N() != 3 {
+		t.Fatalf("N = %d after Reset(3)", m.N())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("entry (%d,%d) = %v after Reset", i, j, m.At(i, j))
+			}
+		}
+	}
+	m.Reset(7)
+	if m.N() != 7 || m.At(6, 6) != 0 {
+		t.Fatal("Reset did not grow cleanly")
+	}
+}
+
+// TestBuildIntoMatchesBuild is the equivalence property for the
+// allocation-free model builder: same matrices, same errors.
+func TestBuildIntoMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var dst Matrix
+	for _, n := range []int{1, 2, 5, 12} {
+		perf := netmodel.RandomPerf(rng, n, netmodel.GustoGuided())
+		sizes := NewSizes(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					sizes.Set(i, j, rng.Int63n(1<<20))
+				}
+			}
+		}
+		want, err := Build(perf, sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := BuildInto(&dst, perf, sizes); err != nil {
+			t.Fatal(err)
+		}
+		if !want.Equal(&dst) {
+			t.Fatalf("n=%d: BuildInto differs from Build", n)
+		}
+		// The destination must be fully overwritten, not merged: rebuild
+		// a smaller problem into the same scratch.
+		if n > 2 {
+			small := netmodel.RandomPerf(rng, 2, netmodel.GustoGuided())
+			want2, err := BuildUniform(small, 1<<10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := BuildInto(&dst, small, UniformSizes(2, 1<<10)); err != nil {
+				t.Fatal(err)
+			}
+			if !want2.Equal(&dst) {
+				t.Fatal("BuildInto into larger scratch differs from Build")
+			}
+		}
+	}
+	// Error parity: shape mismatch and invalid performance entries.
+	perf := netmodel.RandomPerf(rng, 3, netmodel.GustoGuided())
+	_, wantErr := Build(perf, NewSizes(4))
+	gotErr := BuildInto(&dst, perf, NewSizes(4))
+	if wantErr == nil || gotErr == nil || wantErr.Error() != gotErr.Error() {
+		t.Fatalf("shape-mismatch errors differ: %v vs %v", wantErr, gotErr)
+	}
+	bad := perf.Clone()
+	bad.Set(0, 1, netmodel.PairPerf{Latency: -5, Bandwidth: 1})
+	_, wantErr = Build(bad, UniformSizes(3, 1))
+	gotErr = BuildInto(&dst, bad, UniformSizes(3, 1))
+	if wantErr == nil || gotErr == nil || wantErr.Error() != gotErr.Error() {
+		t.Fatalf("validation errors differ: %v vs %v", wantErr, gotErr)
+	}
+}

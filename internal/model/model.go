@@ -59,6 +59,39 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// Equal reports whether two matrices have the same shape and identical
+// entries (by float64 equality; valid matrices contain no NaNs). The
+// replan fast path uses Equal to recognize an unchanged model, so
+// "unsure" must read as "not equal".
+func (m *Matrix) Equal(o *Matrix) bool {
+	if o == nil || m.n != o.n {
+		return false
+	}
+	for k := range m.c {
+		if m.c[k] != o.c[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset resizes the matrix to n×n and zeroes every entry, reusing the
+// backing array when it is large enough.
+func (m *Matrix) Reset(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("model: negative size %d", n))
+	}
+	if cap(m.c) < n*n {
+		m.c = make([]float64, n*n)
+	} else {
+		m.c = m.c[:n*n]
+	}
+	m.n = n
+	for k := range m.c {
+		m.c[k] = 0
+	}
+}
+
 // Validate checks that all entries are finite and non-negative and the
 // diagonal is zero.
 func (m *Matrix) Validate() error {
@@ -247,6 +280,28 @@ func Build(perf *netmodel.Perf, sizes *Sizes) (*Matrix, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// BuildInto is Build with a caller-owned destination: dst is resized
+// and rebuilt in place, allocating only when its backing array must
+// grow. Output and errors are identical to Build; on error dst holds
+// the partially built (invalid) matrix and must not be used.
+func BuildInto(dst *Matrix, perf *netmodel.Perf, sizes *Sizes) error {
+	if perf.N() != sizes.N() {
+		return fmt.Errorf("model: performance table is %d×%d but sizes are %d×%d",
+			perf.N(), perf.N(), sizes.N(), sizes.N())
+	}
+	n := perf.N()
+	dst.Reset(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			dst.Set(i, j, perf.TransferTime(i, j, sizes.At(i, j)))
+		}
+	}
+	return dst.Validate()
 }
 
 // BuildUniform is Build with every message the same size.

@@ -1,0 +1,41 @@
+package netmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestPerfEqual pins the semantics the replan fast path relies on:
+// Equal is exact entry equality, so any change — however small — and
+// any NaN reads as "not equal".
+func TestPerfEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := RandomPerf(rng, 6, GustoGuided())
+	if !p.Equal(p) {
+		t.Fatal("table not equal to itself")
+	}
+	if !p.Equal(p.Clone()) {
+		t.Fatal("table not equal to its clone")
+	}
+	if p.Equal(nil) {
+		t.Fatal("table equal to nil")
+	}
+	if p.Equal(NewPerf(5)) {
+		t.Fatal("tables of different sizes equal")
+	}
+	q := p.Clone()
+	pp := q.At(2, 3)
+	pp.Latency = math.Nextafter(pp.Latency, math.Inf(1))
+	q.Set(2, 3, pp)
+	if p.Equal(q) {
+		t.Fatal("one-ulp latency change not detected")
+	}
+	q = p.Clone()
+	pp = q.At(4, 1)
+	pp.Bandwidth = math.NaN()
+	q.Set(4, 1, pp)
+	if q.Equal(q) {
+		t.Fatal("NaN entry compared equal; fast paths would serve stale plans")
+	}
+}

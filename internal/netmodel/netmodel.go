@@ -98,6 +98,23 @@ func (p *Perf) Validate() error {
 	return nil
 }
 
+// Equal reports whether two tables have the same size and identical
+// entries (by float64 equality, so a table containing NaN never equals
+// anything). Callers use Equal to skip cloning or rebuilding when a
+// measurement provably has not changed, so "unsure" must read as
+// "not equal".
+func (p *Perf) Equal(o *Perf) bool {
+	if o == nil || p.n != o.n {
+		return false
+	}
+	for k := range p.pairs {
+		if p.pairs[k] != o.pairs[k] {
+			return false
+		}
+	}
+	return true
+}
+
 // Symmetric reports whether the table is symmetric (perf i→j equals
 // perf j→i for every pair), as the paper's GUSTO tables are.
 func (p *Perf) Symmetric() bool {

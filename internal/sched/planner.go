@@ -1,0 +1,293 @@
+package sched
+
+import (
+	"fmt"
+
+	"hetsched/internal/assignment"
+	"hetsched/internal/model"
+	"hetsched/internal/timing"
+)
+
+// Planner is the warm, allocation-free replanning counterpart of a
+// Scheduler. Where Scheduler.Schedule builds its working state from
+// scratch on every call, a Planner owns flat scratch buffers (row-major
+// cost and used slices instead of [][]float64, flat destination lists
+// instead of [][]int) plus, for the matching schedulers, one
+// assignment.WarmStart per matching round, so steady-state replanning
+// of slowly drifting matrices runs the O(P²) certified fast path with
+// zero heap allocations instead of P cold O(P³) solves.
+//
+// PlanInto produces exactly the step structure Schedule would: the same
+// pairs in the same steps in the same order, byte for byte, including
+// error behavior (TestPlannerMatchesSchedule and the comm equivalence
+// tests pin this). A Planner is not safe for concurrent use; give each
+// goroutine its own.
+type Planner struct {
+	name     string
+	kind     plannerKind
+	maxFirst bool // matching: extract maximum-weight matchings first
+	rotate   bool // greedy: the paper's fairness rotation
+
+	n      int
+	solver assignment.Solver
+	warm   []assignment.WarmStart // matching: one per round
+	cost   []float64              // matching: flat n×n round costs
+	used   []bool                 // matching: flat n×n deleted-edge set
+	perm   []int                  // matching: per-round assignment
+
+	lists    []int // greedy: destination lists, row-major stride n
+	listLen  []int // greedy: live prefix length of each list
+	recvBusy []bool
+
+	pairs []timing.Pair // arena backing every emitted step
+	steps []timing.Step
+}
+
+type plannerKind uint8
+
+const (
+	planBaseline plannerKind = iota
+	planMatching
+	planGreedy
+)
+
+// NewPlanner returns a Planner for the scheduler, or nil when warm
+// replanning is not implemented for it (callers fall back to
+// Scheduler.Schedule). Baseline, MaxMatching, MinMatching and Greedy
+// are supported.
+func NewPlanner(s Scheduler) *Planner {
+	switch s := s.(type) {
+	case Baseline:
+		return &Planner{name: s.Name(), kind: planBaseline}
+	case MaxMatching:
+		return &Planner{name: s.Name(), kind: planMatching, maxFirst: true}
+	case MinMatching:
+		return &Planner{name: s.Name(), kind: planMatching}
+	case Greedy:
+		return &Planner{name: s.Name(), kind: planGreedy, rotate: s.Rotate}
+	default:
+		return nil
+	}
+}
+
+// Name returns the underlying scheduler's name.
+func (p *Planner) Name() string { return p.name }
+
+// Invalidate drops all warm-start state, forcing the next PlanInto to
+// solve every matching round cold. Scratch buffers are kept.
+func (p *Planner) Invalidate() {
+	for i := range p.warm {
+		p.warm[i].Reset()
+	}
+}
+
+// WarmStats returns the cumulative certified-hit and cold-solve counts
+// across all matching rounds, for tests and benchmark introspection.
+func (p *Planner) WarmStats() (hits, misses uint64) {
+	for i := range p.warm {
+		hits += p.warm[i].Hits
+		misses += p.warm[i].Misses
+	}
+	return hits, misses
+}
+
+// grow sizes the scratch for n processors.
+func (p *Planner) grow(n int) {
+	if n <= p.n && p.pairs != nil {
+		return
+	}
+	p.n = n
+	switch p.kind {
+	case planMatching:
+		p.warm = make([]assignment.WarmStart, n)
+		p.cost = make([]float64, n*n)
+		p.used = make([]bool, n*n)
+		p.perm = make([]int, n)
+	case planGreedy:
+		p.lists = make([]int, n*n)
+		p.listLen = make([]int, n)
+		p.recvBusy = make([]bool, n)
+	}
+	// The pair arena must never reallocate mid-plan (emitted steps alias
+	// it), so it is sized for the worst case up front: n(n-1) pairs.
+	p.pairs = make([]timing.Pair, 0, n*n)
+}
+
+// PlanInto computes the scheduler's step structure for m into dst.
+// dst.Steps aliases planner-owned memory that is valid until the next
+// PlanInto call; callers that retain the steps across plans must copy
+// them (comm's plan cache does). The output is byte-identical to what
+// the corresponding Scheduler.Schedule would produce.
+func (p *Planner) PlanInto(dst *timing.StepSchedule, m *model.Matrix) error {
+	n := m.N()
+	p.grow(n)
+	dst.N = n
+	dst.Steps = p.steps[:0]
+	var err error
+	switch p.kind {
+	case planBaseline:
+		p.baselinePlan(dst, n)
+	case planMatching:
+		err = p.matchingPlan(dst, m, n)
+	case planGreedy:
+		p.greedyPlan(dst, m, n)
+	}
+	// Keep the grown step headers for the next plan.
+	if cap(dst.Steps) > cap(p.steps) {
+		p.steps = dst.Steps
+	}
+	return err
+}
+
+// baselinePlan emits the caterpillar steps: step j sends i → (i+j) mod n.
+func (p *Planner) baselinePlan(dst *timing.StepSchedule, n int) {
+	pairs := p.pairs[:0]
+	for j := 1; j < n; j++ {
+		start := len(pairs)
+		for i := 0; i < n; i++ {
+			pairs = append(pairs, timing.Pair{Src: i, Dst: (i + j) % n})
+		}
+		dst.Steps = append(dst.Steps, timing.Step(pairs[start:len(pairs):len(pairs)]))
+	}
+}
+
+// matchingPlan is matchingSteps on flat scratch with warm-started
+// rounds. Each round's LAP is attempted through the round's WarmStart;
+// on drift the certified fast path misses and the cold core re-solves,
+// so output never depends on whether a hit occurred.
+func (p *Planner) matchingPlan(dst *timing.StepSchedule, m *model.Matrix, n int) error {
+	if n == 0 {
+		return nil
+	}
+	used := p.used[:n*n]
+	for k := range used {
+		used[k] = false
+	}
+	cost := p.cost[:n*n]
+	perm := p.perm[:n]
+	pairs := p.pairs[:0]
+	emitted := 0
+	for round := 0; round < n; round++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				k := i*n + j
+				switch {
+				case used[k] && p.maxFirst:
+					cost[k] = -assignment.Forbidden
+				case used[k]:
+					cost[k] = assignment.Forbidden
+				default:
+					cost[k] = m.At(i, j)
+				}
+			}
+		}
+		var err error
+		if p.maxFirst {
+			_, _, err = p.solver.SolveMaxWarm(perm, cost, n, &p.warm[round])
+		} else {
+			_, _, err = p.solver.SolveMinWarm(perm, cost, n, &p.warm[round])
+		}
+		if err != nil {
+			return fmt.Errorf("sched: matching round %d: %w", round, err)
+		}
+		start := len(pairs)
+		for i, j := range perm {
+			k := i*n + j
+			if used[k] {
+				return fmt.Errorf("sched: matching round %d reused edge %d→%d", round, i, j)
+			}
+			used[k] = true
+			if i != j {
+				pairs = append(pairs, timing.Pair{Src: i, Dst: j})
+				emitted++
+			}
+		}
+		if len(pairs) > start {
+			dst.Steps = append(dst.Steps, timing.Step(pairs[start:len(pairs):len(pairs)]))
+		}
+	}
+	if emitted != n*(n-1) {
+		return fmt.Errorf("sched: matching decomposition incomplete")
+	}
+	return nil
+}
+
+// greedyPlan is Greedy.Schedule on flat scratch. The destination lists
+// live in one row-major arena and are ordered by a stable insertion
+// sort, which produces exactly the permutation sort.SliceStable does
+// for the same comparator (both are stable, so the sorted order is
+// uniquely determined).
+func (p *Planner) greedyPlan(dst *timing.StepSchedule, m *model.Matrix, n int) {
+	for i := 0; i < n; i++ {
+		row := i * n
+		ln := 0
+		for j := 0; j < n; j++ {
+			if i != j {
+				p.lists[row+ln] = j
+				ln++
+			}
+		}
+		p.listLen[i] = ln
+		// Stable insertion sort, longest event first: shift only past
+		// strictly shorter entries so equal times keep their order.
+		for a := 1; a < ln; a++ {
+			x := p.lists[row+a]
+			w := m.At(i, x)
+			b := a
+			for b > 0 && m.At(i, p.lists[row+b-1]) < w {
+				p.lists[row+b] = p.lists[row+b-1]
+				b--
+			}
+			p.lists[row+b] = x
+		}
+	}
+
+	remaining := n * (n - 1)
+	first := 0
+	pairs := p.pairs[:0]
+	for remaining > 0 {
+		for k := 0; k < n; k++ {
+			p.recvBusy[k] = false
+		}
+		start := len(pairs)
+		firstIdle := -1
+		lastPicker := first
+		for k := 0; k < n; k++ {
+			i := (first + k) % n
+			if p.rotate {
+				lastPicker = i
+			}
+			row := i * n
+			ln := p.listLen[i]
+			picked := -1
+			for idx := 0; idx < ln; idx++ {
+				if !p.recvBusy[p.lists[row+idx]] {
+					picked = idx
+					break
+				}
+			}
+			if picked < 0 {
+				if firstIdle < 0 && ln > 0 {
+					firstIdle = i
+				}
+				continue
+			}
+			j := p.lists[row+picked]
+			copy(p.lists[row+picked:row+ln-1], p.lists[row+picked+1:row+ln])
+			p.listLen[i] = ln - 1
+			p.recvBusy[j] = true
+			pairs = append(pairs, timing.Pair{Src: i, Dst: j})
+			remaining--
+		}
+		if len(pairs) > start {
+			dst.Steps = append(dst.Steps, timing.Step(pairs[start:len(pairs):len(pairs)]))
+		}
+		if p.rotate {
+			if firstIdle >= 0 {
+				first = firstIdle
+			} else {
+				first = lastPicker
+			}
+		}
+	}
+}

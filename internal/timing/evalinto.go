@@ -1,0 +1,81 @@
+package timing
+
+import (
+	"fmt"
+	"math"
+
+	"hetsched/internal/model"
+)
+
+// EvalScratch owns the per-processor ready-time and validation buffers
+// EvaluateInto needs, so steady-state schedule rendering performs zero
+// heap allocations. An EvalScratch is not safe for concurrent use;
+// give each goroutine its own (comm.PlanScratch does).
+type EvalScratch struct {
+	sendReady []float64
+	recvReady []float64
+	sendUsed  []bool
+	recvUsed  []bool
+}
+
+// grow sizes the scratch for n processors.
+func (es *EvalScratch) grow(n int) {
+	if len(es.sendReady) < n {
+		es.sendReady = make([]float64, n)
+		es.recvReady = make([]float64, n)
+		es.sendUsed = make([]bool, n)
+		es.recvUsed = make([]bool, n)
+	}
+}
+
+// validateFlat mirrors ValidateSteps without allocating; on violation
+// it re-runs the allocating original to return the identical error.
+func (es *EvalScratch) validateFlat(ss *StepSchedule) error {
+	n := ss.N
+	for _, step := range ss.Steps {
+		for i := 0; i < n; i++ {
+			es.sendUsed[i], es.recvUsed[i] = false, false
+		}
+		for _, p := range step {
+			if p.Src < 0 || p.Src >= n || p.Dst < 0 || p.Dst >= n ||
+				p.Src == p.Dst || es.sendUsed[p.Src] || es.recvUsed[p.Dst] {
+				return ss.ValidateSteps()
+			}
+			es.sendUsed[p.Src] = true
+			es.recvUsed[p.Dst] = true
+		}
+	}
+	return nil
+}
+
+// EvaluateInto is Evaluate with caller-owned output and reusable
+// scratch: events are appended into dst.Events' existing capacity, so
+// the rendered schedule is valid only until the caller reuses dst.
+// Output and errors are identical to Evaluate
+// (TestEvaluateIntoMatchesEvaluate pins this).
+func (ss *StepSchedule) EvaluateInto(dst *Schedule, m *model.Matrix, es *EvalScratch) error {
+	if m.N() != ss.N {
+		return fmt.Errorf("timing: step schedule is for %d processors but matrix for %d", ss.N, m.N())
+	}
+	es.grow(ss.N)
+	if err := es.validateFlat(ss); err != nil {
+		return err
+	}
+	sendReady := es.sendReady[:ss.N]
+	recvReady := es.recvReady[:ss.N]
+	for i := range sendReady {
+		sendReady[i], recvReady[i] = 0, 0
+	}
+	dst.N = ss.N
+	dst.Events = dst.Events[:0]
+	for _, step := range ss.Steps {
+		for _, p := range step {
+			start := math.Max(sendReady[p.Src], recvReady[p.Dst])
+			finish := start + m.At(p.Src, p.Dst)
+			dst.Events = append(dst.Events, Event{Src: p.Src, Dst: p.Dst, Start: start, Finish: finish})
+			sendReady[p.Src] = finish
+			recvReady[p.Dst] = finish
+		}
+	}
+	return nil
+}

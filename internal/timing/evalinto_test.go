@@ -1,0 +1,164 @@
+package timing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hetsched/internal/model"
+)
+
+// randSteps builds a valid random step schedule: each step is a random
+// partial permutation of senders to distinct receivers.
+func randSteps(rng *rand.Rand, n, steps int) *StepSchedule {
+	ss := &StepSchedule{N: n}
+	for s := 0; s < steps; s++ {
+		perm := rng.Perm(n)
+		var step Step
+		for i, j := range perm {
+			if i == j || rng.Float64() < 0.2 {
+				continue
+			}
+			step = append(step, Pair{Src: i, Dst: j})
+		}
+		ss.Steps = append(ss.Steps, step)
+	}
+	return ss
+}
+
+// randModel builds a random valid communication matrix.
+func randModel(t *testing.T, rng *rand.Rand, n int) *model.Matrix {
+	t.Helper()
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		for j := range rows[i] {
+			if i != j {
+				rows[i][j] = rng.Float64() * 10
+			}
+		}
+	}
+	m, err := model.FromRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestEvaluateIntoMatchesEvaluate is the equivalence property for the
+// allocation-free renderer: bit-identical events and identical errors,
+// with the destination reused across problems of varying shape.
+func TestEvaluateIntoMatchesEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var dst Schedule
+	var es EvalScratch
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(12)
+		ss := randSteps(rng, n, rng.Intn(2*n+1))
+		m := randModel(t, rng, n)
+		want, err := ss.Evaluate(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ss.EvaluateInto(&dst, m, &es); err != nil {
+			t.Fatal(err)
+		}
+		if want.N != dst.N || len(want.Events) != len(dst.Events) {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		for i := range want.Events {
+			a, b := want.Events[i], dst.Events[i]
+			if a.Src != b.Src || a.Dst != b.Dst ||
+				math.Float64bits(a.Start) != math.Float64bits(b.Start) ||
+				math.Float64bits(a.Finish) != math.Float64bits(b.Finish) {
+				t.Fatalf("trial %d: event %d differs: %+v vs %+v", trial, i, a, b)
+			}
+		}
+	}
+}
+
+// TestEvaluateIntoErrorsMatchEvaluate drives the error paths through
+// both entry points: matrix shape mismatch and every step violation.
+func TestEvaluateIntoErrorsMatchEvaluate(t *testing.T) {
+	m5 := randModel(t, rand.New(rand.NewSource(3)), 5)
+	m4 := randModel(t, rand.New(rand.NewSource(3)), 4)
+	cases := []struct {
+		name string
+		ss   *StepSchedule
+		m    *model.Matrix
+	}{
+		{"matrix shape", &StepSchedule{N: 5, Steps: []Step{{{Src: 0, Dst: 1}}}}, m4},
+		{"out of range", &StepSchedule{N: 5, Steps: []Step{{{Src: 0, Dst: 9}}}}, m5},
+		{"self message", &StepSchedule{N: 5, Steps: []Step{{{Src: 2, Dst: 2}}}}, m5},
+		{"sender twice", &StepSchedule{N: 5, Steps: []Step{{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}}}}, m5},
+		{"receiver twice", &StepSchedule{N: 5, Steps: []Step{{{Src: 0, Dst: 1}, {Src: 2, Dst: 1}}}}, m5},
+	}
+	var dst Schedule
+	var es EvalScratch
+	for _, tc := range cases {
+		_, wantErr := tc.ss.Evaluate(tc.m)
+		gotErr := tc.ss.EvaluateInto(&dst, tc.m, &es)
+		if wantErr == nil || gotErr == nil {
+			t.Fatalf("%s: expected errors, got %v / %v", tc.name, wantErr, gotErr)
+		}
+		if wantErr.Error() != gotErr.Error() {
+			t.Fatalf("%s: error text mismatch:\n  %v\n  %v", tc.name, wantErr, gotErr)
+		}
+	}
+}
+
+// TestStepScheduleClone checks the deep copy shares no memory with the
+// original.
+func TestStepScheduleClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ss := randSteps(rng, 6, 7)
+	c := ss.Clone()
+	if c.N != ss.N || len(c.Steps) != len(ss.Steps) {
+		t.Fatal("clone shape differs")
+	}
+	for si := range ss.Steps {
+		if len(c.Steps[si]) != len(ss.Steps[si]) {
+			t.Fatalf("step %d length differs", si)
+		}
+		for pi := range ss.Steps[si] {
+			if c.Steps[si][pi] != ss.Steps[si][pi] {
+				t.Fatalf("step %d pair %d differs", si, pi)
+			}
+		}
+		if len(ss.Steps[si]) > 0 {
+			ss.Steps[si][0] = Pair{Src: -7, Dst: -7}
+			if c.Steps[si][0] == ss.Steps[si][0] {
+				t.Fatal("clone aliases the original's pairs")
+			}
+			ss.Steps[si][0] = c.Steps[si][0]
+		}
+	}
+}
+
+// TestEvaluateIntoZeroAlloc asserts steady-state rendering allocates
+// nothing at P = 50.
+func TestEvaluateIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		// -race instrumentation changes escape analysis; allocation
+		// counts are meaningless under it. The !race CI step runs this
+		// for real (see .github/workflows/ci.yml).
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	rng := rand.New(rand.NewSource(50))
+	n := 50
+	ss := randSteps(rng, n, n)
+	m := randModel(t, rng, n)
+	var dst Schedule
+	var es EvalScratch
+	if err := ss.EvaluateInto(&dst, m, &es); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := ss.EvaluateInto(&dst, m, &es); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state EvaluateInto: %v allocs/op, want 0", allocs)
+	}
+}

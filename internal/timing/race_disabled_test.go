@@ -1,0 +1,5 @@
+//go:build !race
+
+package timing
+
+const raceEnabled = false

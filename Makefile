@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race race-short chaos exec-chaos ci bench bench-json cover figures examples clean
+.PHONY: all build test vet lint race race-short chaos exec-chaos serve-chaos ci bench bench-json cover figures examples clean
 
 all: build lint test
 
 # What CI runs (.github/workflows/ci.yml): build, lint (go vet plus the
 # project's own hetvet suite), the full test suite, the race detector
-# in short mode, and the data-plane chaos suite.
-ci: build lint test race-short exec-chaos
+# in short mode, and the data-plane and serving chaos suites.
+ci: build lint test race-short exec-chaos serve-chaos
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,14 @@ chaos:
 exec-chaos:
 	$(GO) test -race -short -run 'Exec|Residual|Latency|Invalidate' \
 		./internal/exec/ ./internal/faults/ ./internal/sched/ ./internal/comm/
+
+# The serving chaos suite under the race detector: a 10x overload storm
+# against the planning daemon (admission control, coalescing, deadline
+# expiry, a mid-storm directory outage riding the degradation ladder,
+# recovery), plus drain and slow-client defenses. TestServeOverloadChaos
+# skips under -short, so this runs the full suite deliberately.
+serve-chaos:
+	$(GO) test -race -count=1 ./internal/serve/ ./internal/faults/
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -31,7 +31,7 @@ func buildTools(t *testing.T) string {
 			return
 		}
 		binDir = dir
-		for _, tool := range []string{"hcsched", "hcbench", "hcquery", "hcdird", "hcsim"} {
+		for _, tool := range []string{"hcsched", "hcbench", "hcquery", "hcdird", "hcsim", "hetpland", "hcload"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./cmd/"+tool)
 			if out, err := cmd.CombinedOutput(); err != nil {
 				buildErr = err
@@ -210,6 +210,75 @@ func TestCLIDirectoryPipeline(t *testing.T) {
 	out = run(t, "hcsim", "-net", state, "-alg", "maxmatch")
 	if !strings.Contains(out, "5 processors") {
 		t.Errorf("hcsim on saved state failed:\n%s", out)
+	}
+}
+
+func TestCLIPlanServicePipeline(t *testing.T) {
+	// Start hetpland over the GUSTO tables, storm it with hcload, check
+	// the JSON report, then drain the daemon with SIGTERM and verify it
+	// reports its counters and exits cleanly.
+	dir := t.TempDir()
+	bin := buildTools(t)
+	port := freePort(t)
+	addr := "127.0.0.1:" + port
+
+	daemon := exec.Command(filepath.Join(bin, "hetpland"), "-addr", addr, "-gusto",
+		"-workers", "2", "-queue", "8", "-drain-grace", "2s")
+	daemonOut := &strings.Builder{}
+	daemon.Stdout = daemonOut
+	daemon.Stderr = daemonOut
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.Process.Kill()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hetpland never listened; output:\n%s", daemonOut.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	report := filepath.Join(dir, "BENCH_serve.json")
+	out := run(t, "hcload", "-addr", addr, "-p", "5", "-clients", "6", "-requests", "10",
+		"-patterns", "4", "-out", report)
+	if !strings.Contains(out, "served") {
+		t.Errorf("hcload output wrong:\n%s", out)
+	}
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"schema": "hetsched-bench-serve/v1"`, `"sent": 60`, `"errors": 0`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report missing %q:\n%s", want, data)
+		}
+	}
+
+	// Wrong -p is an explicit rejection, not a hang or a silent drop:
+	// every request errors, so hcload exits nonzero.
+	runExpectError(t, "hcload", "-addr", addr, "-p", "7", "-clients", "1", "-requests", "2")
+
+	if err := daemon.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- daemon.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("hetpland did not drain; output:\n%s", daemonOut.String())
+	}
+	for _, want := range []string{"hetpland: served", "hetpland: stopped"} {
+		if !strings.Contains(daemonOut.String(), want) {
+			t.Errorf("drain output missing %q:\n%s", want, daemonOut.String())
+		}
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"hetsched"
 	"hetsched/internal/directory"
@@ -40,6 +41,7 @@ func main() {
 		load        = flag.String("load", "", "load initial state from a JSON file")
 		save        = flag.String("save", "", "save final state to a JSON file on shutdown")
 		idleTimeout = flag.Duration("idle-timeout", 0, "drop connections idle longer than this (0 = never)")
+		drainGrace  = flag.Duration("drain-grace", 2*time.Second, "on SIGINT/SIGTERM, keep serving connected clients this long before closing")
 		chaosDrop   = flag.Float64("chaos-drop", 0, "per-op probability of severing a connection (chaos testing)")
 		chaosStall  = flag.Duration("chaos-stall", 0, "if > 0, stall 10% of ops this long (chaos testing)")
 		chaosTear   = flag.Float64("chaos-tear", 0, "per-write probability of a torn partial write (chaos testing)")
@@ -129,15 +131,22 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// Graceful drain: stop accepting immediately, but let clients with
+	// requests in flight finish their request loops instead of dying
+	// mid-frame; only then stop the feeder, metrics, and store.
+	fmt.Printf("hcdird: draining (grace %v)\n", *drainGrace)
+	drainErr := srv.Drain(*drainGrace)
 	close(stop)
 	if err := <-feederDone; err != nil {
 		fmt.Fprintln(os.Stderr, "hcdird: feeder:", err)
 	}
 	if stopMetrics != nil {
-		stopMetrics()
+		if err := stopMetrics(); err != nil {
+			fmt.Fprintln(os.Stderr, "hcdird: metrics:", err)
+		}
 	}
-	if err := srv.Close(); err != nil {
-		fatal(err)
+	if drainErr != nil {
+		fatal(drainErr)
 	}
 	if *save != "" {
 		final, _ := store.Snapshot()

@@ -1,0 +1,160 @@
+// Command hetpland runs the planning-as-a-service daemon: a TCP
+// server that answers total-exchange plan requests over the JSON-line
+// protocol, with admission control, backpressure, request coalescing,
+// a generation-versioned plan cache, and graceful degradation riding
+// the communicator's fresh→stale→degraded ladder when the directory
+// is unreachable. Overload is always explicit: requests the daemon
+// cannot serve in time are shed or expired with retry-after hints,
+// never silently dropped.
+//
+// Usage:
+//
+//	hetpland -addr 127.0.0.1:7575 -dir 127.0.0.1:7474     # plan against a live directory
+//	hetpland -addr 127.0.0.1:7575 -gusto                  # plan against the static GUSTO tables
+//	hetpland -gusto -workers 8 -queue 64 -deadline 500ms  # tune admission control
+//	hetpland -gusto -metrics-addr 127.0.0.1:9091          # Prometheus /metrics + pprof
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hetsched"
+	"hetsched/internal/comm"
+	"hetsched/internal/directory"
+	"hetsched/internal/netmodel"
+	"hetsched/internal/obs"
+	"hetsched/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7575", "listen address")
+		dir         = flag.String("dir", "", "directory service address (live mode)")
+		gusto       = flag.Bool("gusto", false, "plan against the static GUSTO tables")
+		random      = flag.Bool("random", false, "plan against a GUSTO-guided random table")
+		p           = flag.Int("p", 10, "processors for -random")
+		seed        = flag.Int64("seed", 1, "seed for -random")
+		workers     = flag.Int("workers", 4, "planning workers (the in-flight budget)")
+		queue       = flag.Int("queue", 64, "admission queue capacity; excess load is shed")
+		deadline    = flag.Duration("deadline", time.Second, "default per-request budget when the client sends none")
+		maxDeadline = flag.Duration("max-deadline", 10*time.Second, "cap on client-supplied budgets")
+		genInterval = flag.Duration("gen-interval", 250*time.Millisecond, "min interval between directory generation probes")
+		cacheCap    = flag.Int("cache", 256, "versioned plan cache capacity (entries)")
+		drainGrace  = flag.Duration("drain-grace", 2*time.Second, "on SIGINT/SIGTERM, window for connected clients to read final answers")
+		idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "drop connections idle longer than this")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/vars, and /debug/pprof on this address (empty = disabled)")
+	)
+	flag.Parse()
+
+	var (
+		source comm.Source
+		gen    serve.GenFunc
+		n      int
+	)
+	switch {
+	case *dir != "":
+		rc := directory.NewResilientClient(*dir, directory.ResilientConfig{
+			DialTimeout:    5 * time.Second,
+			RequestTimeout: 5 * time.Second,
+		})
+		defer rc.Close()
+		perf, _, meta, err := rc.Snapshot()
+		if err != nil {
+			fatal(fmt.Errorf("initial directory snapshot from %s: %w", *dir, err))
+		}
+		n = perf.N()
+		// A strict source lets the communicator's own ladder observe
+		// outages and tag responses honestly; the resilient client's
+		// cache still backs the stale rung.
+		source = rc.Source(true)
+		gen = rc.Version
+		fmt.Printf("hetpland: planning for %d processors against directory %s (version %d)\n",
+			n, *dir, meta.Version)
+	case *gusto:
+		perf := hetsched.Gusto()
+		n = perf.N()
+		source = staticSource(perf)
+		fmt.Printf("hetpland: planning for %d processors against the static GUSTO tables\n", n)
+	case *random:
+		perf := hetsched.RandomPerf(rand.New(rand.NewSource(*seed)), *p, hetsched.GustoGuided())
+		n = perf.N()
+		source = staticSource(perf)
+		fmt.Printf("hetpland: planning for %d processors against a random table (seed %d)\n", n, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "hetpland: pick -dir ADDR, -gusto, or -random")
+		os.Exit(1)
+	}
+
+	var reg *obs.Registry
+	var stopMetrics func() error
+	if *metricsAddr != "" {
+		reg = obs.Default()
+		obs.DeclareStandard(reg)
+		mbound, stop, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		stopMetrics = stop
+		fmt.Printf("hetpland: telemetry on http://%s/metrics (plus /debug/vars, /debug/pprof)\n", mbound)
+	}
+
+	c, err := comm.New(n, source, comm.Config{Metrics: reg})
+	if err != nil {
+		fatal(err)
+	}
+	daemon, err := serve.NewDaemon(c, gen, serve.Config{
+		Workers:         *workers,
+		Queue:           *queue,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		GenInterval:     *genInterval,
+		CacheCap:        *cacheCap,
+		DrainTimeout:    *drainGrace,
+		Metrics:         reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	srv := serve.NewServer(daemon, serve.ServerConfig{IdleTimeout: *idleTimeout})
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("hetpland: serving plans on %s (workers %d, queue %d)\n", bound, *workers, *queue)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("hetpland: draining (grace %v)\n", *drainGrace)
+	drainErr := srv.Drain(*drainGrace)
+	st := daemon.Snapshot()
+	fmt.Printf("hetpland: served %d, shed %d, expired %d, drained %d, coalesced %d, cache hits %d\n",
+		st.Served, st.Shed, st.Expired, st.Drained, st.Coalesced, st.CacheHits)
+	if stopMetrics != nil {
+		if err := stopMetrics(); err != nil {
+			fmt.Fprintln(os.Stderr, "hetpland: metrics:", err)
+		}
+	}
+	if drainErr != nil {
+		fatal(drainErr)
+	}
+	fmt.Println("hetpland: stopped")
+}
+
+// staticSource serves an immutable table: planning never fails, and
+// health stays ok — the static analogue of a perfectly reliable
+// directory.
+func staticSource(perf *hetsched.Perf) comm.Source {
+	return func() (*netmodel.Perf, error) { return perf.Clone(), nil }
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hetpland:", err)
+	os.Exit(1)
+}

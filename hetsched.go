@@ -57,6 +57,7 @@ import (
 	"hetsched/internal/optimize"
 	"hetsched/internal/qos"
 	"hetsched/internal/sched"
+	"hetsched/internal/serve"
 	"hetsched/internal/sim"
 	"hetsched/internal/staging"
 	"hetsched/internal/timing"
@@ -732,3 +733,58 @@ var MetricsHandler = obs.Handler
 // into the simulator's execution loops (process-wide; pass nil, nil to
 // disable).
 var SetSimTelemetry = sim.SetTelemetry
+
+// Planning as a service (internal/serve): a daemon that answers plan
+// requests over the JSON-line protocol with admission control and
+// backpressure (bounded queue, deadline propagation, shed with
+// retry-after), request coalescing behind a generation-versioned plan
+// cache, and graceful degradation riding the communicator's
+// fresh→stale→degraded ladder. Overload is always explicit: every
+// request the daemon reads gets a served, shed, expired, or draining
+// answer — never a silent drop. Command hetpland wraps this; hcload
+// storms it.
+type (
+	// PlanDaemon admits, coalesces, plans, and sheds plan requests.
+	PlanDaemon = serve.Daemon
+	// PlanDaemonConfig tunes admission control and degradation.
+	PlanDaemonConfig = serve.Config
+	// PlanServer serves a PlanDaemon over TCP.
+	PlanServer = serve.Server
+	// PlanServerConfig tunes connection handling and drain behavior.
+	PlanServerConfig = serve.ServerConfig
+	// PlanClient is a plan-service client connection.
+	PlanClient = serve.Client
+	// PlanGenFunc reports the directory generation for cache
+	// invalidation.
+	PlanGenFunc = serve.GenFunc
+	// PlanRequest is one plan-service request (wire format).
+	PlanRequest = directory.PlanRequest
+	// PlanResponse is one plan-service response (wire format).
+	PlanResponse = directory.PlanResponse
+	// PlanServeStats counts a daemon's serving outcomes.
+	PlanServeStats = directory.ServeStats
+)
+
+// NewPlanDaemon creates a planning daemon over a communicator.
+var NewPlanDaemon = serve.NewDaemon
+
+// NewPlanServer wraps a daemon as a TCP JSON-line service.
+var NewPlanServer = serve.NewServer
+
+// DialPlanService connects a PlanClient to a running daemon.
+var DialPlanService = serve.Dial
+
+// Slow-consumer fault injection: a peer that reads at a trickle, the
+// overload case only write deadlines defend against.
+type (
+	// SlowClientConfig shapes the trickle (chunk size, pause,
+	// direction).
+	SlowClientConfig = faults.SlowClientConfig
+	// SlowClientInjector wraps net.Conns so they trickle without ever
+	// failing.
+	SlowClientInjector = faults.SlowClientInjector
+)
+
+// NewSlowClientInjector creates a slow-consumer injector; install with
+// PlanServerConfig.WrapConn or DirectoryServer.SetConnWrapper.
+var NewSlowClientInjector = faults.NewSlowClientInjector

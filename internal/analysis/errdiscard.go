@@ -11,9 +11,11 @@ import (
 // codebase treats connection failures as first-class inputs; an error
 // dropped on a close or write path is a fault-injection blind spot.
 //
-// Scope: the module root package and everything under internal/,
-// excluding tests (never loaded), cmd/, and examples/ — mains print to
-// stdout and exit, which is a different error discipline.
+// Scope: the module root package, everything under internal/, and the
+// long-running daemon commands (cmd/hetpland, cmd/hcload, cmd/hcdird)
+// — a service that drops an error keeps running wrong, unlike the
+// one-shot CLIs, which print to stdout and exit and are excluded along
+// with tests (never loaded) and examples/.
 //
 // Not flagged, by design:
 //   - defer f.Close() and go f() statements: deferred and asynchronous
@@ -34,7 +36,7 @@ func (errdiscardChecker) Desc() string {
 }
 
 func (e errdiscardChecker) Run(pkg *Package) []Diagnostic {
-	if !pathWithin(pkg, ".", "internal") {
+	if !pathWithin(pkg, ".", "internal") && !scoped(pkg, "cmd/hetpland", "cmd/hcload", "cmd/hcdird") {
 		return nil
 	}
 	var out []Diagnostic

@@ -36,11 +36,14 @@ var lockioScope = []string{
 	"internal/directory",
 	"internal/comm",
 	"internal/exec",
+	"internal/serve",
+	"cmd/hetpland",
+	"cmd/hcload",
 }
 
 func (lockioChecker) Name() string { return "lockio" }
 func (lockioChecker) Desc() string {
-	return "no network I/O, time.Sleep, or channel operations while a mutex is held in internal/directory, internal/comm, and internal/exec"
+	return "no network I/O, time.Sleep, or channel operations while a mutex is held in the networked packages (directory, comm, exec, serve) and their daemons"
 }
 
 func (lockioChecker) Run(pkg *Package) []Diagnostic {

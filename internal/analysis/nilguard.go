@@ -18,13 +18,23 @@ import (
 // instrument added later is covered automatically.
 type nilguardChecker struct{}
 
+// nilguardScope lists the packages under the fail-closed contract:
+// internal/obs (disabled telemetry must cost one pointer check) and
+// internal/serve (a nil daemon, server, or client must refuse service
+// rather than panic — the overload-safety story includes the
+// not-even-constructed case).
+var nilguardScope = []string{
+	"internal/obs",
+	"internal/serve",
+}
+
 func (nilguardChecker) Name() string { return "nilguard" }
 func (nilguardChecker) Desc() string {
-	return "exported methods on internal/obs instrument types must begin with a nil-receiver early return"
+	return "exported pointer-receiver methods in internal/obs and internal/serve must begin with a nil-receiver early return"
 }
 
 func (nilguardChecker) Run(pkg *Package) []Diagnostic {
-	if !scoped(pkg, "internal/obs") {
+	if !scoped(pkg, nilguardScope...) {
 		return nil
 	}
 	var out []Diagnostic

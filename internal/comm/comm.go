@@ -162,6 +162,9 @@ func New(n int, source Source, cfg Config) (*Communicator, error) {
 	return c, nil
 }
 
+// N returns the number of processors the communicator plans for.
+func (c *Communicator) N() int { return c.n }
+
 // Health reports which rung of the fallback ladder served the most
 // recent exchange (ok before any exchange has run).
 func (c *Communicator) Health() Health {
@@ -250,9 +253,19 @@ func tagResult(r *sched.Result, h Health) *sched.Result {
 // the cached table (result tagged "+stale"), then the uniform-model
 // caterpillar baseline ("+degraded"). Health reports the rung used.
 func (c *Communicator) AllToAll(sizes *model.Sizes) (*sched.Result, error) {
+	r, _, err := c.AllToAllHealth(sizes)
+	return r, err
+}
+
+// AllToAllHealth is AllToAll returning the fallback-ladder rung that
+// served *this* exchange. It exists for callers that share one
+// communicator across many concurrent requests — the serving daemon —
+// where reading Health() after the call races other exchanges and can
+// misreport which rung produced a given plan.
+func (c *Communicator) AllToAllHealth(sizes *model.Sizes) (*sched.Result, Health, error) {
 	m, h, err := c.snapshotMatrix(sizes)
 	if err != nil {
-		return nil, err
+		return nil, h, err
 	}
 	scheduler := c.cfg.Scheduler
 	if h == HealthDegraded {
@@ -264,10 +277,10 @@ func (c *Communicator) AllToAll(sizes *model.Sizes) (*sched.Result, error) {
 	c.tel.plans.Inc()
 	r, err := c.timedSchedule(scheduler, m, h, "oneshot")
 	if err != nil {
-		return nil, err
+		return nil, h, err
 	}
 	c.noteServed(h)
-	return tagResult(r, h), nil
+	return tagResult(r, h), h, nil
 }
 
 // AllToAllBatch plans one total exchange per size vector concurrently

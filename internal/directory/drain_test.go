@@ -1,0 +1,106 @@
+package directory
+
+import (
+	"testing"
+	"time"
+
+	"hetsched/internal/netmodel"
+)
+
+func drainTestStore(t *testing.T) *Store {
+	t.Helper()
+	perf := netmodel.NewPerf(3)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if i != j {
+				perf.Set(i, j, netmodel.PairPerf{Latency: 1e-3, Bandwidth: 1e6})
+			}
+		}
+	}
+	store, err := NewStore(perf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// TestServerDrainServesConnectedClient is the signal-time contract:
+// a client connected when the drain begins keeps being served for the
+// grace window instead of dying mid-frame, new connections are refused
+// immediately, and Drain returns once the window closes.
+func TestServerDrainServesConnectedClient(t *testing.T) {
+	srv := NewServer(drainTestStore(t))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Version(); err != nil {
+		t.Fatalf("pre-drain request: %v", err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(time.Second) }()
+
+	// The connected client is still served during the grace window.
+	// Retry briefly: the drain goroutine may not have started yet, and
+	// the request must succeed *during* the drain either way.
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for {
+		if _, err = cl.Version(); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight client not served during drain: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// New connections are refused once the listener is down.
+	refusedBy := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := Dial(addr, 200*time.Millisecond); err != nil {
+			break
+		}
+		if time.Now().After(refusedBy) {
+			t.Fatal("listener still accepting during drain")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain did not return after the grace window")
+	}
+
+	// The drained server no longer serves the old connection.
+	if _, err := cl.Version(); err == nil {
+		t.Fatal("request succeeded after drain completed")
+	}
+}
+
+// TestServerDrainIdempotentWithClose: Drain on an already-closed
+// server is a no-op, and Close after Drain stays safe.
+func TestServerDrainIdempotentWithClose(t *testing.T) {
+	srv := NewServer(drainTestStore(t))
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Drain(50 * time.Millisecond); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close after drain: %v", err)
+	}
+	if err := srv.Drain(50 * time.Millisecond); err != nil {
+		t.Fatalf("drain after close: %v", err)
+	}
+}

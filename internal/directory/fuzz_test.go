@@ -22,6 +22,15 @@ func FuzzProtocolDecode(f *testing.F) {
 	f.Add(`null`)
 	f.Add(`[1,2,3]`)
 	f.Add(`{"op":"query","src":1e308,"dst":-5}`)
+	// Plan-service frames (planproto.go) ride the same framing.
+	f.Add(`{"op":"plan","id":7,"p":8,"kind":"uniform","bytes":1024,"deadline_ms":500}`)
+	f.Add(`{"op":"plan","p":4,"kind":"random","bytes":1048576,"seed":42}`)
+	f.Add(`{"op":"plan","sizes":[[0,1],[2,0]]}`)
+	f.Add(`{"op":"serve_stats"}`)
+	f.Add(`{"ok":true,"id":7,"status":"served","health":"ok","generation":3,"algorithm":"openshop","t_max":0.012,"t_lb":0.009,"steps":8}`)
+	f.Add(`{"ok":false,"status":"shed","retry_after_ms":40,"error":"serve: queue full"}`)
+	f.Add(`{"ok":false,"status":"expired","retry_after_ms":25}`)
+	f.Add(`{"ok":true,"status":"served","stats":{"queue_depth":2,"in_flight":1,"admitted":9}}`)
 	f.Fuzz(func(t *testing.T, line string) {
 		if req, err := parseRequest([]byte(line)); err == nil {
 			wire, err := encodeRequest(req)
@@ -54,6 +63,45 @@ func FuzzProtocolDecode(f *testing.F) {
 			}
 			if !bytes.Equal(wire, wire2) {
 				t.Fatalf("response round trip changed %s to %s", wire, wire2)
+			}
+		}
+		// The plan-service frames share the framing, so they are held to
+		// the same properties: no panics, and one encode is a fixed point
+		// (slices and the optional stats payload make strict equality too
+		// strong for requests as well — nil vs empty slices both encode
+		// as an omitted field).
+		if req, err := ParsePlanRequest([]byte(line)); err == nil {
+			wire, err := EncodePlanRequest(req)
+			if err != nil {
+				t.Fatalf("accepted plan request failed to encode: %v", err)
+			}
+			back, err := ParsePlanRequest(wire)
+			if err != nil {
+				t.Fatalf("encoded plan request failed to re-parse: %v", err)
+			}
+			wire2, err := EncodePlanRequest(back)
+			if err != nil {
+				t.Fatalf("re-parsed plan request failed to encode: %v", err)
+			}
+			if !bytes.Equal(wire, wire2) {
+				t.Fatalf("plan request round trip changed %s to %s", wire, wire2)
+			}
+		}
+		if resp, err := ParsePlanResponse([]byte(line)); err == nil {
+			wire, err := EncodePlanResponse(resp)
+			if err != nil {
+				t.Fatalf("accepted plan response failed to encode: %v", err)
+			}
+			back, err := ParsePlanResponse(wire)
+			if err != nil {
+				t.Fatalf("encoded plan response failed to re-parse: %v", err)
+			}
+			wire2, err := EncodePlanResponse(back)
+			if err != nil {
+				t.Fatalf("re-parsed plan response failed to encode: %v", err)
+			}
+			if !bytes.Equal(wire, wire2) {
+				t.Fatalf("plan response round trip changed %s to %s", wire, wire2)
 			}
 		}
 	})

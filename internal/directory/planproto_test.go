@@ -1,0 +1,103 @@
+package directory
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestPlanRequestRoundTrip pins the plan-request encode/decode cycle
+// for every request shape the serve layer produces.
+func TestPlanRequestRoundTrip(t *testing.T) {
+	reqs := []PlanRequest{
+		{Op: OpPlan, ID: 7, P: 8, Kind: PatternUniform, Bytes: 1024, DeadlineMS: 500},
+		{Op: OpPlan, P: 5, Kind: PatternRandom, Bytes: 1 << 20, Seed: 42},
+		{Op: OpPlan, P: 3, Kind: PatternSkew, Bytes: 64},
+		{Op: OpPlan, ID: 1, Sizes: [][]int64{{0, 1, 2}, {3, 0, 5}, {6, 7, 0}}},
+		{Op: OpServeStats},
+	}
+	for _, req := range reqs {
+		wire, err := EncodePlanRequest(req)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", req, err)
+		}
+		if wire[len(wire)-1] != '\n' {
+			t.Fatalf("wire line not newline-terminated: %q", wire)
+		}
+		back, err := ParsePlanRequest(wire)
+		if err != nil {
+			t.Fatalf("parse %q: %v", wire, err)
+		}
+		if !reflect.DeepEqual(back, req) {
+			t.Fatalf("round trip changed %+v to %+v", req, back)
+		}
+	}
+}
+
+// TestPlanResponseRoundTrip pins the response cycle for every outcome
+// shape: served (fresh, coalesced, cached), shed, expired, draining,
+// request error, and a stats reply.
+func TestPlanResponseRoundTrip(t *testing.T) {
+	resps := []PlanResponse{
+		{OK: true, ID: 7, Status: PlanServed, Health: "ok", Generation: 3,
+			Algorithm: "openshop", TMax: 0.012, TLB: 0.009, Steps: 8, QueueWaitMS: 1.5},
+		{OK: true, Status: PlanServed, Health: "stale", Algorithm: "maxmatch+stale", Coalesced: true},
+		{OK: true, Status: PlanServed, Health: "degraded", Algorithm: "baseline+degraded", Cached: true},
+		{OK: false, ID: 9, Status: PlanShed, RetryAfterMS: 40, Error: "serve: queue full"},
+		{OK: false, Status: PlanExpired, RetryAfterMS: 25, Error: "serve: deadline cannot cover planning cost"},
+		{OK: false, Status: PlanDraining, RetryAfterMS: 100, Error: "serve: draining"},
+		{OK: false, Error: `unknown op "x"`},
+		{OK: true, Status: PlanServed, Stats: &ServeStats{
+			QueueDepth: 2, InFlight: 4, Draining: true,
+			Admitted: 10, Served: 8, Shed: 1, Expired: 1, Rejected: 1,
+			Coalesced: 3, CacheHits: 2, Plans: 5,
+			ServedFresh: 6, ServedStale: 1, ServedDegraded: 1}},
+	}
+	for _, resp := range resps {
+		wire, err := EncodePlanResponse(resp)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", resp, err)
+		}
+		back, err := ParsePlanResponse(wire)
+		if err != nil {
+			t.Fatalf("parse %q: %v", wire, err)
+		}
+		if !reflect.DeepEqual(back, resp) {
+			t.Fatalf("round trip changed %+v to %+v", resp, back)
+		}
+	}
+}
+
+// TestPlanParseRejectsGarbage mirrors the directory decoders: anything
+// that is not one JSON value fails with a parse error, never panics.
+func TestPlanParseRejectsGarbage(t *testing.T) {
+	for _, line := range []string{"", "{", "null{", "[1,2]", `"plan"`, "{]"} {
+		if _, err := ParsePlanRequest([]byte(line)); err == nil {
+			t.Fatalf("garbage %q accepted as plan request", line)
+		}
+		if _, err := ParsePlanResponse([]byte(line)); err == nil {
+			t.Fatalf("garbage %q accepted as plan response", line)
+		}
+	}
+}
+
+// TestPlanEncodeIsFixedPoint: encoding a decoded response must be a
+// fixed point (empty optional fields are omitted on the wire), the
+// property the fuzz harness checks for arbitrary inputs.
+func TestPlanEncodeIsFixedPoint(t *testing.T) {
+	wire, err := EncodePlanResponse(PlanResponse{OK: true, Status: PlanServed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePlanResponse(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire2, err := EncodePlanResponse(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire, wire2) {
+		t.Fatalf("re-encode changed %s to %s", wire, wire2)
+	}
+}

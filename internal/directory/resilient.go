@@ -1,6 +1,7 @@
 package directory
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -113,6 +114,10 @@ type ResilientCounters struct {
 type ResilientClient struct {
 	addr string
 	cfg  ResilientConfig
+	// sleepInjected records that cfg.Sleep came from the caller (tests
+	// inject instant sleeps); the default sleep is replaced by a
+	// context-aware wait in sleepCtx.
+	sleepInjected bool
 
 	mu     sync.Mutex
 	cl     *Client // nil until the first successful dial
@@ -135,8 +140,10 @@ type ResilientClient struct {
 // NewResilientClient creates a client for addr. No connection is made
 // until the first request.
 func NewResilientClient(addr string, cfg ResilientConfig) *ResilientClient {
+	sleepInjected := cfg.Sleep != nil
 	cfg = cfg.withDefaults()
-	r := &ResilientClient{addr: addr, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)),
+	r := &ResilientClient{addr: addr, cfg: cfg, sleepInjected: sleepInjected,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		tracer: cfg.Tracer}
 	if reg := cfg.Metrics; reg != nil {
 		r.mRequests = reg.Counter(obs.MetricDirectoryRequests,
@@ -248,10 +255,46 @@ func (r *ResilientClient) backoff(attempt int) time.Duration {
 	return time.Duration(float64(d) * f)
 }
 
-// do runs op (named for telemetry) with retry, backoff, and
+// sleepCtx waits d, aborting immediately when ctx is canceled. With a
+// caller-injected Sleep the injected function runs as-is (tests inject
+// instant sleeps), but cancellation is still honored before and after;
+// with the default sleep the wait itself is a select against
+// ctx.Done(), so a canceled caller never sits out a full backoff
+// interval.
+func (r *ResilientClient) sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		r.cfg.Sleep(d)
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if r.sleepInjected {
+		r.cfg.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// do runs op with retry against the background context; see doCtx.
+func (r *ResilientClient) do(name string, op func(cl *Client) error) error {
+	return r.doCtx(context.Background(), name, op)
+}
+
+// doCtx runs op (named for telemetry) with retry, backoff, and
 // reconnection. Server-reported errors (out-of-range pair, invalid
-// update) return immediately; only transport failures are retried.
-func (r *ResilientClient) do(name string, op func(cl *Client) error) (err error) {
+// update) return immediately; only transport failures are retried. A
+// canceled ctx aborts the backoff wait immediately and stops further
+// attempts; the in-flight network call itself is still bounded by
+// RequestTimeout, not by ctx.
+func (r *ResilientClient) doCtx(ctx context.Context, name string, op func(cl *Client) error) (err error) {
 	r.mu.Lock()
 	r.ctr.Requests++
 	r.mu.Unlock()
@@ -273,7 +316,12 @@ func (r *ResilientClient) do(name string, op func(cl *Client) error) (err error)
 			r.mRetries.Inc()
 			r.tracer.Instant("directory", "retry",
 				obs.L("op", name), obs.L("attempt", fmt.Sprint(attempt)))
-			r.cfg.Sleep(r.backoff(attempt - 1))
+			if cerr := r.sleepCtx(ctx, r.backoff(attempt-1)); cerr != nil {
+				if lastErr != nil {
+					return fmt.Errorf("%w (gave up retrying: %v)", cerr, lastErr)
+				}
+				return cerr
+			}
 		}
 		cl, cerr := r.client()
 		if cerr == nil {
@@ -287,6 +335,9 @@ func (r *ResilientClient) do(name string, op func(cl *Client) error) (err error)
 			r.drop()
 		}
 		lastErr = cerr
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("%w (gave up retrying: %v)", cerr, lastErr)
+		}
 	}
 	return lastErr
 }
@@ -296,12 +347,20 @@ func (r *ResilientClient) do(name string, op func(cl *Client) error) (err error)
 // last-known-good snapshot — meta.Stale is set and meta.Age tells how
 // old the data is — and only errors when no usable cache exists.
 func (r *ResilientClient) Snapshot() (*netmodel.Perf, []string, SnapshotMeta, error) {
+	return r.SnapshotContext(context.Background())
+}
+
+// SnapshotContext is Snapshot bounded by a caller context: a canceled
+// ctx aborts retry backoff waits immediately instead of sleeping out
+// the full interval — the behavior a serving daemon needs when the
+// client that wanted the data has already given up.
+func (r *ResilientClient) SnapshotContext(ctx context.Context) (*netmodel.Perf, []string, SnapshotMeta, error) {
 	var (
 		perf  *netmodel.Perf
 		names []string
 		ver   uint64
 	)
-	err := r.do("snapshot", func(cl *Client) error {
+	err := r.doCtx(ctx, "snapshot", func(cl *Client) error {
 		p, n, v, e := cl.Snapshot()
 		if e != nil {
 			return e
@@ -346,11 +405,16 @@ func (r *ResilientClient) staleSnapshot(now time.Time) (*netmodel.Perf, []string
 // Query fetches one ordered pair, degrading to the cached snapshot's
 // entry when the server is unreachable.
 func (r *ResilientClient) Query(src, dst int) (netmodel.PairPerf, SnapshotMeta, error) {
+	return r.QueryContext(context.Background(), src, dst)
+}
+
+// QueryContext is Query with context-aware retry backoff.
+func (r *ResilientClient) QueryContext(ctx context.Context, src, dst int) (netmodel.PairPerf, SnapshotMeta, error) {
 	var (
 		pp  netmodel.PairPerf
 		ver uint64
 	)
-	err := r.do("query", func(cl *Client) error {
+	err := r.doCtx(ctx, "query", func(cl *Client) error {
 		p, v, e := cl.Query(src, dst)
 		if e != nil {
 			return e
@@ -374,8 +438,13 @@ func (r *ResilientClient) Query(src, dst int) (netmodel.PairPerf, SnapshotMeta, 
 // Writes never degrade: if the server cannot be reached the error is
 // returned so the caller knows the update was not published.
 func (r *ResilientClient) UpdatePair(src, dst int, pp netmodel.PairPerf) (uint64, error) {
+	return r.UpdatePairContext(context.Background(), src, dst, pp)
+}
+
+// UpdatePairContext is UpdatePair with context-aware retry backoff.
+func (r *ResilientClient) UpdatePairContext(ctx context.Context, src, dst int, pp netmodel.PairPerf) (uint64, error) {
 	var ver uint64
-	err := r.do("update", func(cl *Client) error {
+	err := r.doCtx(ctx, "update", func(cl *Client) error {
 		v, e := cl.UpdatePair(src, dst, pp)
 		if e != nil {
 			return e
@@ -389,8 +458,13 @@ func (r *ResilientClient) UpdatePair(src, dst int, pp netmodel.PairPerf) (uint64
 // Version fetches the store's version counter with retry; it does not
 // degrade (a stale version number would defeat its purpose).
 func (r *ResilientClient) Version() (uint64, error) {
+	return r.VersionContext(context.Background())
+}
+
+// VersionContext is Version with context-aware retry backoff.
+func (r *ResilientClient) VersionContext(ctx context.Context) (uint64, error) {
 	var ver uint64
-	err := r.do("version", func(cl *Client) error {
+	err := r.doCtx(ctx, "version", func(cl *Client) error {
 		v, e := cl.Version()
 		if e != nil {
 			return e

@@ -22,6 +22,8 @@ type Server struct {
 	listener    net.Listener
 	conns       map[net.Conn]struct{}
 	closed      bool
+	draining    bool
+	drainDl     time.Time
 	wg          sync.WaitGroup
 	idleTimeout time.Duration
 	wrapConn    func(net.Conn) net.Conn
@@ -166,7 +168,19 @@ func (s *Server) serveConn(conn net.Conn) {
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<22)
 	for {
-		if idle > 0 {
+		// During a drain the read deadline is the absolute drain
+		// deadline: the connection keeps being served until then, but
+		// no per-request idle grace may extend past it — that is what
+		// guarantees Drain terminates.
+		s.mu.Lock()
+		draining, drainDl := s.draining, s.drainDl
+		s.mu.Unlock()
+		switch {
+		case draining:
+			if err := conn.SetReadDeadline(drainDl); err != nil {
+				return // connection already torn down
+			}
+		case idle > 0:
 			if err := conn.SetReadDeadline(clock().Add(idle)); err != nil {
 				return // connection already torn down
 			}
@@ -234,6 +248,50 @@ func (s *Server) handle(req request) response {
 	default:
 		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+}
+
+// Drain shuts the server down gracefully: the listener closes
+// immediately (no new connections), but connected clients keep being
+// served until grace elapses, so a request in flight at signal time
+// completes instead of dying mid-frame. Every live connection gets the
+// absolute drain deadline as its read deadline — serving goroutines
+// exit when their client hangs up or the deadline fires, whichever is
+// first — and the serve loop never extends a deadline past it, so
+// Drain returns within roughly grace. The final teardown is Close,
+// whose bookkeeping makes Drain safe to combine with a later (or
+// concurrent) Close call.
+func (s *Server) Drain(grace time.Duration) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.Close()
+	}
+	s.draining = true
+	s.drainDl = s.clock().Add(grace)
+	dl := s.drainDl
+	ln := s.listener
+	s.listener = nil
+	conns := make([]net.Conn, 0, len(s.conns))
+	//hetvet:ignore determinism order-insensitive: every live connection gets the same deadline
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		// Interrupt reads blocked from before the drain began; the
+		// serve loop re-applies the same absolute deadline from here on.
+		//hetvet:ignore errdiscard a torn-down connection is already on its way out
+		c.SetReadDeadline(dl)
+	}
+	s.wg.Wait()
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Close stops the listener and all connections and waits for the

@@ -49,6 +49,19 @@ const (
 	MetricExecPeerDeaths = "hetsched_exec_peer_deaths_total"
 	MetricExecReplans    = "hetsched_exec_replans_total"
 	MetricExecWallRatio  = "hetsched_exec_wall_to_modeled_ratio"
+
+	// Plan-serving daemon (internal/serve). Labels:
+	//   - outcome: request resolution ("served", "shed", "expired",
+	//     "draining", "rejected")
+	//   - rung:    ladder rung that produced a served plan
+	MetricServeConns      = "hetsched_serve_connections_total"
+	MetricServeRequests   = "hetsched_serve_requests_total"
+	MetricServeCoalesced  = "hetsched_serve_coalesced_total"
+	MetricServeCacheHits  = "hetsched_serve_cache_hits_total"
+	MetricServeQueueDepth = "hetsched_serve_queue_depth"
+	MetricServeInFlight   = "hetsched_serve_inflight"
+	MetricServeQueueWait  = "hetsched_serve_queue_wait_seconds"
+	MetricServeLatency    = "hetsched_serve_latency_seconds"
 )
 
 // standardFamilies lists every canonical family with its metadata.
@@ -79,6 +92,14 @@ var standardFamilies = []struct {
 	{MetricExecPeerDeaths, "Nodes declared dead mid-exchange.", TypeCounter, nil},
 	{MetricExecReplans, "Residual replans performed mid-exchange.", TypeCounter, nil},
 	{MetricExecWallRatio, "Measured wall clock over modeled t_max per exchange.", TypeHistogram, nil},
+	{MetricServeConns, "Connections accepted by the plan-serving daemon.", TypeCounter, nil},
+	{MetricServeRequests, "Plan requests resolved, by outcome.", TypeCounter, nil},
+	{MetricServeCoalesced, "Plan requests coalesced onto an identical in-flight request.", TypeCounter, nil},
+	{MetricServeCacheHits, "Plan requests answered from the versioned plan cache.", TypeCounter, nil},
+	{MetricServeQueueDepth, "Plan requests waiting in the admission queue.", TypeGauge, nil},
+	{MetricServeInFlight, "Plan requests currently being planned.", TypeGauge, nil},
+	{MetricServeQueueWait, "Time plan requests spent queued before a worker picked them up.", TypeHistogram, nil},
+	{MetricServeLatency, "End-to-end latency of served plan requests.", TypeHistogram, nil},
 }
 
 // DeclareStandard registers metadata for every canonical family so a

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hetsched/internal/directory"
+)
+
+// Client is a minimal plan-service client: one connection, one
+// request/response in flight at a time. The mutex is the framing lock
+// — it serializes whole request/response exchanges on the shared
+// connection, which is exactly the JSON-line protocol's unit of
+// framing, so the network I/O inside it is the point, not an accident
+// (same convention as directory.Client).
+type Client struct {
+	timeout time.Duration
+	clock   func() time.Time
+
+	mu   sync.Mutex
+	conn net.Conn
+	sc   *bufio.Scanner
+}
+
+// Dial connects to a plan-service daemon. timeout bounds the dial and
+// each subsequent request round trip (0 selects 5s).
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	return &Client{timeout: timeout, clock: wallClock, conn: conn, sc: sc}, nil
+}
+
+// Plan sends one plan request and waits for its response. The op field
+// is filled in; other fields are the caller's.
+func (c *Client) Plan(req directory.PlanRequest) (directory.PlanResponse, error) {
+	if c == nil {
+		return directory.PlanResponse{}, fmt.Errorf("serve: nil client")
+	}
+	req.Op = directory.OpPlan
+	return c.roundTrip(req)
+}
+
+// Stats fetches the daemon's serving counters.
+func (c *Client) Stats() (directory.PlanResponse, error) {
+	if c == nil {
+		return directory.PlanResponse{}, fmt.Errorf("serve: nil client")
+	}
+	return c.roundTrip(directory.PlanRequest{Op: directory.OpServeStats})
+}
+
+func (c *Client) roundTrip(req directory.PlanRequest) (directory.PlanResponse, error) {
+	line, err := directory.EncodePlanRequest(req)
+	if err != nil {
+		return directory.PlanResponse{}, err
+	}
+	budget := c.timeout
+	if req.DeadlineMS > 0 {
+		// Wait for the server's verdict on the full client budget plus
+		// slack for the network: the server resolves every admitted
+		// request by its deadline, so giving up earlier than the server
+		// would turn explicit outcomes into dropped connections.
+		budget = time.Duration(req.DeadlineMS)*time.Millisecond + c.timeout
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return directory.PlanResponse{}, fmt.Errorf("serve: client is closed")
+	}
+	dl := c.clock().Add(budget)
+	//hetvet:ignore lockio the mutex is the framing lock; see type comment
+	if err := c.conn.SetDeadline(dl); err != nil {
+		return directory.PlanResponse{}, err
+	}
+	//hetvet:ignore lockio the mutex is the framing lock; see type comment
+	if _, err := c.conn.Write(line); err != nil {
+		return directory.PlanResponse{}, fmt.Errorf("serve: write: %w", err)
+	}
+	//hetvet:ignore lockio the mutex is the framing lock; see type comment
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return directory.PlanResponse{}, fmt.Errorf("serve: read: %w", err)
+		}
+		return directory.PlanResponse{}, fmt.Errorf("serve: connection closed by server")
+	}
+	return directory.ParsePlanResponse(c.sc.Bytes())
+}
+
+// Close tears down the connection. Idempotent.
+func (c *Client) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	conn := c.conn
+	c.conn = nil
+	c.mu.Unlock()
+	if conn == nil {
+		return nil
+	}
+	return conn.Close()
+}

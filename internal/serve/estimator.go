@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"sort"
+	"time"
+)
+
+// costEstimator tracks recent planning durations in a fixed ring and
+// answers "what does the 95th-percentile plan cost right now?". The
+// admission path uses it two ways: CoDel-style expiry (a dequeued
+// request whose remaining deadline cannot cover the p95 cost is
+// expired immediately rather than planned for nobody) and retry-after
+// hints (shed responses quote roughly how long the present backlog
+// needs to clear). A ring of recent samples rather than a lifetime
+// aggregate keeps the estimate tracking the current matrix sizes and
+// rung — degraded-mode caterpillar plans cost far less than fresh
+// matching runs, and the estimate should follow the regime the next
+// request will actually experience.
+type costEstimator struct {
+	ring []time.Duration // last n samples, ring-ordered
+	n    int             // valid samples in ring
+	idx  int             // next write position
+}
+
+// estimatorWindow is how many recent plan durations inform the p95.
+const estimatorWindow = 128
+
+func newCostEstimator() *costEstimator {
+	return &costEstimator{ring: make([]time.Duration, estimatorWindow)}
+}
+
+// observe records one planning duration. Callers synchronize.
+func (e *costEstimator) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.ring[e.idx] = d
+	e.idx = (e.idx + 1) % len(e.ring)
+	if e.n < len(e.ring) {
+		e.n++
+	}
+}
+
+// p95 returns the 95th-percentile recent planning duration, or 0 when
+// no samples exist yet (a cold daemon expires nothing on estimates it
+// does not have). Callers synchronize.
+func (e *costEstimator) p95() time.Duration {
+	if e.n == 0 {
+		return 0
+	}
+	scratch := make([]time.Duration, e.n)
+	copy(scratch, e.ring[:e.n])
+	sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
+	k := (95*e.n + 99) / 100 // ceil(0.95·n), 1-based rank
+	if k < 1 {
+		k = 1
+	}
+	return scratch[k-1]
+}

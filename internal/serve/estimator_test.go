@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEstimatorEmptyIsZero(t *testing.T) {
+	e := newCostEstimator()
+	if got := e.p95(); got != 0 {
+		t.Fatalf("empty estimator returned %v", got)
+	}
+}
+
+func TestEstimatorP95Rank(t *testing.T) {
+	e := newCostEstimator()
+	for i := 1; i <= 100; i++ {
+		e.observe(time.Duration(i) * time.Millisecond)
+	}
+	if got, want := e.p95(), 95*time.Millisecond; got != want {
+		t.Fatalf("p95 over 1..100ms = %v, want %v", got, want)
+	}
+}
+
+func TestEstimatorSingleSample(t *testing.T) {
+	e := newCostEstimator()
+	e.observe(7 * time.Millisecond)
+	if got, want := e.p95(), 7*time.Millisecond; got != want {
+		t.Fatalf("p95 of one sample = %v, want %v", got, want)
+	}
+}
+
+// TestEstimatorTracksRegimeChange: the ring forgets old samples, so
+// after a full window of the new regime the estimate reflects only it.
+func TestEstimatorTracksRegimeChange(t *testing.T) {
+	e := newCostEstimator()
+	for i := 0; i < estimatorWindow; i++ {
+		e.observe(time.Millisecond)
+	}
+	for i := 0; i < estimatorWindow; i++ {
+		e.observe(10 * time.Millisecond)
+	}
+	if got, want := e.p95(), 10*time.Millisecond; got != want {
+		t.Fatalf("p95 after regime change = %v, want %v", got, want)
+	}
+}
+
+func TestEstimatorClampsNegative(t *testing.T) {
+	e := newCostEstimator()
+	e.observe(-time.Second)
+	if got := e.p95(); got != 0 {
+		t.Fatalf("negative sample produced p95 %v", got)
+	}
+}

@@ -1,0 +1,547 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hetsched/internal/comm"
+	"hetsched/internal/directory"
+	"hetsched/internal/obs"
+)
+
+// wallClock is this package's single sanctioned wall-clock source.
+// Every deadline — request budgets, queue waits, drain windows — flows
+// through an injectable clock defaulting to it.
+//
+//hetvet:ignore determinism the package's one wall-clock default; every other site injects
+var wallClock = time.Now
+
+// GenFunc reports the directory's current generation (store version).
+// The daemon rate-limits probes and keys its plan cache on the result;
+// a nil GenFunc pins generation 0, which suits static tables. Probe
+// failures keep the last known generation — consistent with the
+// communicator's stale-serving ladder, the daemon prefers last-known-
+// good answers over refusing service.
+type GenFunc func() (uint64, error)
+
+// Config tunes the daemon. The zero value selects workable defaults.
+type Config struct {
+	// Queue bounds the admission queue; requests arriving with the
+	// queue full are shed with an explicit retry-after. 0 selects 64.
+	Queue int
+	// Workers is the number of concurrent planning workers, which is
+	// also the in-flight budget. 0 selects 4.
+	Workers int
+	// DefaultDeadline is the per-request budget when the client sends
+	// none; MaxDeadline caps client-supplied budgets. Queue wait counts
+	// against the budget. Defaults: 1s and 10s.
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// MinRetryAfter and MaxRetryAfter clamp the retry-after hint quoted
+	// on shed and expired responses. Defaults: 5ms and 2s.
+	MinRetryAfter time.Duration
+	MaxRetryAfter time.Duration
+	// DrainTimeout is how long Shutdown lets workers finish the queued
+	// backlog before force-answering the remainder with draining
+	// responses. 0 selects 5s.
+	DrainTimeout time.Duration
+	// GenInterval rate-limits directory generation probes: at most one
+	// synchronous probe per interval rides an incoming request, so an
+	// idle daemon makes no directory traffic at all. 0 selects 250ms.
+	GenInterval time.Duration
+	// CacheCap bounds the versioned plan cache (entries). 0 selects 256.
+	CacheCap int
+	// MaxP bounds accepted matrix sizes before any allocation happens;
+	// requests must still match the communicator's processor count.
+	// 0 selects 512.
+	MaxP int
+	// Clock is the injectable time source (nil selects the wall clock).
+	Clock func() time.Time
+	// Metrics and Tracer receive serve telemetry; both may be nil.
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Queue <= 0 {
+		cfg.Queue = 64
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = time.Second
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = 10 * time.Second
+	}
+	if cfg.MinRetryAfter <= 0 {
+		cfg.MinRetryAfter = 5 * time.Millisecond
+	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = 2 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.GenInterval <= 0 {
+		cfg.GenInterval = 250 * time.Millisecond
+	}
+	if cfg.CacheCap <= 0 {
+		cfg.CacheCap = 256
+	}
+	if cfg.MaxP <= 0 {
+		cfg.MaxP = 512
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = wallClock
+	}
+	return cfg
+}
+
+// Daemon is the planning service: a bounded admission queue in front
+// of a fixed worker pool sharing one communicator. Overload never
+// queues unboundedly — it is converted into explicit shed responses
+// with retry-after hints, and requests whose deadline can no longer
+// cover the going planning cost are expired at dequeue instead of
+// being planned for nobody. Identical concurrent requests coalesce
+// onto a single planning pass, and answered plans are cached per
+// directory generation. A nil *Daemon fails closed: every method
+// returns a refusal rather than panicking.
+type Daemon struct {
+	comm *comm.Communicator
+	gen  GenFunc
+	cfg  Config
+	tel  telemetry
+
+	tasks chan *flight
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	mu         sync.Mutex
+	flights    map[flightKey]*flight
+	cache      *planCache
+	est        *costEstimator
+	curGen     uint64
+	genChecked time.Time
+	genProbing bool
+	inFlight   int
+	draining   bool
+	stats      directory.ServeStats
+}
+
+// NewDaemon builds a daemon over an existing communicator (which
+// carries the directory source and fallback ladder) and starts its
+// workers. gen may be nil for static tables.
+func NewDaemon(c *comm.Communicator, gen GenFunc, cfg Config) (*Daemon, error) {
+	if c == nil {
+		return nil, fmt.Errorf("serve: NewDaemon needs a communicator")
+	}
+	cfg = cfg.withDefaults()
+	d := &Daemon{
+		comm:    c,
+		gen:     gen,
+		cfg:     cfg,
+		tel:     telemetry{m: cfg.Metrics, tr: cfg.Tracer},
+		tasks:   make(chan *flight, cfg.Queue),
+		quit:    make(chan struct{}),
+		flights: make(map[flightKey]*flight),
+		cache:   newPlanCache(cfg.CacheCap),
+		est:     newCostEstimator(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		d.wg.Add(1)
+		go d.worker()
+	}
+	return d, nil
+}
+
+// Plan resolves one plan request. It never blocks past the request's
+// deadline and never returns an error: every outcome is a response
+// shape — served (possibly coalesced or cached), shed with
+// retry-after, expired, draining, or rejected with a reason.
+func (d *Daemon) Plan(req directory.PlanRequest) directory.PlanResponse {
+	if d == nil {
+		return directory.PlanResponse{ID: req.ID, Status: directory.PlanDraining,
+			Error: "serve: nil daemon"}
+	}
+	start := d.cfg.Clock()
+	sizes, hash, err := materialize(req, d.cfg.MaxP)
+	if err == nil && sizes.N() != d.comm.N() {
+		err = fmt.Errorf("serve: daemon plans for %d processors, request describes %d",
+			d.comm.N(), sizes.N())
+	}
+	if err != nil {
+		return d.finish(directory.PlanResponse{ID: req.ID, Error: err.Error()}, start)
+	}
+	deadline := start.Add(d.budget(req))
+	d.maybeRefreshGen(start)
+
+	d.mu.Lock()
+	if d.draining {
+		ra := d.cfg.DrainTimeout
+		d.mu.Unlock()
+		return d.finish(directory.PlanResponse{ID: req.ID, Status: directory.PlanDraining,
+			RetryAfterMS: int64(ra / time.Millisecond)}, start)
+	}
+	key := flightKey{hash: hash, gen: d.curGen}
+	if resp, ok := d.cache.get(key); ok {
+		d.stats.Admitted++
+		d.stats.CacheHits++
+		d.mu.Unlock()
+		d.tel.cacheHit()
+		resp.ID = req.ID
+		resp.Cached = true
+		resp.QueueWaitMS = 0
+		return d.finish(resp, start)
+	}
+	if fl, ok := d.flights[key]; ok {
+		d.stats.Admitted++
+		d.stats.Coalesced++
+		d.mu.Unlock()
+		d.tel.coalescedHit()
+		return d.await(fl, req.ID, deadline, true, start)
+	}
+	fl := newFlight(key, sizes, start, deadline)
+	d.flights[key] = fl
+	admitted := false
+	//hetvet:ignore lockio non-blocking admission gate; the send cannot stall while the lock is held
+	select {
+	case d.tasks <- fl:
+		admitted = true
+	default:
+	}
+	if !admitted {
+		delete(d.flights, key)
+		ra := d.retryAfterLocked()
+		d.mu.Unlock()
+		return d.finish(directory.PlanResponse{ID: req.ID, Status: directory.PlanShed,
+			RetryAfterMS: int64(ra / time.Millisecond)}, start)
+	}
+	d.stats.Admitted++
+	depth := len(d.tasks)
+	d.mu.Unlock()
+	d.tel.queueDepth(depth)
+	return d.await(fl, req.ID, deadline, false, start)
+}
+
+// budget clamps the client-supplied deadline into the daemon's window.
+func (d *Daemon) budget(req directory.PlanRequest) time.Duration {
+	b := time.Duration(req.DeadlineMS) * time.Millisecond
+	if b <= 0 {
+		b = d.cfg.DefaultDeadline
+	}
+	if b > d.cfg.MaxDeadline {
+		b = d.cfg.MaxDeadline
+	}
+	return b
+}
+
+// await blocks until the flight resolves or the waiter's own deadline
+// passes, whichever is first, and personalizes the shared response.
+// Followers coalesced onto a flight keep their own deadlines: a
+// short-deadline follower can expire while the flight is still worth
+// finishing for its leader.
+func (d *Daemon) await(fl *flight, id uint64, deadline time.Time, coalesced bool, start time.Time) directory.PlanResponse {
+	wait := deadline.Sub(d.cfg.Clock())
+	var timeout <-chan time.Time
+	if wait > 0 {
+		tm := time.NewTimer(wait)
+		defer tm.Stop()
+		timeout = tm.C
+	} else {
+		select {
+		case <-fl.done:
+		default:
+			return d.finish(d.expired(id), start)
+		}
+	}
+	select {
+	case <-fl.done:
+		resp := fl.resp
+		resp.ID = id
+		resp.Coalesced = coalesced
+		return d.finish(resp, start)
+	case <-timeout:
+		return d.finish(d.expired(id), start)
+	}
+}
+
+// expired builds the response for a request whose deadline passed
+// while it waited.
+func (d *Daemon) expired(id uint64) directory.PlanResponse {
+	d.mu.Lock()
+	ra := d.retryAfterLocked()
+	d.mu.Unlock()
+	return directory.PlanResponse{ID: id, Status: directory.PlanExpired,
+		RetryAfterMS: int64(ra / time.Millisecond)}
+}
+
+// retryAfterLocked estimates how long the present backlog needs to
+// clear: the p95 planning cost times the backlog depth per worker,
+// clamped into the configured window. Callers hold d.mu.
+func (d *Daemon) retryAfterLocked() time.Duration {
+	est := d.est.p95()
+	if est <= 0 {
+		est = d.cfg.MinRetryAfter
+	}
+	backlog := len(d.tasks) + d.inFlight
+	ra := est * time.Duration(backlog/d.cfg.Workers+1)
+	if ra < d.cfg.MinRetryAfter {
+		ra = d.cfg.MinRetryAfter
+	}
+	if ra > d.cfg.MaxRetryAfter {
+		ra = d.cfg.MaxRetryAfter
+	}
+	return ra
+}
+
+// finish is the single exit point for every request: it folds the
+// outcome into the stats and metric surface, then returns the response
+// unchanged.
+func (d *Daemon) finish(resp directory.PlanResponse, start time.Time) directory.PlanResponse {
+	d.mu.Lock()
+	switch resp.Status {
+	case directory.PlanServed:
+		d.stats.Served++
+		switch resp.Health {
+		case comm.HealthOK.String():
+			d.stats.ServedFresh++
+		case comm.HealthStale.String():
+			d.stats.ServedStale++
+		case comm.HealthDegraded.String():
+			d.stats.ServedDegraded++
+		}
+	case directory.PlanShed:
+		d.stats.Shed++
+	case directory.PlanExpired:
+		d.stats.Expired++
+	case directory.PlanDraining:
+		d.stats.Drained++
+	default:
+		d.stats.Rejected++
+	}
+	d.mu.Unlock()
+	d.tel.outcome(outcomeOf(resp))
+	if resp.Status == directory.PlanServed {
+		d.tel.latency(d.cfg.Clock().Sub(start))
+	}
+	return resp
+}
+
+// outcomeOf maps a response to its metric outcome label.
+func outcomeOf(resp directory.PlanResponse) string {
+	switch resp.Status {
+	case directory.PlanServed, directory.PlanShed, directory.PlanExpired, directory.PlanDraining:
+		return resp.Status
+	}
+	return "rejected"
+}
+
+// maybeRefreshGen probes the directory generation at most once per
+// GenInterval, riding an incoming request. The probe runs outside the
+// admission lock so a slow directory never blocks admission; a
+// genProbing flag keeps concurrent requests from stampeding the
+// directory while one probe is out.
+func (d *Daemon) maybeRefreshGen(now time.Time) {
+	if d.gen == nil {
+		return
+	}
+	d.mu.Lock()
+	if d.genProbing || (!d.genChecked.IsZero() && now.Sub(d.genChecked) < d.cfg.GenInterval) {
+		d.mu.Unlock()
+		return
+	}
+	d.genProbing = true
+	d.mu.Unlock()
+	v, err := d.gen()
+	d.mu.Lock()
+	d.genProbing = false
+	d.genChecked = d.cfg.Clock()
+	if err == nil {
+		d.curGen = v
+	}
+	d.mu.Unlock()
+}
+
+// worker pulls flights off the admission queue until shutdown, then
+// drains whatever is still queued before exiting.
+func (d *Daemon) worker() {
+	defer d.wg.Done()
+	for {
+		select {
+		case fl := <-d.tasks:
+			d.work(fl)
+		case <-d.quit:
+			for {
+				select {
+				case fl := <-d.tasks:
+					d.work(fl)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// work resolves one flight: CoDel-style expiry if the leader's
+// remaining deadline cannot cover the going p95 planning cost,
+// otherwise a real planning pass whose result is cached (HealthOK
+// only) and handed to every waiter.
+func (d *Daemon) work(fl *flight) {
+	now := d.cfg.Clock()
+	qwait := now.Sub(fl.enqueued)
+	d.tel.queueWait(qwait)
+	d.mu.Lock()
+	depth := len(d.tasks)
+	est := d.est.p95()
+	remaining := fl.deadline.Sub(now)
+	if remaining <= 0 || (est > 0 && remaining < est) {
+		delete(d.flights, fl.key)
+		ra := d.retryAfterLocked()
+		d.mu.Unlock()
+		d.tel.queueDepth(depth)
+		fl.complete(directory.PlanResponse{Status: directory.PlanExpired,
+			RetryAfterMS: int64(ra / time.Millisecond)})
+		return
+	}
+	d.inFlight++
+	flight := d.inFlight
+	d.mu.Unlock()
+	d.tel.queueDepth(depth)
+	d.tel.inFlight(flight)
+
+	span := d.tel.beginPlan()
+	r, h, err := d.comm.AllToAllHealth(fl.sizes)
+	dur := d.cfg.Clock().Sub(now)
+	span.End()
+
+	var resp directory.PlanResponse
+	if err != nil {
+		resp = directory.PlanResponse{Error: err.Error()}
+	} else {
+		steps := 0
+		if r.Steps != nil {
+			steps = len(r.Steps.Steps)
+		}
+		resp = directory.PlanResponse{
+			OK:          true,
+			Status:      directory.PlanServed,
+			Health:      h.String(),
+			Generation:  fl.key.gen,
+			Algorithm:   r.Algorithm,
+			TMax:        r.CompletionTime(),
+			TLB:         r.LowerBound,
+			Steps:       steps,
+			QueueWaitMS: float64(qwait) / float64(time.Millisecond),
+		}
+	}
+	d.mu.Lock()
+	d.inFlight--
+	flight = d.inFlight
+	d.est.observe(dur)
+	if err == nil {
+		d.stats.Plans++
+		if h == comm.HealthOK {
+			d.cache.put(fl.key, resp)
+		}
+	}
+	delete(d.flights, fl.key)
+	d.mu.Unlock()
+	d.tel.inFlight(flight)
+	fl.complete(resp)
+}
+
+// Shutdown drains the daemon: no new admissions, workers finish the
+// queued backlog, and anything still queued when the drain timeout
+// expires is force-answered with an explicit draining response — no
+// request is ever silently dropped. Returns the number of requests
+// force-answered. Safe to call more than once; later calls also wait
+// for the drain to finish.
+func (d *Daemon) Shutdown() int {
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	first := !d.draining
+	d.draining = true
+	d.mu.Unlock()
+	if first {
+		close(d.quit)
+	}
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	forced := 0
+	tm := time.NewTimer(d.cfg.DrainTimeout)
+	defer tm.Stop()
+	select {
+	case <-done:
+	case <-tm.C:
+		ra := int64(d.cfg.MaxRetryAfter / time.Millisecond)
+	drain:
+		for {
+			select {
+			case fl := <-d.tasks:
+				d.mu.Lock()
+				delete(d.flights, fl.key)
+				d.mu.Unlock()
+				fl.complete(directory.PlanResponse{Status: directory.PlanDraining,
+					RetryAfterMS: ra})
+				forced++
+			default:
+				break drain
+			}
+		}
+		<-done
+	}
+	return forced
+}
+
+// Draining reports whether Shutdown has begun.
+func (d *Daemon) Draining() bool {
+	if d == nil {
+		return true
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// Health reports the communicator's current fallback-ladder rung.
+// Individual responses carry the rung that served them; this is the
+// daemon-wide view for health endpoints and logs.
+func (d *Daemon) Health() comm.Health {
+	if d == nil {
+		return comm.HealthDegraded
+	}
+	return d.comm.Health()
+}
+
+// Snapshot returns the daemon's counters and queue state.
+func (d *Daemon) Snapshot() directory.ServeStats {
+	if d == nil {
+		return directory.ServeStats{Draining: true}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.stats
+	st.QueueDepth = len(d.tasks)
+	st.InFlight = d.inFlight
+	st.Draining = d.draining
+	return st
+}
+
+// StatsResponse renders the counters as a serve_stats protocol
+// response.
+func (d *Daemon) StatsResponse() directory.PlanResponse {
+	if d == nil {
+		return directory.PlanResponse{Status: directory.PlanDraining, Error: "serve: nil daemon"}
+	}
+	st := d.Snapshot()
+	return directory.PlanResponse{OK: true, Health: d.Health().String(), Stats: &st}
+}

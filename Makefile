@@ -2,14 +2,14 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race race-short chaos exec-chaos serve-chaos ci bench bench-json cover figures examples clean
+.PHONY: all build test vet lint race race-short chaos exec-chaos serve-chaos obs-chaos ci bench bench-json cover figures examples clean
 
 all: build lint test
 
 # What CI runs (.github/workflows/ci.yml): build, lint (go vet plus the
 # project's own hetvet suite), the full test suite, the race detector
 # in short mode, and the data-plane and serving chaos suites.
-ci: build lint test race-short exec-chaos serve-chaos
+ci: build lint test race-short exec-chaos serve-chaos obs-chaos
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ vet:
 	$(GO) vet ./...
 
 # lint is go vet followed by hetvet, the project-specific checker suite
-# (nilguard, determinism, lockio, errdiscard — see DESIGN.md §9).
+# (nilguard, determinism, lockio, errdiscard, tracectx — see DESIGN.md §9).
 lint: vet
 	$(GO) run ./cmd/hetvet ./...
 
@@ -53,6 +53,16 @@ exec-chaos:
 # skips under -short, so this runs the full suite deliberately.
 serve-chaos:
 	$(GO) test -race -count=1 ./internal/serve/ ./internal/faults/
+
+# The observability chaos run: the overload storm again, but with the
+# flight recorder and tail sampler armed and their evidence exported —
+# the storm must produce an automatic flight dump on the injected
+# mid-storm outage, retain a span tree for every shed/expired request,
+# and leave behind loadable artifacts (flight dump, Perfetto trace,
+# statusz snapshot) under obs-artifacts/ for post-mortem inspection.
+obs-chaos:
+	HETSCHED_CHAOS_ARTIFACTS=$(CURDIR)/obs-artifacts \
+		$(GO) test -race -count=1 -run ServeOverloadChaos -v ./internal/serve/
 
 bench:
 	$(GO) test -bench . -benchmem ./...

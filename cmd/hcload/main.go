@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"hetsched/internal/comm"
 	"hetsched/internal/directory"
 	"hetsched/internal/netmodel"
+	"hetsched/internal/obs"
 	"hetsched/internal/serve"
 )
 
@@ -63,6 +65,17 @@ type report struct {
 	Cached    int `json:"cached"`
 	Degraded  int `json:"degraded"` // served on a non-fresh ladder rung
 	Errors    int `json:"errors"`
+
+	// Slowest lists the slowest served requests with their trace IDs —
+	// paste a trace ID into the daemon's /statusz (or grep its flight
+	// dump and Perfetto export) to see where the time went.
+	Slowest []slowReq `json:"slowest,omitempty"`
+}
+
+// slowReq is one served request in the latency tail.
+type slowReq struct {
+	Trace     string  `json:"trace"`
+	LatencyMS float64 `json:"latency_ms"`
 }
 
 // tally is one client goroutine's private accounting, merged after the
@@ -72,6 +85,7 @@ type tally struct {
 	coalesced, cached, degraded    int
 	errors                         int
 	lat                            []time.Duration
+	slow                           []slowReq // served requests with trace IDs
 }
 
 func main() {
@@ -138,6 +152,11 @@ func main() {
 		total.degraded += tl.degraded
 		total.errors += tl.errors
 		total.lat = append(total.lat, tl.lat...)
+		total.slow = append(total.slow, tl.slow...)
+	}
+	sort.Slice(total.slow, func(i, j int) bool { return total.slow[i].LatencyMS > total.slow[j].LatencyMS })
+	if len(total.slow) > 5 {
+		total.slow = total.slow[:5]
 	}
 	sent := *clients * *requests
 	rep := report{
@@ -168,12 +187,16 @@ func main() {
 		Cached:    total.cached,
 		Degraded:  total.degraded,
 		Errors:    total.errors,
+		Slowest:   total.slow,
 	}
 	fmt.Printf("hcload: %d requests in %.2fs (%.0f req/s): served %d (coalesced %d, cached %d, non-fresh %d), shed %d, expired %d, drained %d, errors %d\n",
 		sent, rep.DurationSec, rep.ThroughputRPS, rep.Served, rep.Coalesced, rep.Cached,
 		rep.Degraded, rep.Shed, rep.Expired, rep.Drained, rep.Errors)
 	fmt.Printf("hcload: served latency p50 %.2fms p95 %.2fms p99 %.2fms\n",
 		rep.P50MS, rep.P95MS, rep.P99MS)
+	for _, s := range rep.Slowest {
+		fmt.Printf("hcload: slowest: trace %s %.2fms\n", s.Trace, s.LatencyMS)
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -198,7 +221,7 @@ func storm(target string, g, requests, patterns int, zipfS float64, p int,
 	bytes, deadlineMS, seed int64, tl *tally) {
 	rng := rand.New(rand.NewSource(seed + int64(g)*7919))
 	zipf := rand.NewZipf(rng, zipfS, 1, uint64(patterns-1))
-	cl, err := serve.Dial(target, 5*time.Second)
+	cl, err := serve.Dial(context.Background(), target, 5*time.Second)
 	if err != nil {
 		tl.errors += requests
 		return
@@ -213,8 +236,13 @@ func storm(target string, g, requests, patterns int, zipfS float64, p int,
 			Seed:       int64(zipf.Uint64()),
 			DeadlineMS: deadlineMS,
 		}
+		// Every request gets its own trace ID: the daemon echoes it on
+		// the response, tags its flight events and exemplars with it,
+		// and (when tail sampling is armed) records a span tree under it.
+		ctx := obs.WithTrace(context.Background(),
+			obs.TraceContext{TraceID: obs.NewTraceID()})
 		t0 := time.Now()
-		resp, err := cl.Plan(req)
+		resp, err := cl.Plan(ctx, req)
 		if err != nil {
 			tl.errors++
 			return // connection is gone; remaining requests were never sent
@@ -222,7 +250,9 @@ func storm(target string, g, requests, patterns int, zipfS float64, p int,
 		switch resp.Status {
 		case directory.PlanServed:
 			tl.served++
-			tl.lat = append(tl.lat, time.Since(t0))
+			d := time.Since(t0)
+			tl.lat = append(tl.lat, d)
+			tl.slow = append(tl.slow, slowReq{Trace: resp.Trace, LatencyMS: ms(d)})
 			if resp.Coalesced {
 				tl.coalesced++
 			}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -319,7 +320,7 @@ func runExecute(rng *rand.Rand, res *hetsched.Result, m *hetsched.Matrix,
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := ex.Run(res, m, sizes)
+	rep, err := ex.Run(context.Background(), res, m, sizes)
 	if err != nil {
 		fatal(err)
 	}

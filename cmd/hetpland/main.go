@@ -12,13 +12,24 @@
 //	hetpland -addr 127.0.0.1:7575 -dir 127.0.0.1:7474     # plan against a live directory
 //	hetpland -addr 127.0.0.1:7575 -gusto                  # plan against the static GUSTO tables
 //	hetpland -gusto -workers 8 -queue 64 -deadline 500ms  # tune admission control
-//	hetpland -gusto -metrics-addr 127.0.0.1:9091          # Prometheus /metrics + pprof
+//	hetpland -gusto -metrics-addr 127.0.0.1:9091          # Prometheus /metrics + pprof + /statusz
+//	hetpland -gusto -metrics-addr :9091 -tail 256         # retain span trees of tail-latency requests
+//
+// Observability: the flight recorder is always on (a fixed ring of
+// recent structured events, near-zero idle cost) and dumps to disk on
+// SIGQUIT, or automatically when the communicator's health ladder
+// degrades. With -tail > 0 the daemon records a span tree per request
+// and retains the interesting ones (errors, sheds, expiries, tail
+// latency); /statusz shows live state and /statusz/traces exports the
+// retained trees as Perfetto-loadable JSON.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,7 +59,11 @@ func main() {
 		cacheCap    = flag.Int("cache", 256, "versioned plan cache capacity (entries)")
 		drainGrace  = flag.Duration("drain-grace", 2*time.Second, "on SIGINT/SIGTERM, window for connected clients to read final answers")
 		idleTimeout = flag.Duration("idle-timeout", 2*time.Minute, "drop connections idle longer than this")
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/vars, and /debug/pprof on this address (empty = disabled)")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/vars, /debug/pprof, and /statusz on this address (empty = disabled)")
+		flightSize  = flag.Int("flight-size", 1024, "flight recorder ring size in events (0 disables)")
+		flightDump  = flag.String("flight-dump", "", "flight recorder dump path (empty = a file under the OS temp dir)")
+		tailCap     = flag.Int("tail", 0, "retain up to this many span trees of interesting requests (0 disables per-request tracing)")
+		tailAll     = flag.Bool("tail-all", false, "with -tail, retain every request's span tree, not just interesting ones")
 	)
 	flag.Parse()
 
@@ -92,19 +107,24 @@ func main() {
 	}
 
 	var reg *obs.Registry
-	var stopMetrics func() error
 	if *metricsAddr != "" {
 		reg = obs.Default()
 		obs.DeclareStandard(reg)
-		mbound, stop, err := obs.Serve(*metricsAddr, reg)
-		if err != nil {
-			fatal(err)
-		}
-		stopMetrics = stop
-		fmt.Printf("hetpland: telemetry on http://%s/metrics (plus /debug/vars, /debug/pprof)\n", mbound)
 	}
 
-	c, err := comm.New(n, source, comm.Config{Metrics: reg})
+	var flight *obs.FlightRecorder
+	if *flightSize > 0 {
+		flight = obs.NewFlightRecorder(*flightSize, nil).WithMetrics(reg)
+		if *flightDump != "" {
+			flight.SetDumpPath(*flightDump)
+		}
+	}
+	var tail *obs.TailSampler
+	if *tailCap > 0 {
+		tail = obs.NewTailSampler(*tailCap)
+	}
+
+	c, err := comm.New(n, source, comm.Config{Metrics: reg, Flight: flight})
 	if err != nil {
 		fatal(err)
 	}
@@ -117,10 +137,28 @@ func main() {
 		CacheCap:        *cacheCap,
 		DrainTimeout:    *drainGrace,
 		Metrics:         reg,
+		Flight:          flight,
+		Tail:            tail,
+		TailAll:         *tailAll,
 	})
 	if err != nil {
 		fatal(err)
 	}
+
+	var stopMetrics func() error
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Handler(reg))
+		mux.Handle("/statusz", daemon.StatuszHandler())
+		mux.Handle("/statusz/traces", daemon.TracesHandler())
+		mbound, stop, err := serveHTTP(*metricsAddr, mux)
+		if err != nil {
+			fatal(err)
+		}
+		stopMetrics = stop
+		fmt.Printf("hetpland: telemetry on http://%s/metrics (plus /statusz, /debug/vars, /debug/pprof)\n", mbound)
+	}
+
 	srv := serve.NewServer(daemon, serve.ServerConfig{IdleTimeout: *idleTimeout})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
@@ -129,8 +167,19 @@ func main() {
 	fmt.Printf("hetpland: serving plans on %s (workers %d, queue %d)\n", bound, *workers, *queue)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+	for s := range sig {
+		if s != syscall.SIGQUIT {
+			break
+		}
+		// SIGQUIT dumps the flight recorder and keeps serving — the
+		// classic "what just happened" snapshot for a live daemon.
+		if path, ok := flight.Trigger("SIGQUIT"); ok {
+			fmt.Printf("hetpland: flight recorder dumped to %s\n", path)
+		} else {
+			fmt.Println("hetpland: flight recorder dump unavailable (disabled or rate-limited)")
+		}
+	}
 	fmt.Printf("hetpland: draining (grace %v)\n", *drainGrace)
 	drainErr := srv.Drain(*drainGrace)
 	st := daemon.Snapshot()
@@ -145,6 +194,19 @@ func main() {
 		fatal(drainErr)
 	}
 	fmt.Println("hetpland: stopped")
+}
+
+// serveHTTP exposes a handler on addr in the background, returning the
+// bound address and a shutdown function — obs.Serve generalized to a
+// caller-built mux so /statusz rides the same listener as /metrics.
+func serveHTTP(addr string, h http.Handler) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
 }
 
 // staticSource serves an immutable table: planning never fails, and

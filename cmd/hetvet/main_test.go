@@ -62,7 +62,7 @@ func TestChecksListingExits0(t *testing.T) {
 	if code := run([]string{"-checks"}, &out, &errBuf); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"nilguard", "determinism", "lockio", "errdiscard"} {
+	for _, name := range []string{"nilguard", "determinism", "lockio", "errdiscard", "tracectx"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-checks output missing %q:\n%s", name, out.String())
 		}

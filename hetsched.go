@@ -697,6 +697,19 @@ type (
 	Tracer = obs.Tracer
 	// Span is one in-flight traced operation.
 	Span = obs.Span
+	// TraceContext is the request-scoped trace/span identity carried
+	// through context.Context across serve, comm, and exec.
+	TraceContext = obs.TraceContext
+	// ReqTrace is one request's recorded span tree.
+	ReqTrace = obs.ReqTrace
+	// FlightRecorder is the always-on fixed-size ring of recent
+	// structured events, dumped to disk on faults or SIGQUIT.
+	FlightRecorder = obs.FlightRecorder
+	// FlightEvent is one flight-recorder ring entry.
+	FlightEvent = obs.FlightEvent
+	// TailSampler retains span trees of interesting requests under a
+	// fixed cap.
+	TailSampler = obs.TailSampler
 )
 
 // NewMetricsRegistry creates an empty metrics registry.
@@ -728,6 +741,32 @@ var ServeMetrics = obs.Serve
 // MetricsHandler returns the telemetry HTTP handler for embedding in
 // an existing server.
 var MetricsHandler = obs.Handler
+
+// NewTraceID draws a process-unique request trace ID (never zero).
+var NewTraceID = obs.NewTraceID
+
+// WithTrace binds a TraceContext to a context; TraceFrom reads it back
+// (zero value when absent).
+var (
+	WithTrace = obs.WithTrace
+	TraceFrom = obs.TraceFrom
+)
+
+// FormatTraceID and ParseTraceID convert trace IDs to and from their
+// 16-hex-digit wire form.
+var (
+	FormatTraceID = obs.FormatTraceID
+	ParseTraceID  = obs.ParseTraceID
+)
+
+// NewFlightRecorder creates a flight recorder with the given ring size
+// (<=0 selects 1024); NewTailSampler creates a tail sampler with the
+// given retention cap (<=0 selects 256). Wire them through
+// CommConfig.Flight and PlanDaemonConfig.Flight/Tail.
+var (
+	NewFlightRecorder = obs.NewFlightRecorder
+	NewTailSampler    = obs.NewTailSampler
+)
 
 // SetSimTelemetry wires checkpoint/replan counters and trace instants
 // into the simulator's execution loops (process-wide; pass nil, nil to

@@ -2,7 +2,7 @@
 // driver that machine-checks the invariants this codebase's previous
 // PRs established by convention. It is built entirely on the standard
 // library (go/parser, go/ast, go/types) — no x/tools dependency — and
-// ships four checkers:
+// ships five checkers:
 //
 //	nilguard    — every exported pointer-receiver method on an
 //	              internal/obs instrument or tracer type must begin
@@ -18,6 +18,10 @@
 //	              fallback-ladder work both depend on it).
 //	errdiscard  — no "_ =" or bare-call discarding of returned errors
 //	              in library code.
+//	tracectx    — exported functions in internal/serve and
+//	              internal/exec that spawn goroutines or cross the wire
+//	              must accept a context.Context, so request traces
+//	              survive end to end.
 //
 // Every checker honors the escape hatch
 //
@@ -76,6 +80,7 @@ func DefaultCheckers() []Checker {
 		determinismChecker{},
 		lockioChecker{},
 		errdiscardChecker{},
+		tracectxChecker{},
 	}
 }
 

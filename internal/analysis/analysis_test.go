@@ -118,6 +118,7 @@ func TestNilguard(t *testing.T)    { runFixture(t, "nilguard", nilguardChecker{}
 func TestDeterminism(t *testing.T) { runFixture(t, "determinism", determinismChecker{}) }
 func TestLockio(t *testing.T)      { runFixture(t, "lockio", lockioChecker{}) }
 func TestErrdiscard(t *testing.T)  { runFixture(t, "errdiscard", errdiscardChecker{}) }
+func TestTracectx(t *testing.T)    { runFixture(t, "tracectx", tracectxChecker{}) }
 
 // TestDirectiveValidation locks the malformed-directive diagnostics:
 // a missing reason, an unknown check name, and an empty directive are

@@ -1,0 +1,14 @@
+// Package sched is outside the tracectx scope: spawning goroutines
+// without a ctx is fine here.
+package sched
+
+// Fan spawns without a ctx and is not flagged — wrong package.
+func Fan(n int) {
+	done := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() { done <- struct{}{} }()
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,72 @@
+// Package serve is a fixture for the tracectx checker: exported
+// functions that spawn goroutines or cross the wire must accept a
+// context.Context.
+package serve
+
+import (
+	"context"
+	"net"
+)
+
+// Daemon is the fixture's service type.
+type Daemon struct{ tasks chan int }
+
+// Start spawns workers without a ctx.
+func (d *Daemon) Start() { // want tracectx "spawns goroutines"
+	go d.worker()
+}
+
+// StartCtx spawns workers but can carry a trace.
+func (d *Daemon) StartCtx(ctx context.Context) {
+	_ = ctx
+	go d.worker()
+}
+
+// Dial crosses the wire without a ctx.
+func Dial(addr string) (net.Conn, error) { // want tracectx "crosses the wire via net.Dial"
+	return net.Dial("tcp", addr)
+}
+
+// DialCtx crosses the wire and can carry a trace.
+func DialCtx(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+// Listen binds without a ctx.
+func Listen(addr string) (net.Listener, error) { // want tracectx "crosses the wire via net.Listen"
+	return net.Listen("tcp", addr)
+}
+
+// Background dials through a Dialer with a synthesized context — the
+// DialContext case the checker names explicitly.
+func Background(addr string) (net.Conn, error) { // want tracectx "crosses the wire via net.Dialer.DialContext"
+	var d net.Dialer
+	return d.DialContext(context.Background(), "tcp", addr)
+}
+
+// Workers is a process-lifetime pool: legitimately requestless.
+//
+//hetvet:ignore tracectx process-lifetime worker pool; no request exists at construction
+func Workers(n int) *Daemon {
+	d := &Daemon{tasks: make(chan int, n)}
+	for i := 0; i < n; i++ {
+		go d.worker()
+	}
+	return d
+}
+
+// Pure touches neither goroutines nor the network: out of contract.
+func Pure(a, b int) int { return a + b }
+
+// Handler only defines a literal that spawns later — the literal runs
+// on its own schedule, so the enclosing function is not flagged.
+func Handler(d *Daemon) func() {
+	return func() { go d.worker() }
+}
+
+// worker is unexported: out of contract.
+func (d *Daemon) worker() {
+	for range d.tasks {
+	}
+}

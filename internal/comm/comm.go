@@ -10,6 +10,7 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -68,6 +69,11 @@ type Config struct {
 	// Tracer records a span per planned exchange and an instant per
 	// ladder-rung transition. Nil disables tracing.
 	Tracer *obs.Tracer
+	// Flight, when set, receives a flight-recorder event per served
+	// exchange and triggers a post-mortem dump whenever the fallback
+	// ladder transitions downward (fresh→stale, →degraded) — the
+	// moment an outage becomes visible to planning. Nil disables it.
+	Flight *obs.FlightRecorder
 }
 
 // Stats counts what the communicator did. When Config.Metrics is set,
@@ -222,8 +228,11 @@ func (c *Communicator) snapshotMatrix(sizes *model.Sizes) (*model.Matrix, Health
 	return m, HealthDegraded, berr
 }
 
-// noteServed records the rung that served an exchange.
-func (c *Communicator) noteServed(h Health) {
+// noteServed records the rung that served an exchange — in the stats,
+// the metric surface, the flight recorder, and (on a downward ladder
+// transition) a triggered flight dump. ctx supplies the trace ID the
+// flight event is tagged with; context.Background() means untraced.
+func (c *Communicator) noteServed(ctx context.Context, h Health) {
 	c.mu.Lock()
 	prev := c.health
 	c.health = h
@@ -237,6 +246,29 @@ func (c *Communicator) noteServed(h Health) {
 	}
 	c.mu.Unlock()
 	c.tel.noteRung(prev, h)
+	fl := c.cfg.Flight
+	if fl == nil {
+		return
+	}
+	fl.Record("comm", rungEvent(h), obs.TraceFrom(ctx).TraceID, int64(prev), int64(h))
+	if h > prev {
+		// The ladder just stepped down: the events leading here are the
+		// post-mortem, so capture them now (best-effort, rate-limited).
+		fl.Trigger("health-ladder degradation")
+	}
+}
+
+// rungEvent maps a rung to its constant flight-recorder event name.
+func rungEvent(h Health) string {
+	switch h {
+	case HealthOK:
+		return "served_fresh"
+	case HealthStale:
+		return "served_stale"
+	case HealthDegraded:
+		return "served_degraded"
+	}
+	return "served_unknown"
 }
 
 // tagResult marks a result produced below the fresh rung.
@@ -263,6 +295,14 @@ func (c *Communicator) AllToAll(sizes *model.Sizes) (*sched.Result, error) {
 // where reading Health() after the call races other exchanges and can
 // misreport which rung produced a given plan.
 func (c *Communicator) AllToAllHealth(sizes *model.Sizes) (*sched.Result, Health, error) {
+	return c.AllToAllHealthCtx(context.Background(), sizes)
+}
+
+// AllToAllHealthCtx is AllToAllHealth carrying request-scoped trace
+// correlation: when ctx holds an obs.ReqTrace, the planning pass is
+// recorded as a span on that request's tree, and flight-recorder
+// events are tagged with its trace ID.
+func (c *Communicator) AllToAllHealthCtx(ctx context.Context, sizes *model.Sizes) (*sched.Result, Health, error) {
 	m, h, err := c.snapshotMatrix(sizes)
 	if err != nil {
 		return nil, h, err
@@ -275,11 +315,11 @@ func (c *Communicator) AllToAllHealth(sizes *model.Sizes) (*sched.Result, Health
 	c.stats.Plans++
 	c.mu.Unlock()
 	c.tel.plans.Inc()
-	r, err := c.timedSchedule(scheduler, m, h, "oneshot")
+	r, err := c.timedSchedule(ctx, scheduler, m, h, "oneshot")
 	if err != nil {
 		return nil, h, err
 	}
-	c.noteServed(h)
+	c.noteServed(ctx, h)
 	return tagResult(r, h), h, nil
 }
 

@@ -1,6 +1,8 @@
 package comm
 
 import (
+	"context"
+
 	"hetsched/internal/exec"
 	"hetsched/internal/model"
 	"hetsched/internal/sched"
@@ -23,6 +25,15 @@ import (
 // the residual is planned on the survivor-restricted matrix with the
 // configured scheduler's partial variant.
 func (c *Communicator) Execute(tr exec.Transport, sizes *model.Sizes, ecfg exec.Config) (*exec.DeliveryReport, *sched.Result, error) {
+	return c.ExecuteCtx(context.Background(), tr, sizes, ecfg)
+}
+
+// ExecuteCtx is Execute carrying request-scoped trace correlation: the
+// planning pass and every exec round/transfer land on the request's
+// span tree when ctx holds an obs.ReqTrace, and the delivery report is
+// tagged with the trace ID. The executor's Flight recorder also
+// defaults to the communicator's.
+func (c *Communicator) ExecuteCtx(ctx context.Context, tr exec.Transport, sizes *model.Sizes, ecfg exec.Config) (*exec.DeliveryReport, *sched.Result, error) {
 	m, h, err := c.snapshotMatrix(sizes)
 	if err != nil {
 		return nil, nil, err
@@ -35,11 +46,11 @@ func (c *Communicator) Execute(tr exec.Transport, sizes *model.Sizes, ecfg exec.
 	c.stats.Plans++
 	c.mu.Unlock()
 	c.tel.plans.Inc()
-	r, err := c.timedSchedule(scheduler, m, h, "execute")
+	r, err := c.timedSchedule(ctx, scheduler, m, h, "execute")
 	if err != nil {
 		return nil, nil, err
 	}
-	c.noteServed(h)
+	c.noteServed(ctx, h)
 	r = tagResult(r, h)
 
 	if ecfg.Metrics == nil {
@@ -47,6 +58,9 @@ func (c *Communicator) Execute(tr exec.Transport, sizes *model.Sizes, ecfg exec.
 	}
 	if ecfg.Tracer == nil {
 		ecfg.Tracer = c.cfg.Tracer
+	}
+	if ecfg.Flight == nil {
+		ecfg.Flight = c.cfg.Flight
 	}
 	if ecfg.Replan == nil {
 		ecfg.Replan = func(m *model.Matrix, residual sched.Pattern, alive func(int) bool) (*sched.Result, error) {
@@ -57,7 +71,7 @@ func (c *Communicator) Execute(tr exec.Transport, sizes *model.Sizes, ecfg exec.
 	if err != nil {
 		return nil, nil, err
 	}
-	rep, err := ex.Run(r, m, sizes)
+	rep, err := ex.Run(ctx, r, m, sizes)
 	if err != nil {
 		return nil, r, err
 	}

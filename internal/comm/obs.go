@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"time"
 
 	"hetsched/internal/model"
@@ -89,22 +90,25 @@ func (t *commTelemetry) quality(algorithm string) *obs.Histogram {
 
 // timedSchedule runs the scheduler with a plan span, the plan-time
 // histogram, and the per-algorithm quality sample. With telemetry
-// disabled it is exactly s.Schedule(m).
-func (c *Communicator) timedSchedule(s sched.Scheduler, m *model.Matrix, h Health, kind string) (*sched.Result, error) {
-	return c.timedResult(h, kind, func() (*sched.Result, error) { return s.Schedule(m) })
+// disabled it is exactly s.Schedule(m). ctx carries per-request trace
+// correlation (obs.ReqTrace); context.Background() means untraced.
+func (c *Communicator) timedSchedule(ctx context.Context, s sched.Scheduler, m *model.Matrix, h Health, kind string) (*sched.Result, error) {
+	return c.timedResult(ctx, h, kind, func() (*sched.Result, error) { return s.Schedule(m) })
 }
 
 // timedResult instruments an arbitrary plan computation (scratch plan,
 // degraded baseline, or incremental repair): it times the closure with
-// the injectable clock, records the span and plan-time sample, and
-// observes the result's quality ratio under the result's (untagged)
-// algorithm name.
-func (c *Communicator) timedResult(h Health, kind string, plan func() (*sched.Result, error)) (*sched.Result, error) {
-	if !c.tel.enabled {
+// the injectable clock, records the span and plan-time sample — on the
+// process tracer and, when ctx carries a request trace, on that
+// request's span tree — and observes the result's quality ratio under
+// the result's (untagged) algorithm name.
+func (c *Communicator) timedResult(ctx context.Context, h Health, kind string, plan func() (*sched.Result, error)) (*sched.Result, error) {
+	if !c.tel.enabled && obs.ReqTraceFrom(ctx) == nil {
 		return plan()
 	}
 	sp := c.tel.tracer.Begin("comm", "plan",
 		obs.L("rung", rungLabel(h)), obs.L("kind", kind))
+	_, rsp := obs.StartSpan(ctx, "comm", kind)
 	start := c.cfg.Clock()
 	r, err := plan()
 	elapsed := c.cfg.Clock().Sub(start)
@@ -112,10 +116,14 @@ func (c *Communicator) timedResult(h Health, kind string, plan func() (*sched.Re
 	if err != nil {
 		sp.SetArg("error", err.Error())
 		sp.End()
+		rsp.SetNote(err.Error())
+		rsp.End()
 		return nil, err
 	}
 	sp.SetArg("algorithm", r.Algorithm)
 	sp.End()
+	rsp.SetNote(r.Algorithm)
+	rsp.End()
 	c.tel.quality(r.Algorithm).Observe(r.Ratio())
 	return r, nil
 }

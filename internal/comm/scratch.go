@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 
 	"hetsched/internal/incremental"
@@ -95,7 +96,7 @@ func (c *Communicator) AllToAllRepeatedScratch(sizes *model.Sizes, sc *PlanScrat
 	if h == HealthDegraded {
 		// As in AllToAllRepeated: plan the blind baseline without
 		// touching the repair cache.
-		r, err := c.timedSchedule(c.cfg.BaselineScheduler, m, h, "repeated")
+		r, err := c.timedSchedule(context.Background(), c.cfg.BaselineScheduler, m, h, "repeated")
 		if err != nil {
 			return nil, err
 		}
@@ -103,10 +104,10 @@ func (c *Communicator) AllToAllRepeatedScratch(sizes *model.Sizes, sc *PlanScrat
 		c.stats.Plans++
 		c.mu.Unlock()
 		c.tel.plans.Inc()
-		c.noteServed(h)
+		c.noteServed(context.Background(), h)
 		return tagResult(r, h), nil
 	}
-	c.noteServed(h)
+	c.noteServed(context.Background(), h)
 	c.mu.Lock()
 	gen, steps, last := c.planGen, c.lastSteps, c.lastMatrix
 	c.mu.Unlock()
@@ -116,7 +117,7 @@ func (c *Communicator) AllToAllRepeatedScratch(sizes *model.Sizes, sc *PlanScrat
 	var r *sched.Result
 	if steps == nil || last == nil {
 		if c.tel.enabled {
-			r, err = c.timedResult(h, "repeated", func() (*sched.Result, error) {
+			r, err = c.timedResult(context.Background(), h, "repeated", func() (*sched.Result, error) {
 				return c.planRepeatedScratch(m, sc)
 			})
 		} else {
@@ -124,7 +125,7 @@ func (c *Communicator) AllToAllRepeatedScratch(sizes *model.Sizes, sc *PlanScrat
 		}
 	} else {
 		if c.tel.enabled {
-			r, err = c.timedResult(h, "repair", func() (*sched.Result, error) {
+			r, err = c.timedResult(context.Background(), h, "repair", func() (*sched.Result, error) {
 				return c.repairScratch(gen, steps, last, m, sc)
 			})
 		} else {

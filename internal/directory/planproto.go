@@ -86,6 +86,11 @@ type PlanRequest struct {
 	// including queue wait. 0 selects the daemon's default; the daemon
 	// clamps it to its configured maximum.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Trace is an optional 16-hex-digit trace ID correlating this
+	// request across client, daemon, and executor telemetry (see
+	// obs.TraceContext). Empty means untraced; daemons that trace
+	// requests issue their own ID and echo it in the response.
+	Trace string `json:"trace,omitempty"`
 }
 
 // ServeStats is the daemon's serving state, returned by OpServeStats.
@@ -135,6 +140,10 @@ type PlanResponse struct {
 	Coalesced   bool    `json:"coalesced,omitempty"` // shared a concurrent identical planning run
 	Cached      bool    `json:"cached,omitempty"`    // served from the versioned plan cache
 	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	// Trace echoes (or, when the client sent none, assigns) the request's
+	// trace ID, so the caller can find this request in the daemon's
+	// exemplars, tail-sampled traces, and flight-recorder events.
+	Trace string `json:"trace,omitempty"`
 
 	// Stats payload for OpServeStats.
 	Stats *ServeStats `json:"stats,omitempty"`

@@ -14,6 +14,8 @@ func TestPlanRequestRoundTrip(t *testing.T) {
 		{Op: OpPlan, P: 5, Kind: PatternRandom, Bytes: 1 << 20, Seed: 42},
 		{Op: OpPlan, P: 3, Kind: PatternSkew, Bytes: 64},
 		{Op: OpPlan, ID: 1, Sizes: [][]int64{{0, 1, 2}, {3, 0, 5}, {6, 7, 0}}},
+		{Op: OpPlan, ID: 2, P: 4, Kind: PatternUniform, Bytes: 256,
+			Trace: "00000000deadbeef"},
 		{Op: OpServeStats},
 	}
 	for _, req := range reqs {
@@ -43,6 +45,8 @@ func TestPlanResponseRoundTrip(t *testing.T) {
 			Algorithm: "openshop", TMax: 0.012, TLB: 0.009, Steps: 8, QueueWaitMS: 1.5},
 		{OK: true, Status: PlanServed, Health: "stale", Algorithm: "maxmatch+stale", Coalesced: true},
 		{OK: true, Status: PlanServed, Health: "degraded", Algorithm: "baseline+degraded", Cached: true},
+		{OK: true, ID: 11, Status: PlanServed, Health: "ok", Algorithm: "openshop",
+			Trace: "000000000000feed"},
 		{OK: false, ID: 9, Status: PlanShed, RetryAfterMS: 40, Error: "serve: queue full"},
 		{OK: false, Status: PlanExpired, RetryAfterMS: 25, Error: "serve: deadline cannot cover planning cost"},
 		{OK: false, Status: PlanDraining, RetryAfterMS: 100, Error: "serve: draining"},
@@ -65,6 +69,33 @@ func TestPlanResponseRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(back, resp) {
 			t.Fatalf("round trip changed %+v to %+v", resp, back)
 		}
+	}
+}
+
+// TestPlanTraceIsOptional pins backward compatibility of the trace
+// field: pre-trace clients omit it entirely, and untraced messages must
+// not put it on the wire.
+func TestPlanTraceIsOptional(t *testing.T) {
+	req, err := ParsePlanRequest([]byte(`{"op":"plan","p":4,"kind":"uniform","bytes":64}` + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Trace != "" {
+		t.Fatalf("legacy request parsed with Trace=%q, want empty", req.Trace)
+	}
+	wire, err := EncodePlanRequest(PlanRequest{Op: OpPlan, P: 4, Kind: PatternUniform, Bytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(wire, []byte("trace")) {
+		t.Fatalf("untraced request leaked a trace field: %s", wire)
+	}
+	rwire, err := EncodePlanResponse(PlanResponse{OK: true, Status: PlanServed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(rwire, []byte("trace")) {
+		t.Fatalf("untraced response leaked a trace field: %s", rwire)
 	}
 }
 

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"net"
@@ -60,7 +61,7 @@ func chaosTrial(t *testing.T, seed int64, newTransport func(n int) (Transport, e
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := ex.Run(res, m, sizes)
+	rep, err := ex.Run(context.Background(), res, m, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +155,7 @@ func TestExecChaosReplanReroutesResidual(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := ex.Run(res, m, sizes)
+	rep, err := ex.Run(context.Background(), res, m, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestExecDuplicateSuppression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := ex.Run(res, m, sizes)
+	rep, err := ex.Run(context.Background(), res, m, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,7 @@ package exec
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -101,6 +102,9 @@ type Config struct {
 	// Tracer receives exchange/round spans and death/replan instants;
 	// nil disables.
 	Tracer *obs.Tracer
+	// Flight, when set, receives flight-recorder events for peer
+	// deaths, residual replans, and exchange completion. Nil disables.
+	Flight *obs.FlightRecorder
 }
 
 // Executor runs exchanges over one transport. Create with New; one
@@ -185,9 +189,11 @@ type transfer struct {
 
 // run is the state of one exchange execution.
 type run struct {
-	ex  *Executor
-	xid uint64
-	n   int
+	ex    *Executor
+	xid   uint64
+	n     int
+	ctx   context.Context // exchange-scoped; carries the request trace
+	trace uint64          // trace ID for flight events and the report
 
 	mu         sync.Mutex // guards alive, deadReason, st fields, dup, aborted — never held across I/O
 	alive      []bool
@@ -212,8 +218,15 @@ type run struct {
 // Run executes the planned exchange: res is the schedule to honor, m
 // the communication-time matrix it was planned from (reused for
 // residual replans), sizes the byte counts to move. It blocks until
-// every byte is delivered, rerouted, or abandoned, then reports.
-func (e *Executor) Run(res *sched.Result, m *model.Matrix, sizes *model.Sizes) (*DeliveryReport, error) {
+// every byte is delivered, rerouted, or abandoned, then reports. ctx
+// carries request-scoped trace correlation (obs.TraceContext /
+// obs.ReqTrace): when present, the exchange, each round, and each
+// transfer land on the request's span tree, flight events are tagged
+// with the trace ID, and the report echoes it.
+func (e *Executor) Run(ctx context.Context, res *sched.Result, m *model.Matrix, sizes *model.Sizes) (*DeliveryReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if res == nil || res.Schedule == nil || m == nil || sizes == nil {
 		return nil, errors.New("exec: nil plan, matrix, or sizes")
 	}
@@ -261,6 +274,9 @@ func (e *Executor) Run(res *sched.Result, m *model.Matrix, sizes *model.Sizes) (
 	r.recvWindow = r.attemptDeadline(maxModeled) + e.cfg.MinDeadline
 
 	span := e.cfg.Tracer.Begin("exec", "exchange", obs.L("transport", fmt.Sprintf("%T", e.tr)))
+	ctx, xsp := obs.StartSpan(ctx, "exec", "exchange")
+	r.ctx = ctx
+	r.trace = obs.TraceFrom(ctx).TraceID
 	start := e.cfg.Clock()
 
 	r.acceptWg.Add(n)
@@ -271,7 +287,9 @@ func (e *Executor) Run(res *sched.Result, m *model.Matrix, sizes *model.Sizes) (
 	plan := res
 	rounds, replans := 0, 0
 	for round := 0; round < maxRounds; round++ {
+		_, rsp := obs.StartSpan(ctx, "exec", "round")
 		r.runRound(round, plan)
+		rsp.End()
 		rounds++
 		residual := r.residualPattern()
 		if len(residual) == 0 {
@@ -283,11 +301,14 @@ func (e *Executor) Run(res *sched.Result, m *model.Matrix, sizes *model.Sizes) (
 		next, err := e.cfg.Replan(m, residual, r.isAlive)
 		if err != nil {
 			e.cfg.Tracer.Instant("exec", "replan failed", obs.L("error", err.Error()))
+			obs.Mark(ctx, "exec", "replan_failed", err.Error())
 			break
 		}
 		replans++
 		e.counter(MetricExecReplans).Inc()
 		e.cfg.Tracer.Instant("exec", "replan", obs.L("pairs", fmt.Sprintf("%d", len(residual))))
+		obs.Mark(ctx, "exec", "replan", "")
+		e.cfg.Flight.Record("exec", "replan", r.trace, int64(len(residual)), int64(round))
 		plan = next
 	}
 
@@ -299,8 +320,11 @@ func (e *Executor) Run(res *sched.Result, m *model.Matrix, sizes *model.Sizes) (
 	r.handlerWg.Wait()
 
 	rep := r.finalize(rounds, replans, res.CompletionTime(), e.cfg.Clock().Sub(start))
+	rep.Trace = obs.FormatTraceID(r.trace)
 	span.SetArg("dead", fmt.Sprintf("%d", len(rep.Dead)))
 	span.End()
+	xsp.End()
+	e.cfg.Flight.Record("exec", "exchange_done", r.trace, rep.DeliveredBytes+rep.ReroutedBytes, int64(len(rep.Dead)))
 	e.observeReport(rep)
 	return rep, nil
 }
@@ -335,6 +359,8 @@ func (r *run) markDead(node int, reason string) {
 	r.ex.counter(MetricExecPeerDeaths).Inc()
 	r.ex.cfg.Tracer.Instant("exec", "peer dead",
 		obs.L("node", fmt.Sprintf("%d", node)), obs.L("reason", reason))
+	obs.Mark(r.ctx, "exec", "peer_dead", reason)
+	r.ex.cfg.Flight.Record("exec", "peer_dead", r.trace, int64(node), 0)
 	r.ex.tr.Kill(node)
 }
 
@@ -449,6 +475,11 @@ func (r *run) sendOne(round int, t *transfer, modeled float64) {
 	}
 	defer func() { <-r.sendSem[t.src] }()
 
+	_, tsp := obs.StartSpan(r.ctx, "exec", "transfer")
+	if tsp != nil {
+		tsp.SetNote(fmt.Sprintf("%d to %d", t.src, t.dst))
+	}
+	defer tsp.End()
 	deadline := r.attemptDeadline(modeled)
 	for attempt := 0; ; attempt++ {
 		err := r.attempt(round, attempt, t, deadline)
@@ -479,6 +510,7 @@ func (r *run) noteRetry(t *transfer) {
 	t.retries++
 	r.mu.Unlock()
 	r.ex.counter(MetricExecRetries).Inc()
+	obs.Mark(r.ctx, "exec", "retry", "")
 }
 
 // attempt performs one transfer attempt over a fresh connection: dial,

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -90,7 +91,7 @@ func TestExecMemDeliversEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := ex.Run(res, m, sizes)
+	rep, err := ex.Run(context.Background(), res, m, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestExecTCPDeliversEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := ex.Run(res, m, sizes)
+	rep, err := ex.Run(context.Background(), res, m, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestExecZeroSizeTransfers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := ex.Run(res, m, sizes)
+	rep, err := ex.Run(context.Background(), res, m, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,11 +203,11 @@ func TestExecValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ex.Run(nil, nil, nil); err == nil {
+	if _, err := ex.Run(context.Background(), nil, nil, nil); err == nil {
 		t.Fatal("nil plan accepted")
 	}
 	res, m, sizes := testProblem(t, 4) // transport has 3 nodes
-	if _, err := ex.Run(res, m, sizes); err == nil {
+	if _, err := ex.Run(context.Background(), res, m, sizes); err == nil {
 		t.Fatal("shape mismatch accepted")
 	}
 }
@@ -232,7 +233,7 @@ func TestExecLatencyDelaysStillDeliverEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := ex.Run(res, m, sizes)
+	rep, err := ex.Run(context.Background(), res, m, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +265,7 @@ func TestExecStalledReceiverDeclaredDead(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := ex.Run(res, m, sizes)
+	rep, err := ex.Run(context.Background(), res, m, sizes)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +302,7 @@ func TestExecMetricsRecorded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ex.Run(res, m, sizes); err != nil {
+	if _, err := ex.Run(context.Background(), res, m, sizes); err != nil {
 		t.Fatal(err)
 	}
 	delivered := reg.Counter(MetricExecTransfers, "", obs.L("outcome", "delivered")).Value()

@@ -48,6 +48,10 @@ type DeliveryReport struct {
 	Modeled float64       // modeled t_max of the original plan, seconds
 	Wall    time.Duration // measured wall clock for the exchange
 
+	// Trace is the request trace ID the exchange ran under (16 hex
+	// digits), empty when the exchange was untraced.
+	Trace string
+
 	Dests []DestReport // per destination, ascending by node
 }
 
@@ -80,6 +84,9 @@ func (r *DeliveryReport) Render(w io.Writer) {
 	}
 	fmt.Fprintf(w, "delivery report: P=%d, %d round(s), %d replan(s), dead: %s\n",
 		r.N, r.Rounds, r.Replans, dead)
+	if r.Trace != "" {
+		fmt.Fprintf(w, "  trace: %s\n", r.Trace)
+	}
 	fmt.Fprintf(w, "  bytes: %d total = %d delivered + %d rerouted + %d abandoned (%d retried, %d retries, %d dup suppressed)\n",
 		r.TotalBytes, r.DeliveredBytes, r.ReroutedBytes, r.AbandonedBytes,
 		r.RetriedBytes, r.Retries, r.DupSuppressed)

@@ -28,6 +28,8 @@ type TCP struct {
 
 // NewTCP creates a loopback TCP transport for n nodes, binding one
 // ephemeral listener per node.
+//
+//hetvet:ignore tracectx construction-time listeners outlive any request; no trace exists yet
 func NewTCP(n int) (*TCP, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("exec: negative node count %d", n)
@@ -80,6 +82,8 @@ func (t *TCP) N() int { return t.n }
 func (t *TCP) Addr(node int) string { return t.addr[node] }
 
 // Dial implements Transport.
+//
+//hetvet:ignore tracectx the Transport interface is trace-neutral; per-transfer spans live in the run, which owns the ctx
 func (t *TCP) Dial(src, dst int) (net.Conn, error) {
 	if src < 0 || src >= t.n || dst < 0 || dst >= t.n || src == dst {
 		return nil, fmt.Errorf("exec: invalid link %d→%d for %d nodes", src, dst, t.n)

@@ -62,6 +62,18 @@ const (
 	MetricServeInFlight   = "hetsched_serve_inflight"
 	MetricServeQueueWait  = "hetsched_serve_queue_wait_seconds"
 	MetricServeLatency    = "hetsched_serve_latency_seconds"
+
+	// Tail-sampled request traces (internal/serve + internal/obs).
+	// Labels:
+	//   - reason: why a span tree was retained ("slow", "shed",
+	//     "expired", "error", "draining", "all")
+	MetricServeTailRetained = "hetsched_serve_tail_retained_total"
+	MetricServeTailDropped  = "hetsched_serve_tail_dropped_total"
+
+	// Flight recorder (internal/obs.FlightRecorder). Unlabeled: the
+	// record path must stay allocation-free.
+	MetricFlightEvents = "hetsched_flight_events_total"
+	MetricFlightDumps  = "hetsched_flight_dumps_total"
 )
 
 // standardFamilies lists every canonical family with its metadata.
@@ -100,6 +112,10 @@ var standardFamilies = []struct {
 	{MetricServeInFlight, "Plan requests currently being planned.", TypeGauge, nil},
 	{MetricServeQueueWait, "Time plan requests spent queued before a worker picked them up.", TypeHistogram, nil},
 	{MetricServeLatency, "End-to-end latency of served plan requests.", TypeHistogram, nil},
+	{MetricServeTailRetained, "Request span trees retained by the tail sampler, by reason.", TypeCounter, nil},
+	{MetricServeTailDropped, "Request span trees dropped by the tail sampler as uninteresting.", TypeCounter, nil},
+	{MetricFlightEvents, "Events recorded by the flight recorder.", TypeCounter, nil},
+	{MetricFlightDumps, "Flight-recorder dumps written to disk.", TypeCounter, nil},
 }
 
 // DeclareStandard registers metadata for every canonical family so a

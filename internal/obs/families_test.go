@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestGoldenStandardFamilies locks the full hetsched_* metric surface —
+// names, help strings, types, and label sets — so a rename or a dropped
+// family breaks loudly instead of silently orphaning dashboards.
+// Regenerate with: go test ./internal/obs -run GoldenStandardFamilies -update
+func TestGoldenStandardFamilies(t *testing.T) {
+	r := New()
+	DeclareStandard(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "standard_families.golden", buf.Bytes())
+}
+
+func TestStandardFamiliesCoverObservability(t *testing.T) {
+	r := New()
+	DeclareStandard(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		MetricServeTailRetained, MetricServeTailDropped,
+		MetricFlightEvents, MetricFlightDumps,
+	} {
+		if !strings.Contains(out, "# HELP "+name+" ") {
+			t.Errorf("standard families missing %s", name)
+		}
+	}
+}
+
+// TestExemplarRendering locks the OpenMetrics-style exemplar on the
+// +Inf bucket: the scrape is where a dashboard picks up the trace ID
+// to jump from a latency histogram to the request behind it.
+func TestExemplarRendering(t *testing.T) {
+	r := New()
+	h := r.Histogram("hetsched_test_latency_seconds", "Test latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.ObserveExemplar(0.5, 0xabcd)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	want := `le="+Inf"} 2 # {trace_id="000000000000abcd"} 0.5`
+	if !strings.Contains(out, want) {
+		t.Fatalf("scrape missing exemplar %q:\n%s", want, out)
+	}
+	// An untraced observation must not disturb the exemplar-free form.
+	r2 := New()
+	h2 := r2.Histogram("hetsched_test_latency_seconds", "Test latency.", []float64{0.1, 1})
+	h2.Observe(0.05)
+	buf.Reset()
+	if err := r2.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "trace_id") {
+		t.Fatalf("exemplar rendered without one being recorded:\n%s", buf.String())
+	}
+}

@@ -116,6 +116,14 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
 	sum    atomic.Uint64   // float64 bits
 	total  atomic.Uint64
+
+	// Last exemplar: a trace ID attached to a recent observation,
+	// emitted OpenMetrics-style so a dashboard histogram links back to
+	// the trace that landed in it.
+	exMu    sync.Mutex
+	exTrace uint64
+	exValue float64
+	exSet   bool
 }
 
 // Observe records one sample.
@@ -133,6 +141,34 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one sample and, when trace is non-zero,
+// remembers (trace, v) as the family's latest exemplar.
+func (h *Histogram) ObserveExemplar(v float64, trace uint64) {
+	if h == nil {
+		return
+	}
+	h.Observe(v)
+	if trace == 0 {
+		return
+	}
+	h.exMu.Lock()
+	h.exTrace = trace
+	h.exValue = v
+	h.exSet = true
+	h.exMu.Unlock()
+}
+
+// Exemplar returns the most recent exemplar (ok=false when none was
+// ever recorded or on a nil receiver).
+func (h *Histogram) Exemplar() (trace uint64, v float64, ok bool) {
+	if h == nil {
+		return 0, 0, false
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	return h.exTrace, h.exValue, h.exSet
 }
 
 // Count returns the number of observations (0 on a nil receiver).

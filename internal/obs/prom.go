@@ -69,7 +69,14 @@ func writeSample(w io.Writer, f *family, sig string) error {
 			}
 		}
 		cum += inst.counts[len(inst.bounds)].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(withLE(sig, "+Inf")), cum); err != nil {
+		// The +Inf bucket carries the family's latest exemplar,
+		// OpenMetrics-style, so a dashboard can jump from a histogram to
+		// the trace of a request that landed in it.
+		exemplar := ""
+		if trace, v, ok := inst.Exemplar(); ok {
+			exemplar = fmt.Sprintf(" # {trace_id=\"%s\"} %s", FormatTraceID(trace), formatValue(v))
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name, braced(withLE(sig, "+Inf")), cum, exemplar); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(sig), formatValue(inst.Sum())); err != nil {

@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// raceEnabled gates allocation-count assertions: the race detector
+// instruments allocations, so exact AllocsPerRun pins only hold in
+// non-race builds.
+const raceEnabled = true

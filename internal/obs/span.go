@@ -192,6 +192,12 @@ type traceFile struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
+// writeTraceFile encodes a trace file as JSON (shared by Tracer and
+// TailSampler exports).
+func writeTraceFile(w io.Writer, file traceFile) error {
+	return json.NewEncoder(w).Encode(file)
+}
+
 // WriteJSON writes the trace in Chrome trace_event JSON object format.
 // The output loads directly in chrome://tracing and Perfetto. A nil
 // tracer writes an empty trace.
@@ -204,6 +210,5 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		file.TraceEvents = append(file.TraceEvents, t.events...)
 		t.mu.Unlock()
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(file)
+	return writeTraceFile(w, file)
 }

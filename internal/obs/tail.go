@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// TailSampler retains full span trees only for interesting requests —
+// the ones that erred, got shed, or landed in the latency tail — inside
+// a fixed-size FIFO ring, so trace memory stays bounded under a 10×
+// overload storm while the requests worth debugging are guaranteed to
+// be captured. The keep/drop decision belongs to the caller (the serve
+// layer knows its p99 and outcomes); the sampler enforces the cap and
+// renders what survived.
+
+// defaultTailCap is the retained-trace cap when none is given.
+const defaultTailCap = 256
+
+// TailSampler is safe for concurrent use; all methods are no-ops on a
+// nil receiver.
+type TailSampler struct {
+	mu       sync.Mutex
+	capacity int
+	traces   []*ReqTrace // FIFO, oldest first
+	retained uint64
+	dropped  uint64
+	evicted  uint64
+}
+
+// NewTailSampler creates a sampler retaining at most capacity traces
+// (<=0 selects the default, 256).
+func NewTailSampler(capacity int) *TailSampler {
+	if capacity <= 0 {
+		capacity = defaultTailCap
+	}
+	return &TailSampler{capacity: capacity}
+}
+
+// Offer hands the sampler a finished span tree. keep=false drops it
+// (counted); keep=true retains it, evicting the oldest retained trace
+// when the ring is full. Reports whether the trace was retained.
+func (s *TailSampler) Offer(rt *ReqTrace, keep bool) bool {
+	if s == nil {
+		return false
+	}
+	if rt == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !keep {
+		s.dropped++
+		return false
+	}
+	if len(s.traces) >= s.capacity {
+		n := copy(s.traces, s.traces[1:])
+		s.traces = s.traces[:n]
+		s.evicted++
+	}
+	s.traces = append(s.traces, rt)
+	s.retained++
+	return true
+}
+
+// Has reports whether a trace with the given ID is currently retained.
+func (s *TailSampler) Has(id uint64) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rt := range s.traces {
+		if rt.TraceID() == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of retained traces (0 on nil).
+func (s *TailSampler) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.traces)
+}
+
+// Cap returns the retention cap (0 on nil).
+func (s *TailSampler) Cap() int {
+	if s == nil {
+		return 0
+	}
+	return s.capacity
+}
+
+// Stats returns cumulative offered-and-kept, offered-and-dropped, and
+// evicted-after-retention counts (zeros on nil).
+func (s *TailSampler) Stats() (retained, dropped, evicted uint64) {
+	if s == nil {
+		return 0, 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retained, s.dropped, s.evicted
+}
+
+// Snapshot returns the retained traces, oldest first (nil on nil).
+func (s *TailSampler) Snapshot() []*ReqTrace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*ReqTrace(nil), s.traces...)
+}
+
+// Slowest returns up to n retained traces ordered by recorded latency,
+// slowest first (nil on nil).
+func (s *TailSampler) Slowest(n int) []*ReqTrace {
+	if s == nil {
+		return nil
+	}
+	if n <= 0 {
+		return nil
+	}
+	all := s.Snapshot()
+	sort.SliceStable(all, func(a, b int) bool { return all[a].Latency() > all[b].Latency() })
+	if len(all) > n {
+		all = all[:n]
+	}
+	return all
+}
+
+// WritePerfetto renders every retained span tree as Chrome trace_event
+// JSON (the format chrome://tracing and Perfetto load). Each subsystem
+// track becomes a thread row; spans become "X" slices, zero-duration
+// marks become "i" instants; every event's args carry the trace ID so
+// one request is findable across serve, comm, and exec tracks. A nil
+// sampler writes a loadable empty trace.
+//
+//hetvet:ignore nilguard a nil sampler must still emit a loadable empty trace, so nil is handled inline
+func (s *TailSampler) WritePerfetto(w io.Writer) error {
+	traces := s.Snapshot()
+	file := traceFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+	var epoch time.Time
+	for _, rt := range traces {
+		if st := rt.Start(); epoch.IsZero() || st.Before(epoch) {
+			epoch = st
+		}
+	}
+	tids := map[string]int{}
+	track := func(name string) int {
+		if tid, ok := tids[name]; ok {
+			return tid
+		}
+		tid := len(tids)
+		tids[name] = tid
+		file.TraceEvents = append(file.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", TID: tid,
+			Args: map[string]string{"name": name},
+		})
+		return tid
+	}
+	for _, rt := range traces {
+		base := float64(rt.Start().Sub(epoch)) / float64(time.Microsecond)
+		hex := FormatTraceID(rt.TraceID())
+		outcome := rt.Outcome()
+		for _, rec := range rt.Spans() {
+			args := map[string]string{"trace": hex,
+				"span": strconv.FormatUint(rec.Span, 10)}
+			if rec.Parent != 0 {
+				args["parent"] = strconv.FormatUint(rec.Parent, 10)
+			}
+			if rec.Note != "" {
+				args["note"] = rec.Note
+			}
+			if outcome != "" {
+				args["outcome"] = outcome
+			}
+			ts := base + float64(rec.Start)/float64(time.Microsecond)
+			if rec.Start == rec.End {
+				file.TraceEvents = append(file.TraceEvents, traceEvent{
+					Name: rec.Name, Ph: "i", TS: ts, TID: track(rec.Track),
+					Scope: "t", Args: args,
+				})
+				continue
+			}
+			file.TraceEvents = append(file.TraceEvents, traceEvent{
+				Name: rec.Name, Ph: "X", TS: ts,
+				Dur: float64(rec.End-rec.Start) / float64(time.Microsecond),
+				TID: track(rec.Track), Args: args,
+			})
+		}
+	}
+	return writeTraceFile(w, file)
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func newTestTrace(id uint64, outcome string, latency time.Duration) *ReqTrace {
+	rt := NewReqTrace(id, fakeClock(time.Millisecond))
+	rt.SetOutcome(outcome, latency)
+	return rt
+}
+
+func TestTailSamplerOffer(t *testing.T) {
+	s := NewTailSampler(2)
+	if s.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", s.Cap())
+	}
+	if s.Offer(nil, true) {
+		t.Fatal("nil trace must not be retained")
+	}
+	if s.Offer(newTestTrace(1, "served", time.Millisecond), false) {
+		t.Fatal("keep=false must not retain")
+	}
+	if !s.Offer(newTestTrace(2, "shed", 0), true) {
+		t.Fatal("keep=true should retain")
+	}
+	if !s.Offer(newTestTrace(3, "error", 0), true) {
+		t.Fatal("second keep should retain")
+	}
+	if !s.Has(2) || !s.Has(3) || s.Has(1) {
+		t.Fatalf("Has: got (2:%v 3:%v 1:%v), want (true true false)",
+			s.Has(2), s.Has(3), s.Has(1))
+	}
+	// At capacity the oldest retained trace is evicted, FIFO.
+	if !s.Offer(newTestTrace(4, "expired", 0), true) {
+		t.Fatal("keep at capacity should retain (evicting oldest)")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (cap enforced)", s.Len())
+	}
+	if s.Has(2) || !s.Has(3) || !s.Has(4) {
+		t.Fatal("eviction should drop the oldest retained trace (2)")
+	}
+	retained, dropped, evicted := s.Stats()
+	if retained != 3 || dropped != 1 || evicted != 1 {
+		t.Fatalf("Stats = (%d,%d,%d), want (3,1,1)", retained, dropped, evicted)
+	}
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0].TraceID() != 3 || snap[1].TraceID() != 4 {
+		t.Fatalf("Snapshot order wrong: %v", []uint64{snap[0].TraceID(), snap[1].TraceID()})
+	}
+}
+
+func TestTailSamplerSlowest(t *testing.T) {
+	s := NewTailSampler(8)
+	s.Offer(newTestTrace(1, "served", 5*time.Millisecond), true)
+	s.Offer(newTestTrace(2, "served", 50*time.Millisecond), true)
+	s.Offer(newTestTrace(3, "served", 20*time.Millisecond), true)
+	slow := s.Slowest(2)
+	if len(slow) != 2 || slow[0].TraceID() != 2 || slow[1].TraceID() != 3 {
+		t.Fatalf("Slowest(2) wrong order: got %d traces", len(slow))
+	}
+	if s.Slowest(0) != nil {
+		t.Fatal("Slowest(0) should be nil")
+	}
+}
+
+func TestTailSamplerDefaultCap(t *testing.T) {
+	if got := NewTailSampler(0).Cap(); got != defaultTailCap {
+		t.Fatalf("default Cap = %d, want %d", got, defaultTailCap)
+	}
+}
+
+func TestTailSamplerNil(t *testing.T) {
+	var s *TailSampler
+	if s.Offer(newTestTrace(1, "x", 0), true) {
+		t.Fatal("nil sampler must not retain")
+	}
+	if s.Len() != 0 || s.Cap() != 0 || s.Has(1) {
+		t.Fatal("nil sampler should report empty")
+	}
+	if s.Snapshot() != nil || s.Slowest(3) != nil {
+		t.Fatal("nil sampler should snapshot nil")
+	}
+	r, d, e := s.Stats()
+	if r != 0 || d != 0 || e != 0 {
+		t.Fatal("nil sampler stats should be zero")
+	}
+	// A nil sampler still writes a loadable (empty) Perfetto file.
+	var buf bytes.Buffer
+	if err := s.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("nil Perfetto export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(file.TraceEvents) != 0 {
+		t.Fatalf("nil export has %d events, want 0", len(file.TraceEvents))
+	}
+}
+
+func TestTailSamplerWritePerfetto(t *testing.T) {
+	clock := fakeClock(time.Millisecond)
+	rt := NewReqTrace(0xfeed, clock)
+	ctx := WithReqTrace(context.Background(), rt)
+	ctx, root := StartSpan(ctx, "serve", "request")
+	_, child := StartSpan(ctx, "comm", "plan")
+	child.End()
+	Mark(ctx, "exec", "retry", "peer 3")
+	root.End()
+	rt.SetOutcome("served", 12*time.Millisecond)
+
+	s := NewTailSampler(4)
+	s.Offer(rt, true)
+	var buf bytes.Buffer
+	if err := s.WritePerfetto(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name  string            `json:"name"`
+			Ph    string            `json:"ph"`
+			TID   int               `json:"tid"`
+			Args  map[string]string `json:"args"`
+			Dur   float64           `json:"dur"`
+			Scope string            `json:"s"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("Perfetto export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	kinds := map[string]int{}
+	var sawRetry, sawPlanParent, sawTraceArg bool
+	tracks := map[string]bool{}
+	for _, ev := range file.TraceEvents {
+		kinds[ev.Ph]++
+		switch ev.Ph {
+		case "M":
+			tracks[ev.Args["name"]] = true
+		case "i":
+			if ev.Name == "retry" && ev.Args["note"] == "peer 3" && ev.Scope == "t" {
+				sawRetry = true
+			}
+		case "X":
+			if ev.Args["trace"] == "000000000000feed" {
+				sawTraceArg = true
+			}
+			if ev.Name == "plan" && ev.Args["parent"] != "" {
+				sawPlanParent = true
+			}
+		}
+	}
+	if kinds["M"] == 0 || kinds["X"] == 0 || kinds["i"] == 0 {
+		t.Fatalf("export missing event kinds: %v", kinds)
+	}
+	if !tracks["serve"] || !tracks["comm"] || !tracks["exec"] {
+		t.Fatalf("export missing subsystem tracks: %v", tracks)
+	}
+	if !sawRetry {
+		t.Fatal("retry instant with note not found")
+	}
+	if !sawPlanParent {
+		t.Fatal("plan slice should carry its parent span ID")
+	}
+	if !sawTraceArg {
+		t.Fatal("slices should carry the 16-hex trace ID in args")
+	}
+}

@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNewTraceID(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatal("NewTraceID returned 0 (reserved for 'no trace')")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %x after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceIDWireForm(t *testing.T) {
+	if got := FormatTraceID(0); got != "" {
+		t.Fatalf("FormatTraceID(0) = %q, want empty", got)
+	}
+	if got := FormatTraceID(0xabc); got != "0000000000000abc" {
+		t.Fatalf("FormatTraceID(0xabc) = %q", got)
+	}
+	for _, id := range []uint64{1, 0xdeadbeef, ^uint64(0), NewTraceID()} {
+		s := FormatTraceID(id)
+		if len(s) != 16 {
+			t.Fatalf("FormatTraceID(%x) = %q, want 16 hex digits", id, s)
+		}
+		back, ok := ParseTraceID(s)
+		if !ok || back != id {
+			t.Fatalf("roundtrip %x -> %q -> (%x, %v)", id, s, back, ok)
+		}
+	}
+	// Short foreign IDs still parse; junk does not.
+	if id, ok := ParseTraceID("ff"); !ok || id != 0xff {
+		t.Fatalf(`ParseTraceID("ff") = (%x, %v), want (ff, true)`, id, ok)
+	}
+	for _, bad := range []string{"", "xyz", "00000000000000000", "0", "-1"} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Fatalf("ParseTraceID(%q) accepted, want rejected", bad)
+		}
+	}
+}
+
+func TestWithTrace(t *testing.T) {
+	if tc := TraceFrom(nil); tc.Valid() {
+		t.Fatal("nil ctx should carry no trace")
+	}
+	if tc := TraceFrom(context.Background()); tc.Valid() {
+		t.Fatal("bare ctx should carry no trace")
+	}
+	ctx := WithTrace(context.Background(), TraceContext{TraceID: 42, SpanID: 7})
+	tc := TraceFrom(ctx)
+	if !tc.Valid() || tc.TraceID != 42 || tc.SpanID != 7 {
+		t.Fatalf("TraceFrom = %+v, want {42 7}", tc)
+	}
+}
+
+func TestReqTraceSpanTree(t *testing.T) {
+	rt := NewReqTrace(99, fakeClock(time.Millisecond))
+	if rt.TraceID() != 99 {
+		t.Fatalf("TraceID = %d, want 99", rt.TraceID())
+	}
+	ctx := WithReqTrace(context.Background(), rt)
+	// WithReqTrace also binds the TraceContext so the ID is visible
+	// before any span opens.
+	if tc := TraceFrom(ctx); tc.TraceID != 99 {
+		t.Fatalf("ctx TraceID = %d, want 99", tc.TraceID)
+	}
+	if got := ReqTraceFrom(ctx); got != rt {
+		t.Fatal("ReqTraceFrom should return the bound trace")
+	}
+
+	ctx, root := StartSpan(ctx, "serve", "request")
+	cctx, child := StartSpan(ctx, "comm", "plan")
+	Mark(cctx, "comm", "cache_hit", "")
+	child.End()
+	root.End()
+
+	spans := rt.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Recorded in completion order: mark, child, root.
+	mark, childRec, rootRec := spans[0], spans[1], spans[2]
+	if rootRec.Name != "request" || rootRec.Parent != 0 {
+		t.Fatalf("root span = %+v, want name=request parent=0", rootRec)
+	}
+	if childRec.Name != "plan" || childRec.Parent != rootRec.Span {
+		t.Fatalf("child span = %+v, want parent=%d", childRec, rootRec.Span)
+	}
+	if mark.Name != "cache_hit" || mark.Parent != childRec.Span {
+		t.Fatalf("mark = %+v, want parent=%d", mark, childRec.Span)
+	}
+	if mark.Start != mark.End {
+		t.Fatal("a mark is an instant: Start must equal End")
+	}
+	if childRec.Start < rootRec.Start || childRec.End > rootRec.End {
+		t.Fatalf("child [%v,%v] should nest inside root [%v,%v]",
+			childRec.Start, childRec.End, rootRec.Start, rootRec.End)
+	}
+}
+
+func TestSliceSpan(t *testing.T) {
+	clock := fakeClock(time.Millisecond)
+	rt := NewReqTrace(5, clock)
+	ctx := WithReqTrace(context.Background(), rt)
+	start := rt.Start().Add(2 * time.Millisecond)
+	end := rt.Start().Add(9 * time.Millisecond)
+	SliceSpan(ctx, "serve", "queue_wait", start, end, "depth 12")
+	spans := rt.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Start != 2*time.Millisecond || sp.End != 9*time.Millisecond {
+		t.Fatalf("slice = [%v,%v], want [2ms,9ms]", sp.Start, sp.End)
+	}
+	if sp.Note != "depth 12" {
+		t.Fatalf("note = %q", sp.Note)
+	}
+}
+
+func TestReqTraceSpanCap(t *testing.T) {
+	rt := NewReqTrace(1, fakeClock(time.Microsecond))
+	ctx := WithReqTrace(context.Background(), rt)
+	for i := 0; i < maxReqSpans+50; i++ {
+		Mark(ctx, "exec", "retry", "")
+	}
+	if got := len(rt.Spans()); got != maxReqSpans {
+		t.Fatalf("retained %d spans, want cap %d", got, maxReqSpans)
+	}
+	if got := rt.Dropped(); got != 50 {
+		t.Fatalf("Dropped = %d, want 50", got)
+	}
+}
+
+func TestReqTraceOutcome(t *testing.T) {
+	rt := NewReqTrace(1, fakeClock(time.Millisecond))
+	if rt.Outcome() != "" || rt.Latency() != 0 {
+		t.Fatal("fresh trace should have no outcome")
+	}
+	rt.SetOutcome("shed", 3*time.Millisecond)
+	if rt.Outcome() != "shed" || rt.Latency() != 3*time.Millisecond {
+		t.Fatalf("outcome = (%q, %v)", rt.Outcome(), rt.Latency())
+	}
+}
+
+func TestReqTraceNilSafety(t *testing.T) {
+	var rt *ReqTrace
+	if rt.TraceID() != 0 || rt.Spans() != nil || rt.Dropped() != 0 {
+		t.Fatal("nil ReqTrace should be empty")
+	}
+	rt.SetOutcome("x", time.Second) // must not panic
+	if rt.Outcome() != "" || rt.Latency() != 0 {
+		t.Fatal("nil ReqTrace outcome should stay zero")
+	}
+	if !rt.Start().IsZero() {
+		t.Fatal("nil ReqTrace Start should be zero")
+	}
+	// A context without a ReqTrace makes every span call a no-op.
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "serve", "request")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartSpan without a ReqTrace should be a no-op")
+	}
+	sp.End()
+	sp.SetNote("ignored")
+	Mark(ctx, "serve", "x", "")
+	SliceSpan(ctx, "serve", "x", time.Now(), time.Now(), "")
+	if got := WithReqTrace(ctx, nil); got != ctx {
+		t.Fatal("WithReqTrace(nil) should return ctx unchanged")
+	}
+	if ReqTraceFrom(nil) != nil {
+		t.Fatal("ReqTraceFrom(nil ctx) should be nil")
+	}
+}
+
+// TestUntracedSpanZeroAlloc pins the untraced fast path: requests that
+// carry no ReqTrace must pay nothing for the instrumentation the traced
+// path enjoys.
+func TestUntracedSpanZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not exact under the race detector")
+	}
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(50, func() {
+		_, sp := StartSpan(ctx, "exec", "transfer")
+		sp.End()
+		Mark(ctx, "exec", "retry", "")
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced span path allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -1,8 +1,12 @@
 package serve
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -12,6 +16,7 @@ import (
 	"hetsched/internal/comm"
 	"hetsched/internal/directory"
 	"hetsched/internal/netmodel"
+	"hetsched/internal/obs"
 )
 
 // TestServeOverloadChaos is the X15 overload scenario (EXPERIMENTS.md)
@@ -46,7 +51,16 @@ func TestServeOverloadChaos(t *testing.T) {
 	}
 	var gen atomic.Uint64
 	gen.Store(1)
-	c, err := comm.New(6, source, comm.Config{})
+	// The observability surface rides the storm: the flight recorder is
+	// armed (and wired into the communicator, which triggers a dump when
+	// the injected outage degrades the health ladder), and the tail
+	// sampler's cap exceeds the storm size so every interesting request
+	// — shed, expired, errored, or tail-latency — must be retained.
+	dumpPath := filepath.Join(t.TempDir(), "serve-chaos-flight.dump")
+	flight := obs.NewFlightRecorder(2048, nil)
+	flight.SetDumpPath(dumpPath)
+	tail := obs.NewTailSampler(2048)
+	c, err := comm.New(6, source, comm.Config{Flight: flight})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,6 +72,8 @@ func TestServeOverloadChaos(t *testing.T) {
 		Queue:         4,
 		GenInterval:   5 * time.Millisecond,
 		MaxRetryAfter: time.Second,
+		Flight:        flight,
+		Tail:          tail,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -72,14 +88,14 @@ func TestServeOverloadChaos(t *testing.T) {
 	}
 
 	// Phase A: uncontended baseline p95 over cache-busting requests.
-	base, err := Dial(addr, 2*time.Second)
+	base, err := Dial(context.Background(), addr, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var baseLat []time.Duration
 	for i := 0; i < 30; i++ {
 		start := time.Now()
-		resp, err := base.Plan(mkReq(uint64(i), int64(1000+i)))
+		resp, err := base.Plan(context.Background(), mkReq(uint64(i), int64(1000+i)))
 		if err != nil || !resp.OK {
 			t.Fatalf("baseline request %d failed: %v %+v", i, err, resp)
 		}
@@ -100,6 +116,7 @@ func TestServeOverloadChaos(t *testing.T) {
 		coalesced, cached, nonFresh    int
 		lat                            []time.Duration
 		errs                           []error
+		interesting                    []string // trace IDs of shed/expired/drained responses
 	}
 	tallies := make([]tally, clients)
 	var wg sync.WaitGroup
@@ -109,7 +126,7 @@ func TestServeOverloadChaos(t *testing.T) {
 			defer wg.Done()
 			tl := &tallies[g]
 			rng := rand.New(rand.NewSource(int64(g)))
-			cl, err := Dial(addr, 2*time.Second)
+			cl, err := Dial(context.Background(), addr, 2*time.Second)
 			if err != nil {
 				tl.errs = append(tl.errs, err)
 				return
@@ -121,7 +138,7 @@ func TestServeOverloadChaos(t *testing.T) {
 					seed = int64(10_000 + g*perClient + k) // cache buster
 				}
 				start := time.Now()
-				resp, err := cl.Plan(mkReq(uint64(g*perClient+k), seed))
+				resp, err := cl.Plan(context.Background(), mkReq(uint64(g*perClient+k), seed))
 				if err != nil {
 					tl.errs = append(tl.errs, fmt.Errorf("client %d req %d: %w", g, k, err))
 					return
@@ -141,18 +158,21 @@ func TestServeOverloadChaos(t *testing.T) {
 					}
 				case directory.PlanShed:
 					tl.shed++
+					tl.interesting = append(tl.interesting, resp.Trace)
 					if resp.RetryAfterMS <= 0 {
 						tl.errs = append(tl.errs, fmt.Errorf("shed without retry-after: %+v", resp))
 						return
 					}
 				case directory.PlanExpired:
 					tl.expired++
+					tl.interesting = append(tl.interesting, resp.Trace)
 					if resp.RetryAfterMS <= 0 {
 						tl.errs = append(tl.errs, fmt.Errorf("expired without retry-after: %+v", resp))
 						return
 					}
 				case directory.PlanDraining:
 					tl.drained++
+					tl.interesting = append(tl.interesting, resp.Trace)
 				default:
 					tl.errs = append(tl.errs, fmt.Errorf("unexpected outcome: %+v", resp))
 					return
@@ -198,6 +218,7 @@ func TestServeOverloadChaos(t *testing.T) {
 		total.cached += tl.cached
 		total.nonFresh += tl.nonFresh
 		total.lat = append(total.lat, tl.lat...)
+		total.interesting = append(total.interesting, tl.interesting...)
 	}
 	if t.Failed() {
 		t.Fatal("client-side protocol violations above")
@@ -231,18 +252,69 @@ func TestServeOverloadChaos(t *testing.T) {
 		st := d.Snapshot()
 		return st.QueueDepth == 0 && st.InFlight == 0
 	})
-	cl, err := Dial(addr, 2*time.Second)
+	cl, err := Dial(context.Background(), addr, 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	resp, err := cl.Plan(mkReq(1, 424242))
+	resp, err := cl.Plan(context.Background(), mkReq(1, 424242))
 	if err != nil || !resp.OK || resp.Health != "ok" {
 		t.Fatalf("post-storm request not served fresh: %v %+v", err, resp)
 	}
 	if d.Health() != comm.HealthOK {
 		t.Fatalf("daemon health %v after recovery, want ok", d.Health())
 	}
+
+	// Tail sampling: every interesting request — the ones a post-mortem
+	// would ask about — must have its span tree retained, and the
+	// sampler must stay inside its fixed cap while doing so.
+	for _, hex := range total.interesting {
+		id, ok := obs.ParseTraceID(hex)
+		if !ok {
+			t.Fatalf("interesting response carried malformed trace ID %q", hex)
+		}
+		if !tail.Has(id) {
+			t.Fatalf("span tree for interesting trace %s not retained (%d retained of cap %d)",
+				hex, tail.Len(), tail.Cap())
+		}
+	}
+	if tail.Len() > tail.Cap() {
+		t.Fatalf("tail sampler holds %d traces over its cap %d", tail.Len(), tail.Cap())
+	}
+
+	// The mid-storm outage degraded the health ladder, which must have
+	// tripped an automatic flight-recorder dump.
+	if _, err := os.Stat(dumpPath); err != nil {
+		t.Fatalf("health degradation did not dump the flight recorder: %v", err)
+	}
+
+	// When the CI harness asks for artifacts, export the evidence: the
+	// flight ring, the Perfetto trace file, and the statusz snapshot.
+	if dir := os.Getenv("HETSCHED_CHAOS_ARTIFACTS"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		writeArtifact := func(name string, render func(w io.Writer) error) {
+			f, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := render(f); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		writeArtifact("serve-chaos-flight.dump", flight.Dump)
+		writeArtifact("serve-chaos-traces.json", tail.WritePerfetto)
+		writeArtifact("serve-chaos-statusz.txt", func(w io.Writer) error {
+			d.Statusz().RenderText(w)
+			return nil
+		})
+		t.Logf("chaos artifacts written to %s", dir)
+	}
+
 	st := d.Snapshot()
 	t.Logf("storm: sent=%d served=%d shed=%d expired=%d coalesced=%d cached=%d nonFresh=%d p95Base=%v p95Storm=%v",
 		sent, total.served, total.shed, total.expired, total.coalesced, total.cached,

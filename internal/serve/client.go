@@ -2,12 +2,14 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
 	"hetsched/internal/directory"
+	"hetsched/internal/obs"
 )
 
 // Client is a minimal plan-service client: one connection, one
@@ -26,12 +28,17 @@ type Client struct {
 }
 
 // Dial connects to a plan-service daemon. timeout bounds the dial and
-// each subsequent request round trip (0 selects 5s).
-func Dial(addr string, timeout time.Duration) (*Client, error) {
+// each subsequent request round trip (0 selects 5s); ctx can cut the
+// dial short and carries trace correlation for subsequent requests.
+func Dial(ctx context.Context, addr string, timeout time.Duration) (*Client, error) {
 	if timeout <= 0 {
 		timeout = 5 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dialer := net.Dialer{Timeout: timeout}
+	conn, err := dialer.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
 	}
@@ -41,24 +48,29 @@ func Dial(addr string, timeout time.Duration) (*Client, error) {
 }
 
 // Plan sends one plan request and waits for its response. The op field
-// is filled in; other fields are the caller's.
-func (c *Client) Plan(req directory.PlanRequest) (directory.PlanResponse, error) {
+// is filled in; other fields are the caller's. When ctx carries a
+// trace (obs.WithTrace) and the request has none, the trace ID rides
+// the wire so the daemon's telemetry correlates with the caller's.
+func (c *Client) Plan(ctx context.Context, req directory.PlanRequest) (directory.PlanResponse, error) {
 	if c == nil {
 		return directory.PlanResponse{}, fmt.Errorf("serve: nil client")
 	}
 	req.Op = directory.OpPlan
-	return c.roundTrip(req)
+	if req.Trace == "" {
+		req.Trace = obs.FormatTraceID(obs.TraceFrom(ctx).TraceID)
+	}
+	return c.roundTrip(ctx, req)
 }
 
 // Stats fetches the daemon's serving counters.
-func (c *Client) Stats() (directory.PlanResponse, error) {
+func (c *Client) Stats(ctx context.Context) (directory.PlanResponse, error) {
 	if c == nil {
 		return directory.PlanResponse{}, fmt.Errorf("serve: nil client")
 	}
-	return c.roundTrip(directory.PlanRequest{Op: directory.OpServeStats})
+	return c.roundTrip(ctx, directory.PlanRequest{Op: directory.OpServeStats})
 }
 
-func (c *Client) roundTrip(req directory.PlanRequest) (directory.PlanResponse, error) {
+func (c *Client) roundTrip(ctx context.Context, req directory.PlanRequest) (directory.PlanResponse, error) {
 	line, err := directory.EncodePlanRequest(req)
 	if err != nil {
 		return directory.PlanResponse{}, err
@@ -77,6 +89,12 @@ func (c *Client) roundTrip(req directory.PlanRequest) (directory.PlanResponse, e
 		return directory.PlanResponse{}, fmt.Errorf("serve: client is closed")
 	}
 	dl := c.clock().Add(budget)
+	if ctx != nil {
+		// A caller deadline tighter than the protocol budget wins.
+		if cd, ok := ctx.Deadline(); ok && cd.Before(dl) {
+			dl = cd
+		}
+	}
 	//hetvet:ignore lockio the mutex is the framing lock; see type comment
 	if err := c.conn.SetDeadline(dl); err != nil {
 		return directory.PlanResponse{}, err

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -24,6 +25,7 @@ type flightKey struct {
 // all race to resolve a flight, and the first result wins.
 type flight struct {
 	key      flightKey
+	ctx      context.Context // leader's context; carries the trace the worker records into
 	sizes    *model.Sizes
 	enqueued time.Time // admission time; queue wait is measured from it
 	deadline time.Time // leader's absolute deadline; CoDel checks it at dequeue
@@ -32,8 +34,8 @@ type flight struct {
 	resp     directory.PlanResponse // template; readable after done closes
 }
 
-func newFlight(key flightKey, sizes *model.Sizes, enqueued, deadline time.Time) *flight {
-	return &flight{key: key, sizes: sizes, enqueued: enqueued, deadline: deadline,
+func newFlight(ctx context.Context, key flightKey, sizes *model.Sizes, enqueued, deadline time.Time) *flight {
+	return &flight{key: key, ctx: ctx, sizes: sizes, enqueued: enqueued, deadline: deadline,
 		done: make(chan struct{})}
 }
 

@@ -44,14 +44,22 @@ func (e *costEstimator) observe(d time.Duration) {
 // p95 returns the 95th-percentile recent planning duration, or 0 when
 // no samples exist yet (a cold daemon expires nothing on estimates it
 // does not have). Callers synchronize.
-func (e *costEstimator) p95() time.Duration {
+func (e *costEstimator) p95() time.Duration { return e.quantile(95) }
+
+// p99 returns the 99th-percentile recent planning duration — the tail
+// sampler's "slow request" threshold. Callers synchronize.
+func (e *costEstimator) p99() time.Duration { return e.quantile(99) }
+
+// quantile returns the q-th percentile (nearest-rank) recent planning
+// duration, or 0 when no samples exist yet. Callers synchronize.
+func (e *costEstimator) quantile(q int) time.Duration {
 	if e.n == 0 {
 		return 0
 	}
 	scratch := make([]time.Duration, e.n)
 	copy(scratch, e.ring[:e.n])
 	sort.Slice(scratch, func(i, j int) bool { return scratch[i] < scratch[j] })
-	k := (95*e.n + 99) / 100 // ceil(0.95·n), 1-based rank
+	k := (q*e.n + 99) / 100 // ceil(q·n/100), 1-based rank
 	if k < 1 {
 		k = 1
 	}

@@ -10,14 +10,16 @@ import (
 // just to find them. Declared in obs/families.go with the rest of the
 // canonical surface.
 const (
-	MetricServeConns      = obs.MetricServeConns
-	MetricServeRequests   = obs.MetricServeRequests
-	MetricServeCoalesced  = obs.MetricServeCoalesced
-	MetricServeCacheHits  = obs.MetricServeCacheHits
-	MetricServeQueueDepth = obs.MetricServeQueueDepth
-	MetricServeInFlight   = obs.MetricServeInFlight
-	MetricServeQueueWait  = obs.MetricServeQueueWait
-	MetricServeLatency    = obs.MetricServeLatency
+	MetricServeConns        = obs.MetricServeConns
+	MetricServeRequests     = obs.MetricServeRequests
+	MetricServeCoalesced    = obs.MetricServeCoalesced
+	MetricServeCacheHits    = obs.MetricServeCacheHits
+	MetricServeQueueDepth   = obs.MetricServeQueueDepth
+	MetricServeInFlight     = obs.MetricServeInFlight
+	MetricServeQueueWait    = obs.MetricServeQueueWait
+	MetricServeLatency      = obs.MetricServeLatency
+	MetricServeTailRetained = obs.MetricServeTailRetained
+	MetricServeTailDropped  = obs.MetricServeTailDropped
 )
 
 // telemetry is the daemon's metric/trace surface. Every obs primitive
@@ -64,10 +66,21 @@ func (t telemetry) queueWait(d time.Duration) {
 		obs.DurationBuckets).Observe(d.Seconds())
 }
 
-func (t telemetry) latency(d time.Duration) {
+func (t telemetry) latency(d time.Duration, trace uint64) {
 	t.m.Histogram(MetricServeLatency,
 		"End-to-end latency of served plan requests.",
-		obs.DurationBuckets).Observe(d.Seconds())
+		obs.DurationBuckets).ObserveExemplar(d.Seconds(), trace)
+}
+
+func (t telemetry) tailRetained(reason string) {
+	t.m.Counter(MetricServeTailRetained,
+		"Request span trees retained by the tail sampler, by reason.",
+		obs.L("reason", reason)).Inc()
+}
+
+func (t telemetry) tailDropped() {
+	t.m.Counter(MetricServeTailDropped,
+		"Request span trees dropped by the tail sampler as uninteresting.").Inc()
 }
 
 func (t telemetry) beginPlan() *obs.Span {

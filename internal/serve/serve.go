@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -61,6 +62,17 @@ type Config struct {
 	// Metrics and Tracer receive serve telemetry; both may be nil.
 	Metrics *obs.Registry
 	Tracer  *obs.Tracer
+	// Flight, when set, receives structured flight-recorder events for
+	// every request outcome — the always-on post-mortem ring.
+	Flight *obs.FlightRecorder
+	// Tail, when set, arms request-scoped span tracing: every request
+	// gets a span tree, and trees whose request erred, was shed or
+	// expired, or ran past the estimator's p99 are retained in the
+	// sampler. Nil disables per-request tracing entirely.
+	Tail *obs.TailSampler
+	// TailAll retains every span tree regardless of outcome (tests,
+	// short debugging sessions); the sampler cap still bounds memory.
+	TailAll bool
 }
 
 func (cfg Config) withDefaults() Config {
@@ -134,6 +146,8 @@ type Daemon struct {
 // NewDaemon builds a daemon over an existing communicator (which
 // carries the directory source and fallback ladder) and starts its
 // workers. gen may be nil for static tables.
+//
+//hetvet:ignore tracectx process-lifetime worker pool; requests carry their ctx through Plan, not construction
 func NewDaemon(c *comm.Communicator, gen GenFunc, cfg Config) (*Daemon, error) {
 	if c == nil {
 		return nil, fmt.Errorf("serve: NewDaemon needs a communicator")
@@ -160,20 +174,102 @@ func NewDaemon(c *comm.Communicator, gen GenFunc, cfg Config) (*Daemon, error) {
 // Plan resolves one plan request. It never blocks past the request's
 // deadline and never returns an error: every outcome is a response
 // shape — served (possibly coalesced or cached), shed with
-// retry-after, expired, draining, or rejected with a reason.
-func (d *Daemon) Plan(req directory.PlanRequest) directory.PlanResponse {
+// retry-after, expired, draining, or rejected with a reason. ctx
+// carries the request's trace correlation (obs.TraceContext); when the
+// daemon's tail sampler is armed, a span tree is recorded for the
+// request and retained if the outcome is interesting.
+func (d *Daemon) Plan(ctx context.Context, req directory.PlanRequest) directory.PlanResponse {
 	if d == nil {
 		return directory.PlanResponse{ID: req.ID, Status: directory.PlanDraining,
 			Error: "serve: nil daemon"}
 	}
 	start := d.cfg.Clock()
+	ctx, rt, root := d.beginRequest(ctx, req.Trace)
+	return d.endRequest(ctx, rt, root, d.plan(ctx, req, start), start)
+}
+
+// beginRequest resolves the request's trace ID (context first, then the
+// wire field, then a fresh ID when the tail sampler is armed) and, when
+// tracing, opens the root "request" span. With no sampler armed it only
+// binds the trace ID so exemplars and flight events still correlate.
+func (d *Daemon) beginRequest(ctx context.Context, wire string) (context.Context, *obs.ReqTrace, *obs.ReqSpan) {
+	id := obs.TraceFrom(ctx).TraceID
+	if id == 0 {
+		id, _ = obs.ParseTraceID(wire)
+	}
+	if d.cfg.Tail == nil {
+		if id != 0 {
+			ctx = obs.WithTrace(ctx, obs.TraceContext{TraceID: id})
+		}
+		return ctx, nil, nil
+	}
+	rt := obs.NewReqTrace(id, d.cfg.Clock)
+	ctx = obs.WithReqTrace(ctx, rt)
+	ctx, root := obs.StartSpan(ctx, "serve", "request")
+	return ctx, rt, root
+}
+
+// endRequest is the request's observability epilogue: it stamps the
+// trace ID on the response and, when tracing, closes the root span and
+// offers the span tree to the tail sampler.
+func (d *Daemon) endRequest(ctx context.Context, rt *obs.ReqTrace, root *obs.ReqSpan,
+	resp directory.PlanResponse, start time.Time) directory.PlanResponse {
+	if id := obs.TraceFrom(ctx).TraceID; id != 0 {
+		resp.Trace = obs.FormatTraceID(id)
+	}
+	if rt == nil {
+		return resp
+	}
+	outcome := outcomeOf(resp)
+	latency := d.cfg.Clock().Sub(start)
+	root.SetNote(outcome)
+	root.End()
+	rt.SetOutcome(outcome, latency)
+	keep, reason := d.tailDecision(resp, latency)
+	if d.cfg.Tail.Offer(rt, keep) {
+		d.tel.tailRetained(reason)
+	} else {
+		d.tel.tailDropped()
+	}
+	return resp
+}
+
+// tailDecision implements the tail-sampling policy: keep every errored,
+// shed, expired, or draining request, every served request slower than
+// the estimator's p99 planning cost, and (under TailAll) everything.
+func (d *Daemon) tailDecision(resp directory.PlanResponse, latency time.Duration) (keep bool, reason string) {
+	switch {
+	case resp.Error != "":
+		return true, "error"
+	case resp.Status == directory.PlanShed:
+		return true, "shed"
+	case resp.Status == directory.PlanExpired:
+		return true, "expired"
+	case resp.Status == directory.PlanDraining:
+		return true, "draining"
+	}
+	d.mu.Lock()
+	p99 := d.est.p99()
+	d.mu.Unlock()
+	if p99 > 0 && latency > p99 {
+		return true, "slow"
+	}
+	if d.cfg.TailAll {
+		return true, "all"
+	}
+	return false, ""
+}
+
+// plan is the admission state machine behind Plan; every exit runs
+// through finish.
+func (d *Daemon) plan(ctx context.Context, req directory.PlanRequest, start time.Time) directory.PlanResponse {
 	sizes, hash, err := materialize(req, d.cfg.MaxP)
 	if err == nil && sizes.N() != d.comm.N() {
 		err = fmt.Errorf("serve: daemon plans for %d processors, request describes %d",
 			d.comm.N(), sizes.N())
 	}
 	if err != nil {
-		return d.finish(directory.PlanResponse{ID: req.ID, Error: err.Error()}, start)
+		return d.finish(ctx, directory.PlanResponse{ID: req.ID, Error: err.Error()}, start)
 	}
 	deadline := start.Add(d.budget(req))
 	d.maybeRefreshGen(start)
@@ -182,7 +278,7 @@ func (d *Daemon) Plan(req directory.PlanRequest) directory.PlanResponse {
 	if d.draining {
 		ra := d.cfg.DrainTimeout
 		d.mu.Unlock()
-		return d.finish(directory.PlanResponse{ID: req.ID, Status: directory.PlanDraining,
+		return d.finish(ctx, directory.PlanResponse{ID: req.ID, Status: directory.PlanDraining,
 			RetryAfterMS: int64(ra / time.Millisecond)}, start)
 	}
 	key := flightKey{hash: hash, gen: d.curGen}
@@ -191,19 +287,21 @@ func (d *Daemon) Plan(req directory.PlanRequest) directory.PlanResponse {
 		d.stats.CacheHits++
 		d.mu.Unlock()
 		d.tel.cacheHit()
+		obs.Mark(ctx, "serve", "cache_hit", "")
 		resp.ID = req.ID
 		resp.Cached = true
 		resp.QueueWaitMS = 0
-		return d.finish(resp, start)
+		return d.finish(ctx, resp, start)
 	}
 	if fl, ok := d.flights[key]; ok {
 		d.stats.Admitted++
 		d.stats.Coalesced++
 		d.mu.Unlock()
 		d.tel.coalescedHit()
-		return d.await(fl, req.ID, deadline, true, start)
+		obs.Mark(ctx, "serve", "coalesce", "")
+		return d.await(ctx, fl, req.ID, deadline, true, start)
 	}
-	fl := newFlight(key, sizes, start, deadline)
+	fl := newFlight(ctx, key, sizes, start, deadline)
 	d.flights[key] = fl
 	admitted := false
 	//hetvet:ignore lockio non-blocking admission gate; the send cannot stall while the lock is held
@@ -216,14 +314,14 @@ func (d *Daemon) Plan(req directory.PlanRequest) directory.PlanResponse {
 		delete(d.flights, key)
 		ra := d.retryAfterLocked()
 		d.mu.Unlock()
-		return d.finish(directory.PlanResponse{ID: req.ID, Status: directory.PlanShed,
+		return d.finish(ctx, directory.PlanResponse{ID: req.ID, Status: directory.PlanShed,
 			RetryAfterMS: int64(ra / time.Millisecond)}, start)
 	}
 	d.stats.Admitted++
 	depth := len(d.tasks)
 	d.mu.Unlock()
 	d.tel.queueDepth(depth)
-	return d.await(fl, req.ID, deadline, false, start)
+	return d.await(ctx, fl, req.ID, deadline, false, start)
 }
 
 // budget clamps the client-supplied deadline into the daemon's window.
@@ -243,7 +341,7 @@ func (d *Daemon) budget(req directory.PlanRequest) time.Duration {
 // Followers coalesced onto a flight keep their own deadlines: a
 // short-deadline follower can expire while the flight is still worth
 // finishing for its leader.
-func (d *Daemon) await(fl *flight, id uint64, deadline time.Time, coalesced bool, start time.Time) directory.PlanResponse {
+func (d *Daemon) await(ctx context.Context, fl *flight, id uint64, deadline time.Time, coalesced bool, start time.Time) directory.PlanResponse {
 	wait := deadline.Sub(d.cfg.Clock())
 	var timeout <-chan time.Time
 	if wait > 0 {
@@ -254,7 +352,7 @@ func (d *Daemon) await(fl *flight, id uint64, deadline time.Time, coalesced bool
 		select {
 		case <-fl.done:
 		default:
-			return d.finish(d.expired(id), start)
+			return d.finish(ctx, d.expired(id), start)
 		}
 	}
 	select {
@@ -262,9 +360,9 @@ func (d *Daemon) await(fl *flight, id uint64, deadline time.Time, coalesced bool
 		resp := fl.resp
 		resp.ID = id
 		resp.Coalesced = coalesced
-		return d.finish(resp, start)
+		return d.finish(ctx, resp, start)
 	case <-timeout:
-		return d.finish(d.expired(id), start)
+		return d.finish(ctx, d.expired(id), start)
 	}
 }
 
@@ -298,9 +396,9 @@ func (d *Daemon) retryAfterLocked() time.Duration {
 }
 
 // finish is the single exit point for every request: it folds the
-// outcome into the stats and metric surface, then returns the response
-// unchanged.
-func (d *Daemon) finish(resp directory.PlanResponse, start time.Time) directory.PlanResponse {
+// outcome into the stats, metric, and flight-recorder surfaces, then
+// returns the response unchanged.
+func (d *Daemon) finish(ctx context.Context, resp directory.PlanResponse, start time.Time) directory.PlanResponse {
 	d.mu.Lock()
 	switch resp.Status {
 	case directory.PlanServed:
@@ -322,12 +420,27 @@ func (d *Daemon) finish(resp directory.PlanResponse, start time.Time) directory.
 	default:
 		d.stats.Rejected++
 	}
+	depth := len(d.tasks)
 	d.mu.Unlock()
+	trace := obs.TraceFrom(ctx).TraceID
+	latency := d.cfg.Clock().Sub(start)
 	d.tel.outcome(outcomeOf(resp))
 	if resp.Status == directory.PlanServed {
-		d.tel.latency(d.cfg.Clock().Sub(start))
+		d.tel.latency(latency, trace)
 	}
+	d.cfg.Flight.Record("serve", flightEventOf(resp),
+		trace, int64(latency/time.Microsecond), int64(depth))
 	return resp
+}
+
+// flightEventOf maps a response to its constant flight-recorder event
+// name (constants only: the record path must not concatenate strings).
+func flightEventOf(resp directory.PlanResponse) string {
+	switch resp.Status {
+	case directory.PlanServed, directory.PlanShed, directory.PlanExpired, directory.PlanDraining:
+		return resp.Status
+	}
+	return "rejected"
 }
 
 // outcomeOf maps a response to its metric outcome label.
@@ -394,6 +507,7 @@ func (d *Daemon) work(fl *flight) {
 	now := d.cfg.Clock()
 	qwait := now.Sub(fl.enqueued)
 	d.tel.queueWait(qwait)
+	obs.SliceSpan(fl.ctx, "serve", "queue_wait", fl.enqueued, now, "")
 	d.mu.Lock()
 	depth := len(d.tasks)
 	est := d.est.p95()
@@ -403,6 +517,7 @@ func (d *Daemon) work(fl *flight) {
 		ra := d.retryAfterLocked()
 		d.mu.Unlock()
 		d.tel.queueDepth(depth)
+		obs.Mark(fl.ctx, "serve", "codel_expired", "")
 		fl.complete(directory.PlanResponse{Status: directory.PlanExpired,
 			RetryAfterMS: int64(ra / time.Millisecond)})
 		return
@@ -414,8 +529,10 @@ func (d *Daemon) work(fl *flight) {
 	d.tel.inFlight(flight)
 
 	span := d.tel.beginPlan()
-	r, h, err := d.comm.AllToAllHealth(fl.sizes)
+	ctx, psp := obs.StartSpan(fl.ctx, "serve", "plan")
+	r, h, err := d.comm.AllToAllHealthCtx(ctx, fl.sizes)
 	dur := d.cfg.Clock().Sub(now)
+	psp.End()
 	span.End()
 
 	var resp directory.PlanResponse
@@ -460,6 +577,8 @@ func (d *Daemon) work(fl *flight) {
 // request is ever silently dropped. Returns the number of requests
 // force-answered. Safe to call more than once; later calls also wait
 // for the drain to finish.
+//
+//hetvet:ignore tracectx drain is process teardown, not request work; no trace exists to thread
 func (d *Daemon) Shutdown() int {
 	if d == nil {
 		return 0

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -59,7 +60,7 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 
 func TestDaemonServesPlan(t *testing.T) {
 	d := newTestDaemon(t, 4, okSource(4), func() (uint64, error) { return 3, nil }, Config{})
-	resp := d.Plan(directory.PlanRequest{ID: 7, P: 4, Kind: directory.PatternUniform, Bytes: 1024})
+	resp := d.Plan(context.Background(), directory.PlanRequest{ID: 7, P: 4, Kind: directory.PatternUniform, Bytes: 1024})
 	if !resp.OK || resp.Status != directory.PlanServed {
 		t.Fatalf("plan not served: %+v", resp)
 	}
@@ -88,11 +89,11 @@ func TestDaemonCacheAndGenerationInvalidation(t *testing.T) {
 		Config{GenInterval: time.Nanosecond}) // probe on every request
 	req := directory.PlanRequest{P: 4, Kind: directory.PatternRandom, Bytes: 2048, Seed: 5}
 
-	first := d.Plan(req)
+	first := d.Plan(context.Background(), req)
 	if !first.OK || first.Cached {
 		t.Fatalf("first plan should be computed fresh: %+v", first)
 	}
-	second := d.Plan(req)
+	second := d.Plan(context.Background(), req)
 	if !second.OK || !second.Cached {
 		t.Fatalf("identical request under the same generation should hit the cache: %+v", second)
 	}
@@ -101,7 +102,7 @@ func TestDaemonCacheAndGenerationInvalidation(t *testing.T) {
 	}
 
 	gen.Store(2) // directory snapshot changed
-	third := d.Plan(req)
+	third := d.Plan(context.Background(), req)
 	if !third.OK || third.Cached {
 		t.Fatalf("generation change must invalidate the cache: %+v", third)
 	}
@@ -138,7 +139,7 @@ func TestDaemonCoalescesDuplicates(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resps[i] = d.Plan(req)
+			resps[i] = d.Plan(context.Background(), req)
 		}(i)
 	}
 	// Release the gated plan only once every duplicate has attached.
@@ -189,13 +190,13 @@ func TestDaemonShedsWhenQueueFull(t *testing.T) {
 	var wg sync.WaitGroup
 	var leaderResp, queuedResp directory.PlanResponse
 	wg.Add(1)
-	go func() { defer wg.Done(); leaderResp = d.Plan(mkReq(1)) }()
+	go func() { defer wg.Done(); leaderResp = d.Plan(context.Background(), mkReq(1)) }()
 	waitFor(t, "leader to occupy the worker", func() bool { return d.Snapshot().InFlight == 1 })
 	wg.Add(1)
-	go func() { defer wg.Done(); queuedResp = d.Plan(mkReq(2)) }()
+	go func() { defer wg.Done(); queuedResp = d.Plan(context.Background(), mkReq(2)) }()
 	waitFor(t, "second request to fill the queue", func() bool { return d.Snapshot().QueueDepth == 1 })
 
-	shed := d.Plan(mkReq(3))
+	shed := d.Plan(context.Background(), mkReq(3))
 	if shed.OK || shed.Status != directory.PlanShed {
 		t.Fatalf("expected shed, got %+v", shed)
 	}
@@ -231,13 +232,13 @@ func TestDaemonExpiresPastDeadline(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		leaderResp = d.Plan(directory.PlanRequest{P: 4, Kind: directory.PatternRandom,
+		leaderResp = d.Plan(context.Background(), directory.PlanRequest{P: 4, Kind: directory.PatternRandom,
 			Seed: 1, DeadlineMS: 5000})
 	}()
 	waitFor(t, "leader to occupy the worker", func() bool { return d.Snapshot().InFlight == 1 })
 
 	// 1ms of budget cannot survive a pinned worker.
-	doomed := d.Plan(directory.PlanRequest{P: 4, Kind: directory.PatternRandom,
+	doomed := d.Plan(context.Background(), directory.PlanRequest{P: 4, Kind: directory.PatternRandom,
 		Seed: 2, DeadlineMS: 1})
 	if doomed.OK || doomed.Status != directory.PlanExpired {
 		t.Fatalf("expected expired, got %+v", doomed)
@@ -273,7 +274,7 @@ func TestDaemonDrainAnswersEverything(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resps[i] = d.Plan(directory.PlanRequest{P: 4, Kind: directory.PatternRandom,
+			resps[i] = d.Plan(context.Background(), directory.PlanRequest{P: 4, Kind: directory.PatternRandom,
 				Seed: int64(i), DeadlineMS: 30000})
 		}(i)
 	}
@@ -315,7 +316,7 @@ func TestDaemonDrainAnswersEverything(t *testing.T) {
 		t.Fatalf("served %d drained %d, want 1 and %d", servedCnt, drainedCnt, queued)
 	}
 
-	after := d.Plan(directory.PlanRequest{P: 4, Kind: directory.PatternUniform})
+	after := d.Plan(context.Background(), directory.PlanRequest{P: 4, Kind: directory.PatternUniform})
 	if after.Status != directory.PlanDraining {
 		t.Fatalf("post-drain request got %+v", after)
 	}
@@ -329,7 +330,7 @@ func TestDaemonDrainAnswersEverything(t *testing.T) {
 // not-even-constructed case.
 func TestNilDaemonFailsClosed(t *testing.T) {
 	var d *Daemon
-	resp := d.Plan(directory.PlanRequest{P: 4})
+	resp := d.Plan(context.Background(), directory.PlanRequest{P: 4})
 	if resp.Status != directory.PlanDraining || resp.Error == "" {
 		t.Fatalf("nil daemon plan: %+v", resp)
 	}
@@ -355,7 +356,7 @@ func TestDaemonRejectsBadRequests(t *testing.T) {
 		{P: 4, Kind: "mystery"},                // unknown pattern
 	}
 	for i, req := range cases {
-		resp := d.Plan(req)
+		resp := d.Plan(context.Background(), req)
 		if resp.OK || resp.Error == "" {
 			t.Fatalf("case %d: expected a rejection, got %+v", i, resp)
 		}
@@ -403,7 +404,7 @@ func TestDaemonConcurrentMixedLoad(t *testing.T) {
 				if g == 0 && k%5 == 0 {
 					gen.Add(1)
 				}
-				resp := d.Plan(directory.PlanRequest{P: 4, Kind: directory.PatternRandom,
+				resp := d.Plan(context.Background(), directory.PlanRequest{P: 4, Kind: directory.PatternRandom,
 					Seed: int64(k % 4), DeadlineMS: 2000})
 				switch resp.Status {
 				case directory.PlanServed, directory.PlanShed, directory.PlanExpired:

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -65,7 +66,10 @@ func NewServer(d *Daemon, cfg ServerConfig) *Server {
 }
 
 // Listen binds addr and starts accepting; it returns the bound address
-// (useful with ":0") without blocking.
+// (useful with ":0") without blocking. Traces arrive per request on
+// the wire (PlanRequest.Trace), not at bind time.
+//
+//hetvet:ignore tracectx the accept loop outlives any request; traces ride the wire protocol instead
 func (s *Server) Listen(addr string) (string, error) {
 	if s == nil {
 		return "", fmt.Errorf("serve: nil server")
@@ -170,7 +174,9 @@ func (s *Server) handle(line []byte) directory.PlanResponse {
 	}
 	switch req.Op {
 	case directory.OpPlan:
-		return s.daemon.Plan(req)
+		// The wire carries the trace ID (req.Trace); the daemon binds it
+		// onto the context in beginRequest.
+		return s.daemon.Plan(context.Background(), req)
 	case directory.OpServeStats:
 		resp := s.daemon.StatsResponse()
 		resp.ID = req.ID

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -24,13 +25,13 @@ func startTestServer(t *testing.T, d *Daemon, cfg ServerConfig) (*Server, string
 func TestServerRoundTrip(t *testing.T) {
 	d := newTestDaemon(t, 4, okSource(4), func() (uint64, error) { return 9, nil }, Config{})
 	_, addr := startTestServer(t, d, ServerConfig{})
-	c, err := Dial(addr, time.Second)
+	c, err := Dial(context.Background(), addr, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
 
-	resp, err := c.Plan(directory.PlanRequest{ID: 11, P: 4, Kind: directory.PatternUniform,
+	resp, err := c.Plan(context.Background(), directory.PlanRequest{ID: 11, P: 4, Kind: directory.PatternUniform,
 		Bytes: 2048, DeadlineMS: 2000})
 	if err != nil {
 		t.Fatal(err)
@@ -42,7 +43,7 @@ func TestServerRoundTrip(t *testing.T) {
 		t.Fatalf("served payload wrong: %+v", resp)
 	}
 
-	stats, err := c.Stats()
+	stats, err := c.Stats(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,12 +97,12 @@ func TestServerRejectsUnknownOpAndGarbage(t *testing.T) {
 func TestServerDrainServesConnectedClient(t *testing.T) {
 	d := newTestDaemon(t, 4, okSource(4), nil, Config{DrainTimeout: 100 * time.Millisecond})
 	s, addr := startTestServer(t, d, ServerConfig{})
-	c, err := Dial(addr, time.Second)
+	c, err := Dial(context.Background(), addr, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if resp, err := c.Plan(directory.PlanRequest{P: 4, Kind: directory.PatternUniform,
+	if resp, err := c.Plan(context.Background(), directory.PlanRequest{P: 4, Kind: directory.PatternUniform,
 		DeadlineMS: 2000}); err != nil || !resp.OK {
 		t.Fatalf("pre-drain request failed: %v %+v", err, resp)
 	}
@@ -114,7 +115,7 @@ func TestServerDrainServesConnectedClient(t *testing.T) {
 	// clean connection teardown once the server finished — never a hang.
 	deadline := time.Now().Add(3 * time.Second)
 	for time.Now().Before(deadline) {
-		resp, err := c.Plan(directory.PlanRequest{P: 4, Kind: directory.PatternUniform,
+		resp, err := c.Plan(context.Background(), directory.PlanRequest{P: 4, Kind: directory.PatternUniform,
 			DeadlineMS: 200})
 		if err != nil {
 			break // server wound the connection down; drain is finishing
@@ -129,7 +130,7 @@ func TestServerDrainServesConnectedClient(t *testing.T) {
 	if err := <-drained; err != nil {
 		t.Fatalf("drain: %v", err)
 	}
-	if _, err := Dial(addr, 200*time.Millisecond); err == nil {
+	if _, err := Dial(context.Background(), addr, 200*time.Millisecond); err == nil {
 		t.Fatal("dial succeeded after drain")
 	}
 }

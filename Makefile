@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race race-short chaos exec-chaos serve-chaos obs-chaos ci bench bench-json cover figures examples clean
+.PHONY: all build test vet lint lint-escapes race race-short chaos exec-chaos serve-chaos obs-chaos ci bench bench-json cover figures examples clean
 
 all: build lint test
 
@@ -18,9 +18,17 @@ vet:
 	$(GO) vet ./...
 
 # lint is go vet followed by hetvet, the project-specific checker suite
-# (nilguard, determinism, lockio, errdiscard, tracectx — see DESIGN.md §9).
+# (nilguard, determinism, lockio, errdiscard, tracectx, goleak,
+# lockorder, hotpath — see DESIGN.md §9).
 lint: vet
 	$(GO) run ./cmd/hetvet ./...
+
+# The compiler's escape analysis cross-checked against the
+# //hetvet:hotpath regions (DESIGN.md §11): rebuilds the module with
+# -gcflags=-m and fails on any escaping allocation in the hot set.
+# Slower than lint (go build -a); CI's lint job runs it on every push.
+lint-escapes:
+	$(GO) run ./cmd/hetvet -checks=hotpath -escapes ./...
 
 test:
 	$(GO) test ./...

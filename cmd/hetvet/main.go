@@ -1,16 +1,21 @@
-// Command hetvet runs the project's static-analysis suite: four
-// checkers enforcing the repo's concurrency, determinism, and telemetry
-// invariants (see internal/analysis and DESIGN.md §9).
+// Command hetvet runs the project's static-analysis suite: eight
+// checkers enforcing the repo's concurrency, determinism, telemetry,
+// and zero-allocation invariants (see internal/analysis and DESIGN.md
+// §9).
 //
 // Usage:
 //
-//	hetvet [-json] [packages]
+//	hetvet [-json] [-checks=name,name] [-escapes] [packages]
 //
 // Packages default to ./... and are resolved against the enclosing
-// module. Exit status: 0 when clean, 1 when findings were reported,
-// 2 on usage or load errors. With -json each diagnostic is one JSON
-// object per line ({"file","line","col","check","message"}), the form
-// CI annotations and tooling consume; the default output is
+// module. -checks selects a subset of the suite by name (-list prints
+// the names); an unknown name is a usage error. -escapes cross-checks
+// the compiler's escape analysis against the //hetvet:hotpath regions
+// and requires the hotpath check to be selected. Exit status: 0 when
+// clean, 1 when findings were reported, 2 on usage or load errors.
+// With -json each diagnostic is one JSON object per line
+// ({"file","line","col","check","message"}), the form CI annotations
+// and tooling consume; the default output is
 // "file:line: [check] message".
 package main
 
@@ -19,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"hetsched/internal/analysis"
 )
@@ -31,9 +38,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("hetvet", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	jsonOut := flags.Bool("json", false, "emit one JSON diagnostic per line")
-	list := flags.Bool("checks", false, "list the checks and exit")
+	list := flags.Bool("list", false, "list the checks and exit")
+	checks := flags.String("checks", "", "comma-separated check names to run (default: all)")
+	escapes := flags.Bool("escapes", false, "cross-check compiler escape analysis over //hetvet:hotpath regions")
 	flags.Usage = func() {
-		fmt.Fprintln(stderr, "usage: hetvet [-json] [-checks] [packages]")
+		fmt.Fprintln(stderr, "usage: hetvet [-json] [-list] [-checks=name,name] [-escapes] [packages]")
 		flags.PrintDefaults()
 	}
 	if err := flags.Parse(args); err != nil {
@@ -44,6 +53,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-12s %s\n", c.Name(), c.Desc())
 		}
 		return 0
+	}
+	checkers, err := selectCheckers(*checks)
+	if err != nil {
+		fmt.Fprintln(stderr, "hetvet:", err)
+		return 2
+	}
+	if *escapes && !hasChecker(checkers, "hotpath") {
+		fmt.Fprintln(stderr, "hetvet: -escapes needs the hotpath check selected (it cross-checks hotpath's regions)")
+		return 2
 	}
 	cwd, err := os.Getwd()
 	if err != nil {
@@ -61,7 +79,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "hetvet:", err)
 		return 2
 	}
-	diags := analysis.Run(pkgs, analysis.DefaultCheckers(), root)
+	diags := analysis.Run(pkgs, checkers, root)
+	if *escapes {
+		esc, err := analysis.EscapeDiagnostics("go", root, analysis.HotRegions(pkgs))
+		if err != nil {
+			fmt.Fprintln(stderr, "hetvet:", err)
+			return 2
+		}
+		for i := range esc {
+			if rel, err := filepath.Rel(root, esc[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+				esc[i].File = filepath.ToSlash(rel)
+			}
+		}
+		diags = append(diags, esc...)
+	}
 	if *jsonOut {
 		err = analysis.WriteJSON(stdout, diags)
 	} else {
@@ -75,4 +106,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// selectCheckers resolves a comma-separated -checks spec against the
+// default suite ("" selects everything). An unknown name is an error
+// that lists the valid names, so a typo cannot silently run nothing.
+func selectCheckers(spec string) ([]analysis.Checker, error) {
+	all := analysis.DefaultCheckers()
+	if spec == "" {
+		return all, nil
+	}
+	byName := map[string]analysis.Checker{}
+	names := make([]string, 0, len(all))
+	for _, c := range all {
+		byName[c.Name()] = c
+		names = append(names, c.Name())
+	}
+	var out []analysis.Checker
+	seen := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (valid: %s)", name, strings.Join(names, ", "))
+		}
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// hasChecker reports whether the selection includes the named check.
+func hasChecker(checkers []analysis.Checker, name string) bool {
+	for _, c := range checkers {
+		if c.Name() == name {
+			return true
+		}
+	}
+	return false
 }

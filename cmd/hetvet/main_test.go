@@ -57,15 +57,61 @@ func TestLoadErrorExits2(t *testing.T) {
 	}
 }
 
-func TestChecksListingExits0(t *testing.T) {
+func TestListExits0(t *testing.T) {
 	var out, errBuf bytes.Buffer
-	if code := run([]string{"-checks"}, &out, &errBuf); code != 0 {
+	if code := run([]string{"-list"}, &out, &errBuf); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"nilguard", "determinism", "lockio", "errdiscard", "tracectx"} {
+	for _, name := range []string{"nilguard", "determinism", "lockio", "errdiscard", "tracectx", "goleak", "lockorder", "hotpath"} {
 		if !strings.Contains(out.String(), name) {
-			t.Errorf("-checks output missing %q:\n%s", name, out.String())
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
 		}
+	}
+}
+
+// TestUnknownCheckExits2 locks the -checks typo behavior: a name the
+// suite does not have is a usage error that lists the valid names,
+// never a silent no-op run.
+func TestUnknownCheckExits2(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-checks=bogus"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr: %s)", code, errBuf.String())
+	}
+	msg := errBuf.String()
+	if !strings.Contains(msg, `unknown check "bogus"`) {
+		t.Errorf("stderr = %q, want the unknown check named", msg)
+	}
+	for _, name := range []string{"nilguard", "determinism", "lockio", "errdiscard", "tracectx", "goleak", "lockorder", "hotpath"} {
+		if !strings.Contains(msg, name) {
+			t.Errorf("stderr missing valid name %q:\n%s", name, msg)
+		}
+	}
+}
+
+// TestChecksSubset: selecting the check that fires reports findings;
+// selecting one that does not leaves the same tree clean.
+func TestChecksSubset(t *testing.T) {
+	chdir(t, fixture(t, "golden"))
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-checks=errdiscard", "./..."}, &out, &errBuf); code != 1 {
+		t.Fatalf("-checks=errdiscard exit = %d, want 1 (stderr: %s)", code, errBuf.String())
+	}
+	out.Reset()
+	errBuf.Reset()
+	if code := run([]string{"-checks=nilguard", "./..."}, &out, &errBuf); code != 0 {
+		t.Fatalf("-checks=nilguard exit = %d, want 0:\n%s%s", code, out.String(), errBuf.String())
+	}
+}
+
+// TestEscapesNeedsHotpath: -escapes cross-checks hotpath's regions, so
+// selecting it without hotpath is a usage error.
+func TestEscapesNeedsHotpath(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run([]string{"-checks=errdiscard", "-escapes"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr: %s)", code, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "hotpath") {
+		t.Errorf("stderr = %q, want it to mention hotpath", errBuf.String())
 	}
 }
 

@@ -2,7 +2,7 @@
 // driver that machine-checks the invariants this codebase's previous
 // PRs established by convention. It is built entirely on the standard
 // library (go/parser, go/ast, go/types) — no x/tools dependency — and
-// ships five checkers:
+// ships eight checkers:
 //
 //	nilguard    — every exported pointer-receiver method on an
 //	              internal/obs instrument or tracer type must begin
@@ -22,6 +22,19 @@
 //	              internal/exec that spawn goroutines or cross the wire
 //	              must accept a context.Context, so request traces
 //	              survive end to end.
+//	goleak      — every goroutine spawned in the concurrent packages
+//	              has a provable shutdown path: a WaitGroup
+//	              Add/Done/Wait join or a receive on a ctx/done
+//	              lifecycle channel (goleak.go).
+//	lockorder   — the cross-function lock-acquisition graph over
+//	              struct-field and package-level mutexes has no cycles,
+//	              no re-acquisition, and no select case locking a mutex
+//	              that guards its own channel (lockorder.go).
+//	hotpath     — //hetvet:hotpath functions and their transitive
+//	              module callees, resolved whole-program, contain no
+//	              allocating constructs; -escapes cross-checks the
+//	              compiler's escape analysis over the same regions
+//	              (hotpath.go, escapes.go).
 //
 // Every checker honors the escape hatch
 //
@@ -30,7 +43,8 @@
 // which suppresses the named checks (or "all") on the directive's line
 // and, for a directive alone on its line, on the next statement or
 // declaration line. The reason is mandatory: an ignore without one is
-// itself a diagnostic.
+// itself a diagnostic, as is any malformed or near-miss directive
+// (directive.go).
 //
 // DESIGN.md §9 documents each invariant and why it exists.
 package analysis
@@ -73,6 +87,14 @@ type Checker interface {
 	Run(pkg *Package) []Diagnostic
 }
 
+// WholeProgram is implemented by checkers that need to see every
+// loaded package before per-package runs begin — e.g. hotpath, whose
+// transitive hot set crosses package boundaries. Run calls Prepare
+// once, with the full package list, before any Run.
+type WholeProgram interface {
+	Prepare(pkgs []*Package)
+}
+
 // DefaultCheckers returns the full hetvet suite.
 func DefaultCheckers() []Checker {
 	return []Checker{
@@ -81,6 +103,9 @@ func DefaultCheckers() []Checker {
 		lockioChecker{},
 		errdiscardChecker{},
 		tracectxChecker{},
+		goleakChecker{},
+		lockorderChecker{},
+		newHotpathChecker(),
 	}
 }
 
@@ -100,7 +125,15 @@ func checkNames(checkers []Checker) map[string]bool {
 // are reported under the pseudo-check "directive" and cannot be
 // suppressed.
 func Run(pkgs []*Package, checkers []Checker, rootDir string) []Diagnostic {
-	valid := checkNames(checkers)
+	// Directive validity is judged against the full suite, not the
+	// selected subset: running -checks=hotpath must not turn every
+	// waiver of an unselected check into an unknown-name finding.
+	valid := checkNames(append(DefaultCheckers(), checkers...))
+	for _, c := range checkers {
+		if wp, ok := c.(WholeProgram); ok {
+			wp.Prepare(pkgs)
+		}
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		ignores, bad := collectIgnores(pkg, valid)

@@ -119,10 +119,13 @@ func TestDeterminism(t *testing.T) { runFixture(t, "determinism", determinismChe
 func TestLockio(t *testing.T)      { runFixture(t, "lockio", lockioChecker{}) }
 func TestErrdiscard(t *testing.T)  { runFixture(t, "errdiscard", errdiscardChecker{}) }
 func TestTracectx(t *testing.T)    { runFixture(t, "tracectx", tracectxChecker{}) }
+func TestGoleak(t *testing.T)      { runFixture(t, "goleak", goleakChecker{}) }
+func TestLockorder(t *testing.T)   { runFixture(t, "lockorder", lockorderChecker{}) }
+func TestHotpath(t *testing.T)     { runFixture(t, "hotpath", newHotpathChecker()) }
 
 // TestDirectiveValidation locks the malformed-directive diagnostics:
-// a missing reason, an unknown check name, and an empty directive are
-// each reported under the pseudo-check "directive".
+// missing reasons, unknown names and verbs, and near-miss spellings
+// are each reported under the pseudo-check "directive".
 func TestDirectiveValidation(t *testing.T) {
 	root, pkgs := loadFixture(t, "directive")
 	diags := Run(pkgs, DefaultCheckers(), root)
@@ -133,6 +136,11 @@ func TestDirectiveValidation(t *testing.T) {
 		{5, "hetvet:ignore needs a reason after the check name"},
 		{8, `hetvet:ignore names unknown check "bogus"`},
 		{11, "hetvet:ignore needs a check name and a reason"},
+		{14, "hetvet directives must not have a space after // (write //hetvet:...)"},
+		{17, "hetvet directives must be line comments (//hetvet:...), not block comments"},
+		{20, "hetvet directives are lower-case (write //hetvet:...)"},
+		{23, `unknown hetvet directive "frobnicate" (valid: ignore, hotpath, coldpath)`},
+		{26, "hetvet:coldpath needs a reason (why this function is off the hot path)"},
 	}
 	if len(diags) != len(wants) {
 		t.Fatalf("got %d diagnostics, want %d:\n%s", len(diags), len(wants), diagLines(diags))

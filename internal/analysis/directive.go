@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// hetvet source directives. Three verbs share the //hetvet: namespace:
+//
+//	//hetvet:ignore <check-name>[,<check-name>...] <reason>
+//	//hetvet:hotpath [note]
+//	//hetvet:coldpath <reason>
+//
+// ignore waives named checks (see ignore.go). hotpath marks a function
+// as an allocation-free root for the hotpath checker; coldpath excludes
+// a function from transitive hotpath traversal (growth paths, dump
+// paths — code that allocates by design and never runs on the steady
+// state). Reasons are mandatory everywhere a directive waives or
+// narrows a check, so the waiver itself documents the exception.
+//
+// Directive parsing is strict and loud: a malformed directive — a
+// near-miss spelling ("// hetvet:ignore" with a space, a /* block */
+// form), an unknown verb, a missing reason, an unknown check name — is
+// reported under the pseudo-check "directive" instead of being dropped,
+// because a directive that silently does nothing is a waiver the reader
+// believes in and the tool never honors. FuzzParseDirective pins the
+// parser against panics and grammar drift.
+
+// Directive verbs.
+const (
+	verbIgnore   = "ignore"
+	verbHotpath  = "hotpath"
+	verbColdpath = "coldpath"
+)
+
+// directive is one parsed //hetvet: comment.
+type directive struct {
+	Verb   string   // ignore, hotpath, coldpath
+	Names  []string // ignore only: the checks to suppress
+	Reason string   // the mandatory justification (hotpath: optional note)
+}
+
+// canonicalPrefix is the only accepted spelling: no space after //,
+// lower case, colon immediately after hetvet.
+const canonicalPrefix = "//hetvet:"
+
+// parseDirective parses one comment's raw text (including the // or
+// /* markers). It returns:
+//
+//	attempted — the comment is (or tries to be) a hetvet directive;
+//	d         — the parsed directive, valid only when problems is empty;
+//	problems  — human-readable reasons the directive is malformed.
+//
+// Comments that merely mention hetvet in prose, and doc comments
+// quoting a directive in an indented example ("//\t//hetvet:ignore …"),
+// are not attempted directives. Check-name validity is the caller's
+// concern (the valid set depends on the configured checkers); the
+// parser only enforces the grammar.
+func parseDirective(text string) (d directive, attempted bool, problems []string) {
+	if strings.HasPrefix(text, canonicalPrefix) {
+		return parseCanonical(text[len(canonicalPrefix):])
+	}
+	// Near-miss detection: strip the comment markers; if what's left
+	// begins (after whitespace) with "hetvet:", someone meant to write
+	// a directive and got the spelling wrong.
+	content := text
+	block := false
+	switch {
+	case strings.HasPrefix(content, "//"):
+		content = content[2:]
+	case strings.HasPrefix(content, "/*"):
+		content = strings.TrimSuffix(content[2:], "*/")
+		block = true
+	}
+	trimmed := strings.TrimSpace(content)
+	lower := strings.ToLower(trimmed)
+	if !strings.HasPrefix(lower, "hetvet:") {
+		return directive{}, false, nil
+	}
+	switch {
+	case block:
+		problems = append(problems, "hetvet directives must be line comments (//hetvet:...), not block comments")
+	case strings.HasPrefix(trimmed, "hetvet:"):
+		problems = append(problems, "hetvet directives must not have a space after // (write //hetvet:...)")
+	default:
+		problems = append(problems, "hetvet directives are lower-case (write //hetvet:...)")
+	}
+	return directive{}, true, problems
+}
+
+// parseCanonical parses the text after the //hetvet: prefix.
+func parseCanonical(rest string) (d directive, attempted bool, problems []string) {
+	attempted = true
+	// The verb runs to the first whitespace.
+	verb := rest
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		verb, rest = rest[:i], strings.TrimLeft(rest[i:], " \t")
+	} else {
+		rest = ""
+	}
+	d.Verb = verb
+	fields := strings.Fields(rest)
+	switch verb {
+	case verbIgnore:
+		if len(fields) == 0 {
+			problems = append(problems, "hetvet:ignore needs a check name and a reason")
+			return d, attempted, problems
+		}
+		d.Names = strings.Split(fields[0], ",")
+		for _, n := range d.Names {
+			if n == "" {
+				problems = append(problems, "hetvet:ignore has an empty check name")
+			}
+		}
+		if len(fields) < 2 {
+			problems = append(problems, "hetvet:ignore needs a reason after the check name")
+		} else {
+			d.Reason = strings.Join(fields[1:], " ")
+		}
+	case verbHotpath:
+		// The note is optional: the annotation is a contract, not a waiver.
+		d.Reason = strings.Join(fields, " ")
+	case verbColdpath:
+		if len(fields) == 0 {
+			problems = append(problems, "hetvet:coldpath needs a reason (why this function is off the hot path)")
+		} else {
+			d.Reason = strings.Join(fields, " ")
+		}
+	case "":
+		problems = append(problems, "hetvet directive is missing a verb (ignore, hotpath, or coldpath)")
+	default:
+		problems = append(problems, "unknown hetvet directive "+quoteName(verb)+" (valid: ignore, hotpath, coldpath)")
+	}
+	return d, attempted, problems
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The -escapes mode closes the loop between hetvet's syntactic hotpath
+// checker and the compiler's own escape analysis: hetvet knows which
+// regions must not allocate (the //hetvet:hotpath roots and their
+// transitive module callees), the compiler knows what actually escapes
+// to the heap, and this file intersects the two. A construct the
+// syntactic rules missed — an append that the compiler cannot prove
+// stays in capacity, a variable captured in a way that forces a heap
+// move — still surfaces as a diagnostic, pinned to the same hot
+// regions the AllocsPerRun benchmarks measure.
+
+// LineRange is a half-open region of lines [Start, End] in one file.
+type LineRange struct {
+	Start, End int
+	Func       string // the hot function occupying the range, for messages
+}
+
+// HotRegions computes the file line ranges of every hot-path function:
+// the //hetvet:hotpath roots plus their transitive module callees,
+// minus //hetvet:coldpath functions. Keys are absolute file paths.
+func HotRegions(pkgs []*Package) map[string][]LineRange {
+	h := newHotpathChecker()
+	h.Prepare(pkgs)
+	out := map[string][]LineRange{}
+	for fn, root := range h.hot {
+		hd := h.decls[fn]
+		start := hd.pkg.Fset.Position(hd.decl.Pos())
+		end := hd.pkg.Fset.Position(hd.decl.End())
+		out[start.Filename] = append(out[start.Filename], LineRange{
+			Start: start.Line, End: end.Line, Func: describeHot(fn, root),
+		})
+	}
+	for f := range out {
+		rs := out[f]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Start < rs[j].Start })
+	}
+	return out
+}
+
+// escapeLine matches the compiler's escape diagnostics. Lines about
+// parameters merely leaking ("leaking param: dst") and non-escapes
+// ("does not escape") are not allocations and are filtered by the
+// caller.
+var escapeLine = regexp.MustCompile(`^(.*\.go):(\d+):(\d+): (.*)$`)
+
+// EscapeDiagnostics runs `go build -a -gcflags=-m` over the module
+// rooted at rootDir and reports every heap allocation the compiler
+// found inside a hot region. The -a forces a full recompile so a warm
+// build cache cannot swallow the diagnostics. goBin names the go tool
+// ("go" to use PATH).
+func EscapeDiagnostics(goBin, rootDir string, regions map[string][]LineRange) ([]Diagnostic, error) {
+	if goBin == "" {
+		goBin = "go"
+	}
+	cmd := exec.Command(goBin, "build", "-a", "-gcflags=-m", "./...")
+	cmd.Dir = rootDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: %s build -gcflags=-m failed: %v\n%s", goBin, err, tail(stderr.String(), 20))
+	}
+	var out []Diagnostic
+	sc := bufio.NewScanner(&stderr)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		m := escapeLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		if strings.Contains(msg, "does not escape") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(rootDir, file)
+		}
+		line, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue // not a position line after all
+		}
+		col, err := strconv.Atoi(m[3])
+		if err != nil {
+			continue
+		}
+		for _, r := range regions[file] {
+			if line >= r.Start && line <= r.End {
+				out = append(out, Diagnostic{File: file, Line: line, Col: col, Check: "hotpath",
+					Message: fmt.Sprintf("escape analysis: %s in hot-path function %s", msg, r.Func)})
+				break
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// tail returns the last n lines of s, for compact error reporting.
+func tail(s string, n int) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "\n")
+}

@@ -4,7 +4,6 @@ import (
 	"go/ast"
 	"go/token"
 	"sort"
-	"strings"
 )
 
 // The ignore directive grammar (also documented in DESIGN.md §9):
@@ -19,8 +18,10 @@ import (
 // it also suppresses the next statement or declaration line, which is
 // how multi-line constructs (a guarded function, a locked region's
 // first offending call) are annotated.
-
-const directivePrefix = "//hetvet:ignore"
+//
+// Parsing (grammar, near-miss detection) lives in directive.go; this
+// file maps well-formed ignore directives onto source lines and turns
+// every malformed directive — any verb — into a diagnostic.
 
 // ignoreSet records, per file and line, which checks are suppressed.
 type ignoreSet map[string]map[int]map[string]bool
@@ -38,9 +39,10 @@ func (s ignoreSet) suppressed(d Diagnostic) bool {
 	return checks["all"] || checks[d.Check]
 }
 
-// collectIgnores scans a package's comments for hetvet:ignore
-// directives. It returns the suppression set and a list of diagnostics
-// for malformed directives (missing reason, unknown check name).
+// collectIgnores scans a package's comments for hetvet directives. It
+// returns the suppression set and a list of diagnostics for malformed
+// directives of any verb (near-miss spellings, unknown verbs, missing
+// reasons, unknown check names).
 func collectIgnores(pkg *Package, valid map[string]bool) (ignoreSet, []Diagnostic) {
 	set := ignoreSet{}
 	var bad []Diagnostic
@@ -50,44 +52,34 @@ func collectIgnores(pkg *Package, valid map[string]bool) (ignoreSet, []Diagnosti
 		startLines := stmtStartLines(pkg.Fset, file)
 		for _, cg := range file.Comments {
 			for _, c := range cg.List {
-				text := c.Text
-				if !strings.HasPrefix(text, directivePrefix) {
+				d, attempted, problems := parseDirective(c.Text)
+				if !attempted {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				rest := strings.TrimPrefix(text, directivePrefix)
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					continue // e.g. //hetvet:ignorance — not ours
-				}
-				fields := strings.Fields(rest)
-				if len(fields) == 0 {
-					bad = append(bad, Diagnostic{File: pos.Filename, Line: pos.Line, Col: pos.Column,
-						Check: "directive", Message: "hetvet:ignore needs a check name and a reason"})
-					continue
-				}
-				names := strings.Split(fields[0], ",")
-				ok := true
-				for _, n := range names {
-					if n != "all" && !valid[n] {
-						bad = append(bad, Diagnostic{File: pos.Filename, Line: pos.Line, Col: pos.Column,
-							Check: "directive", Message: "hetvet:ignore names unknown check " + quoteName(n)})
-						ok = false
+				if d.Verb == verbIgnore && len(problems) == 0 {
+					for _, n := range d.Names {
+						if n != "all" && !valid[n] {
+							problems = append(problems, "hetvet:ignore names unknown check "+quoteName(n))
+						}
 					}
 				}
-				if len(fields) < 2 {
-					bad = append(bad, Diagnostic{File: pos.Filename, Line: pos.Line, Col: pos.Column,
-						Check: "directive", Message: "hetvet:ignore needs a reason after the check name"})
-					ok = false
-				}
-				if !ok {
+				if len(problems) > 0 {
+					for _, p := range problems {
+						bad = append(bad, Diagnostic{File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Check: "directive", Message: p})
+					}
 					continue
 				}
-				addIgnore(set, pos.Filename, pos.Line, names)
+				if d.Verb != verbIgnore {
+					continue // hotpath/coldpath annotations are the hotpath checker's input
+				}
+				addIgnore(set, pos.Filename, pos.Line, d.Names)
 				// A directive alone on its line (or inside a doc comment)
 				// annotates the next statement or declaration.
 				if standalone(startLines, pos.Line) {
 					if next, found := nextStartLine(startLines, pos.Line); found {
-						addIgnore(set, pos.Filename, next, names)
+						addIgnore(set, pos.Filename, next, d.Names)
 					}
 				}
 			}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -173,16 +174,23 @@ func (l *Loader) walk(base string, dirSet map[string]bool) error {
 	})
 }
 
-// goSourceFiles lists the non-test Go files in dir, sorted.
+// goSourceFiles lists the non-test Go files in dir that match the
+// host build context, sorted. Constraint filtering matters for
+// mutually exclusive file pairs (`//go:build race` / `//go:build
+// !race`): loading both sides would redeclare their symbols.
 func goSourceFiles(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
+	ctx := build.Default
 	var names []string
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := ctx.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

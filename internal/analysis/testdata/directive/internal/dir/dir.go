@@ -1,5 +1,5 @@
-// Package dir exercises malformed hetvet:ignore directives: each one
-// below is itself reported under the pseudo-check "directive".
+// Package dir exercises malformed hetvet directives: each one below
+// is itself reported under the pseudo-check "directive".
 package dir
 
 //hetvet:ignore errdiscard
@@ -10,3 +10,18 @@ func UnknownCheck() {}
 
 //hetvet:ignore
 func Empty() {}
+
+// hetvet:ignore errdiscard near miss: a space after the slashes
+func SpacedDirective() {}
+
+/*hetvet:ignore errdiscard near miss: a block comment*/
+func BlockComment() {}
+
+//HETVET:ignore errdiscard near miss: upper case
+func UpperCase() {}
+
+//hetvet:frobnicate the verb does not exist
+func UnknownVerb() {}
+
+//hetvet:coldpath
+func ColdpathNoReason() {}

@@ -1,0 +1,104 @@
+// Package serve exercises the goleak checker: every go statement needs
+// an Add/Done/Wait WaitGroup join or a lifecycle-channel signal, and an
+// orphaned spawn is reported at its go statement.
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// Server spawns workers under the disciplines the checker accepts.
+type Server struct {
+	wg   sync.WaitGroup
+	quit chan struct{}
+	jobs chan int
+}
+
+// JoinedWorker is the sanctioned join: Add before the spawn, Done in
+// the spawned body, Wait in Close.
+func (s *Server) JoinedWorker() {
+	s.wg.Add(1)
+	go s.pump()
+}
+
+// pump drains the job channel until it is closed.
+func (s *Server) pump() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		_ = j
+	}
+}
+
+// Close joins every worker the server spawned.
+func (s *Server) Close() {
+	s.wg.Wait()
+}
+
+// SignalWorker terminates by selecting on the quit channel.
+func (s *Server) SignalWorker() {
+	go func() {
+		for {
+			select {
+			case <-s.quit:
+				return
+			case j := <-s.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// CtxWorker terminates when the context is canceled.
+func CtxWorker(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// DrainWatcher is the drain-watcher pattern: the goroutine exits when
+// the group drains, so the group's own join discipline covers it.
+func (s *Server) DrainWatcher(done chan struct{}) {
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+}
+
+// ExternalJoined spawns a body this package cannot see, but under a
+// counter the package Add/Waits — trusted by convention.
+func (s *Server) ExternalJoined(run func(*sync.WaitGroup)) {
+	s.wg.Add(1)
+	go run(&s.wg)
+}
+
+// Orphan parks on a plain channel forever: no join, no signal.
+func (s *Server) Orphan() {
+	go func() { // want goleak "no provable shutdown path"
+		for j := range s.jobs {
+			_ = j
+		}
+	}()
+}
+
+// NamedOrphan spawns a same-package method that never terminates and
+// is not joined: the Done inside pump pairs with no Add here.
+func (s *Server) NamedOrphan() {
+	go s.pump() // want goleak "no provable shutdown path"
+}
+
+// ExternalOrphan spawns a function whose body this package cannot
+// analyze, with no joined counter to trust.
+func ExternalOrphan(c *sync.Cond) {
+	go c.Signal() // want goleak "cannot analyze"
+}
+
+// Detached is deliberately fire-and-forget; the waiver documents it.
+func (s *Server) Detached() {
+	//hetvet:ignore goleak fixture demonstrates a documented process-lifetime goroutine
+	go func() {
+		for j := range s.jobs {
+			_ = j
+		}
+	}()
+}

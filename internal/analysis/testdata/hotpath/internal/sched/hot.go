@@ -1,0 +1,97 @@
+// Package sched exercises the hotpath checker: //hetvet:hotpath roots
+// and their transitive callees must contain no allocating constructs,
+// //hetvet:coldpath prunes deliberate growth paths, and error
+// construction inside a return (or a panic argument) is cold by
+// definition.
+package sched
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Plan is the scratch structure the hot path writes into.
+type Plan struct {
+	steps []int
+	label string
+	total int
+}
+
+// PlanInto is an annotated root: each allocating construct below is a
+// finding; the fmt calls inside the early return and the panic are
+// cold and are not.
+//
+//hetvet:hotpath fixture root
+func PlanInto(p *Plan, n int) error {
+	if p == nil {
+		panic(fmt.Sprint("sched: nil plan ", n))
+	}
+	if n < 0 {
+		return fmt.Errorf("sched: negative n %d", n)
+	}
+	defer func() { p.total++ }()
+	buf := make([]byte, n) // want hotpath "make"
+	m := map[int]int{n: n} // want hotpath "map literal"
+	_ = m
+	s := []int{n} // want hotpath "slice literal"
+	_ = s
+	q := &Plan{total: n} // want hotpath "address of composite literal"
+	_ = q
+	cb := func() int { return n } // want hotpath "function literal"
+	_ = cb
+	p.label = strconv.Itoa(n)    // want hotpath "strconv.Itoa call"
+	fmt.Println(n)               // want hotpath "fmt.Println call"
+	p.label = p.label + "!"      // want hotpath "string concatenation"
+	raw := []byte(p.label)       // want hotpath "string-to-slice conversion"
+	p.label = string(raw)        // want hotpath "conversion"
+	_ = string(append(buf, '.')) // want hotpath "conversion"
+	i := any(n)                  // want hotpath "interface conversion of a non-pointer value"
+	_ = i
+	for k := 0; k < n; k++ {
+		defer release(p) // want hotpath "defer inside a loop"
+	}
+	go helper(p, n) // want hotpath "go statement"
+	helper(p, n)
+	grow(p, n)
+	return nil
+}
+
+// helper is unannotated but hot transitively via PlanInto.
+func helper(p *Plan, n int) {
+	box(n) // want hotpath "interface boxing of a non-pointer argument"
+	p.total += n
+}
+
+// box's interface parameter forces non-pointer arguments into a heap
+// box at every call site.
+func box(v any) {
+	_ = v
+}
+
+// release balances PlanInto's deferred cleanup; clean.
+func release(p *Plan) {
+	p.total--
+}
+
+// grow reallocates the plan's backing array; the steady state never
+// runs it, so it is pruned from the hot traversal.
+//
+//hetvet:coldpath growth path runs only when capacity is exceeded
+func grow(p *Plan, n int) {
+	if n > cap(p.steps) {
+		p.steps = append(p.steps, make([]int, n)...)
+	}
+}
+
+// Warmed is a second root whose one-time allocation carries a waiver.
+//
+//hetvet:hotpath
+func Warmed(p *Plan) {
+	//hetvet:ignore hotpath fixture demonstrates a waived one-time allocation
+	p.steps = append(p.steps, make([]int, 1)...)
+}
+
+// Report is on no hot path; it may allocate freely.
+func Report(p *Plan) string {
+	return fmt.Sprintf("plan with %d steps", len(p.steps))
+}

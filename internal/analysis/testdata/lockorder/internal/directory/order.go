@@ -1,0 +1,128 @@
+// Package directory exercises the lockorder checker: lock-order
+// cycles (direct and through calls), mutex re-acquisition, and the
+// select/lock inversion.
+package directory
+
+import "sync"
+
+// Pair carries the mutexes the functions below order against each
+// other, plus a channel guarded by one of them.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	c sync.Mutex
+	d sync.Mutex
+	e sync.Mutex
+	f sync.Mutex
+	g sync.Mutex
+
+	m  sync.Mutex
+	ch chan int
+}
+
+// LockAB nests b inside a — one direction of a cycle.
+func (p *Pair) LockAB() {
+	p.a.Lock()
+	p.b.Lock() // want lockorder "lock order cycle: Pair.b is acquired while Pair.a is held"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// LockBA nests a inside b — the reverse direction; the cycle is
+// reported once, at the pair's alphabetically first edge above.
+func (p *Pair) LockBA() {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// LockCThenHelper acquires c and calls helper, which locks d: the
+// ordering edge flows through the call.
+func (p *Pair) LockCThenHelper() {
+	p.c.Lock()
+	p.helper() // want lockorder "via helper"
+	p.c.Unlock()
+}
+
+// helper contributes its acquisitions to every caller's summary.
+func (p *Pair) helper() {
+	p.d.Lock()
+	p.d.Unlock()
+}
+
+// LockDC takes the reverse order directly, closing the cycle.
+func (p *Pair) LockDC() {
+	p.d.Lock()
+	p.c.Lock()
+	p.c.Unlock()
+	p.d.Unlock()
+}
+
+// Reacquire locks e twice on one path: sync mutexes are not
+// reentrant.
+func (p *Pair) Reacquire() {
+	p.e.Lock()
+	p.e.Lock() // want lockorder "self-deadlocks"
+	p.e.Unlock()
+	p.e.Unlock()
+}
+
+// ReacquireViaCall reaches the second Lock through a call.
+func (p *Pair) ReacquireViaCall() {
+	p.e.Lock()
+	p.lockE() // want lockorder "call to lockE while Pair.e is held"
+	p.e.Unlock()
+}
+
+// lockE takes e on behalf of its callers.
+func (p *Pair) lockE() {
+	p.e.Lock()
+	p.e.Unlock()
+}
+
+// SendUnderLock sends on ch while m is held, making m a guard of ch.
+func (p *Pair) SendUnderLock(v int) {
+	p.m.Lock()
+	p.ch <- v
+	p.m.Unlock()
+}
+
+// Selector receives from ch and then takes m in the case body: the
+// peer in SendUnderLock parks inside m's critical section waiting for
+// this select, which waits for m.
+func (p *Pair) Selector() {
+	select {
+	case v := <-p.ch:
+		p.m.Lock() // want lockorder "select case on Pair.ch acquires Pair.m"
+		_ = v
+		p.m.Unlock()
+	}
+}
+
+// Consistent takes f then g — an ordering edge with no reverse is not
+// a finding.
+func (p *Pair) Consistent() {
+	p.f.Lock()
+	p.g.Lock()
+	p.g.Unlock()
+	p.f.Unlock()
+}
+
+// ConsistentAgain repeats the same order; still no finding.
+func (p *Pair) ConsistentAgain() {
+	p.f.Lock()
+	p.g.Lock()
+	p.g.Unlock()
+	p.f.Unlock()
+}
+
+// WaivedReacquire documents a deliberate double acquisition with a
+// reasoned waiver.
+func (p *Pair) WaivedReacquire() {
+	p.m.Lock()
+	//hetvet:ignore lockorder fixture demonstrates a documented waiver
+	p.m.Lock()
+	p.m.Unlock()
+	p.m.Unlock()
+}

@@ -37,6 +37,8 @@ type Solver struct {
 }
 
 // grow ensures the solver's buffers cover an n-row problem.
+//
+//hetvet:coldpath buffer growth runs once per size change, not on the steady state
 func (s *Solver) grow(n int) {
 	if n <= s.n && s.u != nil {
 		return
@@ -228,6 +230,8 @@ func (ws *WarmStart) Reset() { ws.valid = false }
 func (ws *WarmStart) Valid() bool { return ws.valid }
 
 // record captures the solver's final state after a cold solve.
+//
+//hetvet:coldpath runs only after a cold solve, and its makes only on first growth; certified hits never reach it
 func (ws *WarmStart) record(s *Solver, out []int, n int) {
 	if cap(ws.assign) < n {
 		ws.assign = make([]int, n)
@@ -253,6 +257,8 @@ func (ws *WarmStart) record(s *Solver, out []int, n int) {
 // returned without running the O(n³) core. On a miss the cold core runs
 // and ws is refreshed. The returned boolean reports a certified hit.
 // Results are byte-identical to SolveMinInto either way.
+//
+//hetvet:hotpath the warm-started LAP solve (see BenchmarkSolveMinWarm)
 func (s *Solver) SolveMinWarm(out []int, cost []float64, n int, ws *WarmStart) (float64, bool, error) {
 	if err := checkFlat(cost, n); err != nil {
 		return 0, false, err
@@ -277,6 +283,8 @@ func (s *Solver) SolveMinWarm(out []int, cost []float64, n int, ws *WarmStart) (
 // SolveMaxWarm is SolveMaxInto with a warm start; ws operates on the
 // internally negated matrix, so a ws used here must not be shared with
 // SolveMinWarm calls.
+//
+//hetvet:hotpath the warm-started max-LAP solve (see BenchmarkSolveMaxWarm)
 func (s *Solver) SolveMaxWarm(out []int, cost []float64, n int, ws *WarmStart) (float64, bool, error) {
 	if err := checkFlat(cost, n); err != nil {
 		return 0, false, err

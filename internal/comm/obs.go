@@ -92,6 +92,8 @@ func (t *commTelemetry) quality(algorithm string) *obs.Histogram {
 // histogram, and the per-algorithm quality sample. With telemetry
 // disabled it is exactly s.Schedule(m). ctx carries per-request trace
 // correlation (obs.ReqTrace); context.Background() means untraced.
+//
+//hetvet:coldpath the scratch path reaches it only on the degraded rung; cold scheduling allocates by design
 func (c *Communicator) timedSchedule(ctx context.Context, s sched.Scheduler, m *model.Matrix, h Health, kind string) (*sched.Result, error) {
 	return c.timedResult(ctx, h, kind, func() (*sched.Result, error) { return s.Schedule(m) })
 }
@@ -102,6 +104,8 @@ func (c *Communicator) timedSchedule(ctx context.Context, s sched.Scheduler, m *
 // process tracer and, when ctx carries a request trace, on that
 // request's span tree — and observes the result's quality ratio under
 // the result's (untagged) algorithm name.
+//
+//hetvet:coldpath instrumented planning runs only with telemetry or request tracing enabled; the zero-alloc contract is for disabled telemetry
 func (c *Communicator) timedResult(ctx context.Context, h Health, kind string, plan func() (*sched.Result, error)) (*sched.Result, error) {
 	if !c.tel.enabled && obs.ReqTraceFrom(ctx) == nil {
 		return plan()

@@ -87,6 +87,8 @@ func (c *Communicator) snapshotMatrixScratch(sizes *model.Sizes, sc *PlanScratch
 // scratch: its Schedule lives in scratch memory, and its Steps may
 // alias the communicator's internal cache (which is never mutated, so
 // concurrent readers are safe — reuse is the only hazard).
+//
+//hetvet:hotpath the zero-alloc replan entry point (see BenchmarkAllToAllRepeatedScratch)
 func (c *Communicator) AllToAllRepeatedScratch(sizes *model.Sizes, sc *PlanScratch) (*sched.Result, error) {
 	sc.init(c)
 	m, h, err := c.snapshotMatrixScratch(sizes, sc)
@@ -117,6 +119,7 @@ func (c *Communicator) AllToAllRepeatedScratch(sizes *model.Sizes, sc *PlanScrat
 	var r *sched.Result
 	if steps == nil || last == nil {
 		if c.tel.enabled {
+			//hetvet:ignore hotpath the closure is built only with telemetry enabled; the disabled branch below is the zero-alloc one
 			r, err = c.timedResult(context.Background(), h, "repeated", func() (*sched.Result, error) {
 				return c.planRepeatedScratch(m, sc)
 			})
@@ -125,6 +128,7 @@ func (c *Communicator) AllToAllRepeatedScratch(sizes *model.Sizes, sc *PlanScrat
 		}
 	} else {
 		if c.tel.enabled {
+			//hetvet:ignore hotpath the closure is built only with telemetry enabled; the disabled branch below is the zero-alloc one
 			r, err = c.timedResult(context.Background(), h, "repair", func() (*sched.Result, error) {
 				return c.repairScratch(gen, steps, last, m, sc)
 			})

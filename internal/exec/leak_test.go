@@ -1,0 +1,70 @@
+package exec
+
+import (
+	"context"
+	"testing"
+
+	"hetsched/internal/leakcheck"
+)
+
+// runExchange performs one full exchange over tr and closes it; the
+// surrounding leakcheck.Check verifies the executor joined every
+// per-node sender goroutine and the transport teardown left nothing
+// behind.
+func runExchange(t *testing.T, tr Transport, ctx context.Context, wantErr bool) {
+	t.Helper()
+	res, m, sizes := testProblem(t, tr.N())
+	s := newSink(t)
+	cfg := fastCfg()
+	cfg.Deliver = s.deliver
+	ex, err := New(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ex.Run(ctx, res, m, sizes)
+	if err != nil && !wantErr {
+		t.Errorf("run: %v", err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+// TestExecMemLeaksNoGoroutines is the runtime counterpart of the
+// static goleak check on this package, over the in-process transport.
+func TestExecMemLeaksNoGoroutines(t *testing.T) {
+	leakcheck.Check(t, func() {
+		tr, err := NewMem(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runExchange(t, tr, context.Background(), false)
+	})
+}
+
+// TestExecTCPLeaksNoGoroutines runs the same exchange over real
+// loopback sockets, where leaked goroutines would pin listeners and
+// connections too.
+func TestExecTCPLeaksNoGoroutines(t *testing.T) {
+	leakcheck.Check(t, func() {
+		tr, err := NewTCP(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runExchange(t, tr, context.Background(), false)
+	})
+}
+
+// TestExecCancelledRunLeaksNoGoroutines cancels the context before the
+// run starts: Run must still join its senders on the error path.
+func TestExecCancelledRunLeaksNoGoroutines(t *testing.T) {
+	leakcheck.Check(t, func() {
+		tr, err := NewMem(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		runExchange(t, tr, ctx, true)
+	})
+}

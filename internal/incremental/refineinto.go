@@ -42,6 +42,8 @@ func (sc *Scratch) Invalidate() {
 
 // grow sizes the scratch for n processors and a schedule of totalPairs
 // events.
+//
+//hetvet:coldpath scratch growth runs once per size change, not on the steady state
 func (sc *Scratch) grow(n, totalPairs int) {
 	if n > sc.n || sc.avail == nil {
 		sc.n = n
@@ -118,6 +120,8 @@ func (sc *Scratch) samePairsFlat(a, b *timing.StepSchedule, n int) bool {
 // (TestRefineIntoMatchesRefine pins this); the difference is purely
 // operational — zero steady-state heap allocations and warm-started
 // re-matching rounds.
+//
+//hetvet:hotpath the zero-alloc refinement entry point (see BenchmarkRefineInto)
 func RefineInto(dst *timing.StepSchedule, sc *Scratch, prev *timing.StepSchedule, old, cur *model.Matrix, opts Options) (Stats, error) {
 	var st Stats
 	if old.N() != prev.N || cur.N() != prev.N {

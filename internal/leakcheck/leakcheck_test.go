@@ -1,0 +1,43 @@
+package leakcheck
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCheckPassesOnJoinedGoroutines pins the harness's happy path: a
+// scenario that spawns and joins workers settles back to the baseline.
+func TestCheckPassesOnJoinedGoroutines(t *testing.T) {
+	Check(t, func() {
+		var wg sync.WaitGroup
+		ch := make(chan int)
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for range ch {
+				}
+			}()
+		}
+		close(ch)
+		wg.Wait()
+	})
+}
+
+// TestCheckToleratesAlreadySignalled pins the retry-settle: a
+// goroutine that has been signalled to exit but not yet descheduled
+// when the scenario returns must not trip the check.
+func TestCheckToleratesAlreadySignalled(t *testing.T) {
+	Check(t, func() {
+		done := make(chan struct{})
+		exited := make(chan struct{})
+		go func() {
+			<-done
+			close(exited)
+		}()
+		close(done)
+		// Do not wait for exited: the goroutine may still be live at
+		// return, and the settle loop must absorb it.
+		_ = exited
+	})
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package leakcheck
+
+// RaceEnabled reports that this binary was built without the race
+// detector.
+const RaceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package leakcheck
+
+// RaceEnabled reports that this binary was built with the race
+// detector. Leak checks still run under race — that is when shutdown
+// ordering bugs surface — but the settle window is doubled because
+// instrumented goroutines unwind slower.
+const RaceEnabled = true

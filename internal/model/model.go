@@ -36,6 +36,8 @@ type Matrix struct {
 }
 
 // NewMatrix returns a zero P×P matrix.
+//
+//hetvet:coldpath constructor; warm paths build into preallocated matrices with BuildInto/Reset
 func NewMatrix(n int) *Matrix {
 	if n < 0 {
 		panic(fmt.Sprintf("model: negative size %d", n))
@@ -77,6 +79,8 @@ func (m *Matrix) Equal(o *Matrix) bool {
 
 // Reset resizes the matrix to n×n and zeroes every entry, reusing the
 // backing array when it is large enough.
+//
+//hetvet:coldpath the make runs only when the backing array grows, once per size change
 func (m *Matrix) Reset(n int) {
 	if n < 0 {
 		panic(fmt.Sprintf("model: negative size %d", n))

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"expvar"
 	"fmt"
 	"net"
@@ -67,13 +68,33 @@ func (r *Registry) expvarSnapshot() map[string]any {
 
 // Serve exposes Handler(r) on addr (e.g. "127.0.0.1:9090" or ":0") in
 // the background. It returns the bound address and a shutdown function
-// that stops the listener.
+// that stops the listener, waits for the serve loop to exit (so no
+// goroutine outlives the shutdown), and reports any serve-loop error
+// the background goroutine would otherwise have swallowed.
 func Serve(addr string, r *Registry) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
 	srv := &http.Server{Handler: Handler(r)}
-	go srv.Serve(ln)
-	return ln.Addr().String(), srv.Close, nil
+	var (
+		wg       sync.WaitGroup
+		serveErr error // written before wg.Done, read after wg.Wait
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			serveErr = err
+		}
+	}()
+	stop := func() error {
+		closeErr := srv.Close()
+		wg.Wait()
+		if serveErr != nil {
+			return serveErr
+		}
+		return closeErr
+	}
+	return ln.Addr().String(), stop, nil
 }

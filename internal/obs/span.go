@@ -133,6 +133,8 @@ func (s *Span) End() {
 }
 
 // Instant records a point event at the current clock time.
+//
+//hetvet:coldpath tracing is event-driven by design; the hot plan path reaches it only on a rung transition, and trace buffers grow amortized
 func (t *Tracer) Instant(track, name string, labels ...Label) {
 	if t == nil {
 		return

@@ -55,6 +55,8 @@ const (
 // replanning is not implemented for it (callers fall back to
 // Scheduler.Schedule). Baseline, MaxMatching, MinMatching and Greedy
 // are supported.
+//
+//hetvet:coldpath constructor; a scratch binds its planner once, not per plan
 func NewPlanner(s Scheduler) *Planner {
 	switch s := s.(type) {
 	case Baseline:
@@ -92,6 +94,8 @@ func (p *Planner) WarmStats() (hits, misses uint64) {
 }
 
 // grow sizes the scratch for n processors.
+//
+//hetvet:coldpath scratch growth runs once per size change, not on the steady state
 func (p *Planner) grow(n int) {
 	if n <= p.n && p.pairs != nil {
 		return
@@ -118,6 +122,8 @@ func (p *Planner) grow(n int) {
 // PlanInto call; callers that retain the steps across plans must copy
 // them (comm's plan cache does). The output is byte-identical to what
 // the corresponding Scheduler.Schedule would produce.
+//
+//hetvet:hotpath the zero-alloc planning entry point (see BenchmarkPlanInto)
 func (p *Planner) PlanInto(dst *timing.StepSchedule, m *model.Matrix) error {
 	n := m.N()
 	p.grow(n)

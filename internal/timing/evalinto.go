@@ -19,6 +19,8 @@ type EvalScratch struct {
 }
 
 // grow sizes the scratch for n processors.
+//
+//hetvet:coldpath scratch growth runs once per size change, not on the steady state
 func (es *EvalScratch) grow(n int) {
 	if len(es.sendReady) < n {
 		es.sendReady = make([]float64, n)
@@ -53,6 +55,8 @@ func (es *EvalScratch) validateFlat(ss *StepSchedule) error {
 // the rendered schedule is valid only until the caller reuses dst.
 // Output and errors are identical to Evaluate
 // (TestEvaluateIntoMatchesEvaluate pins this).
+//
+//hetvet:hotpath the zero-alloc timing evaluation entry point (see BenchmarkEvaluateInto)
 func (ss *StepSchedule) EvaluateInto(dst *Schedule, m *model.Matrix, es *EvalScratch) error {
 	if m.N() != ss.N {
 		return fmt.Errorf("timing: step schedule is for %d processors but matrix for %d", ss.N, m.N())

@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint lint-escapes race race-short chaos exec-chaos serve-chaos obs-chaos ci bench bench-json cover figures examples clean
+.PHONY: all build test vet lint lint-escapes race race-short chaos exec-chaos serve-chaos obs-chaos calib-chaos ci bench bench-json cover figures examples clean
 
 all: build lint test
 
 # What CI runs (.github/workflows/ci.yml): build, lint (go vet plus the
 # project's own hetvet suite), the full test suite, the race detector
-# in short mode, and the data-plane and serving chaos suites.
-ci: build lint test race-short exec-chaos serve-chaos obs-chaos
+# in short mode, and the data-plane, serving, observability, and
+# calibration chaos suites.
+ci: build lint test race-short exec-chaos serve-chaos obs-chaos calib-chaos
 
 build:
 	$(GO) build ./...
@@ -71,6 +72,16 @@ serve-chaos:
 obs-chaos:
 	HETSCHED_CHAOS_ARTIFACTS=$(CURDIR)/obs-artifacts \
 		$(GO) test -race -count=1 -run ServeOverloadChaos -v ./internal/serve/
+
+# The closed-loop calibration chaos suite under the race detector: the
+# estimator's unit and property tests, the directory feed path, the
+# drift injector, and the headline proofs — under injected drift,
+# calibrated planning beats static-table planning on executed wall
+# clock, and a pair lying through stalls/retries loses trust without
+# poisoning the model (all deterministic — fixed seeds).
+calib-chaos:
+	$(GO) test -race -count=1 -run 'Calib|Drift|PairDelay' \
+		./internal/calib/ ./internal/comm/ ./internal/faults/ ./internal/directory/
 
 bench:
 	$(GO) test -bench . -benchmem ./...

@@ -12,6 +12,7 @@
 //	hcdird -gusto -idle-timeout 2m                  # shed dead clients
 //	hcdird -gusto -chaos-drop 0.05 -chaos-tear 0.05 # fault-injected server
 //	hcdird -gusto -metrics-addr 127.0.0.1:9090      # Prometheus /metrics + pprof
+//	hcdird -gusto -calibrate                        # fit raw calibration samples server-side
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"hetsched"
+	"hetsched/internal/calib"
 	"hetsched/internal/directory"
 	"hetsched/internal/faults"
 	"hetsched/internal/netmodel"
@@ -46,6 +48,7 @@ func main() {
 		chaosStall  = flag.Duration("chaos-stall", 0, "if > 0, stall 10% of ops this long (chaos testing)")
 		chaosTear   = flag.Float64("chaos-tear", 0, "per-write probability of a torn partial write (chaos testing)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics, /debug/vars, and /debug/pprof on this address (empty = disabled)")
+		calibrate   = flag.Bool("calibrate", false, "run a server-side network calibrator: raw transfer samples sent over the calibrate op are fitted here and trusted estimates applied to the table")
 	)
 	flag.Parse()
 
@@ -92,6 +95,17 @@ func main() {
 		}
 		stopMetrics = stop
 		fmt.Printf("hcdird: telemetry on http://%s/metrics (plus /debug/vars, /debug/pprof)\n", mbound)
+	}
+	if *calibrate {
+		// The server-side calibrator lets thin data planes push raw
+		// samples and have the directory do the fitting; its prior is
+		// the table the daemon starts from.
+		cal, err := calib.New(perf, calib.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		srv.SetCalibrator(cal)
+		fmt.Println("hcdird: server-side network calibration armed (calibrate op accepts raw samples)")
 	}
 	if *chaosDrop > 0 || *chaosStall > 0 || *chaosTear > 0 {
 		stallProb := 0.0

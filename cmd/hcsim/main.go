@@ -13,6 +13,8 @@
 //	hcsim -p 16 -trace out.json                             # write a Chrome/Perfetto trace
 //	hcsim -p 8 -execute -transport mem                      # real byte transfers, in-process
 //	hcsim -p 8 -execute -transport tcp -faults 2            # loopback TCP, 2 seeded node kills
+//	hcsim -p 8 -execute -calibrate                          # fit measured timings, print verdicts
+//	hcsim -p 8 -execute -calibrate -calibrate-push :7474    # and feed them to a live directory
 package main
 
 import (
@@ -25,6 +27,8 @@ import (
 	"sync"
 
 	"hetsched"
+	"hetsched/internal/calib"
+	"hetsched/internal/directory"
 	dataplane "hetsched/internal/exec"
 	"hetsched/internal/faults"
 	"hetsched/internal/netmodel"
@@ -52,6 +56,8 @@ func main() {
 		execute    = flag.Bool("execute", false, "perform the plan as real byte transfers over a transport (with -execute, -faults kills that many seeded nodes mid-exchange)")
 		transport  = flag.String("transport", "mem", "-execute transport: mem (in-process pipes) or tcp (loopback sockets)")
 		slack      = flag.Float64("slack", 0, "-execute deadline slack factor over modeled transfer times (0 = executor default)")
+		calibrate  = flag.Bool("calibrate", false, "with -execute, fit a network calibrator from the measured transfer timings and print its per-pair verdicts")
+		calibPush  = flag.String("calibrate-push", "", "with -calibrate, also push trusted estimates to the directory service at this address")
 	)
 	flag.Parse()
 
@@ -117,9 +123,12 @@ func main() {
 	fmt.Printf("planned completion: %.4g s (lower bound %.4g s)\n", res.CompletionTime(), res.LowerBound)
 
 	if *execute {
-		runExecute(rng, res, m, sizes, *transport, *slack, *faultCount, tracer)
+		runExecute(rng, res, m, sizes, perf, *transport, *slack, *faultCount, *calibrate, *calibPush, tracer)
 		writeTrace(tracer, *traceOut, nil, names)
 		return
+	}
+	if *calibrate {
+		fatal(fmt.Errorf("-calibrate needs -execute: calibration fits measured transfers, and only -execute moves bytes"))
 	}
 
 	// The execution network, optionally shifting mid-run.
@@ -268,9 +277,14 @@ func writeTrace(tracer *obs.Tracer, path string, executed *timing.Schedule, name
 // runExecute performs the plan as real byte transfers over a data-plane
 // transport. With faultCount > 0 it kills that many seeded nodes
 // mid-exchange — each kill triggers after a seeded number of deliveries
-// — and lets the executor recover via residual rescheduling.
+// — and lets the executor recover via residual rescheduling. With
+// calibrate, the measured per-transfer timings feed a network
+// calibrator seeded from the planning table; its per-pair verdicts are
+// printed after the exchange, and pushAddr sends trusted estimates to
+// a live directory over the calibrate op.
 func runExecute(rng *rand.Rand, res *hetsched.Result, m *hetsched.Matrix,
-	sizes *hetsched.Sizes, transport string, slack float64, faultCount int, tracer *obs.Tracer) {
+	sizes *hetsched.Sizes, perf *hetsched.Perf, transport string, slack float64,
+	faultCount int, calibrate bool, pushAddr string, tracer *obs.Tracer) {
 	n := m.N()
 	var tr dataplane.Transport
 	var err error
@@ -302,6 +316,32 @@ func runExecute(rng *rand.Rand, res *hetsched.Result, m *hetsched.Matrix,
 		nextKill  int
 	)
 	cfg := dataplane.Config{Slack: slack, Tracer: tracer}
+	var cal *calib.Calibrator
+	if calibrate {
+		var err error
+		if cal, err = calib.New(perf, calib.Config{}); err != nil {
+			fatal(err)
+		}
+		var sink func([]calib.Update) error
+		if pushAddr != "" {
+			rc := directory.NewResilientClient(pushAddr, directory.ResilientConfig{})
+			defer rc.Close()
+			sink = directory.CalibrateSink(rc)
+		}
+		cfg.Samples = func(samples []calib.Sample) {
+			cal.ObserveBatch(samples)
+			if sink == nil {
+				return
+			}
+			if updates := cal.Updates(); len(updates) > 0 {
+				if err := sink(updates); err != nil {
+					fmt.Printf("calibrate: push to %s failed: %v\n", pushAddr, err)
+				} else {
+					fmt.Printf("calibrate: pushed %d trusted pair estimates to %s\n", len(updates), pushAddr)
+				}
+			}
+		}
+	}
 	cfg.Deliver = func(src, dst int, payload []byte) {
 		mu.Lock()
 		delivered++
@@ -327,6 +367,35 @@ func runExecute(rng *rand.Rand, res *hetsched.Result, m *hetsched.Matrix,
 	fmt.Printf("executed (%s transport): %d/%d transfers delivered\n",
 		transport, rep.DeliveredTransfers+rep.ReroutedTransfers, total)
 	fmt.Print(rep.String())
+	if cal != nil {
+		printCalibration(cal, sizes)
+	}
+}
+
+// printCalibration renders the calibrator's verdict on the measured
+// network: totals, then every measured pair's estimate against the
+// table it planned from.
+func printCalibration(cal *calib.Calibrator, sizes *hetsched.Sizes) {
+	sum := cal.Summarize()
+	fmt.Printf("calibration: %d samples accepted, %d rejected; %d/%d measured pairs trusted (threshold %.2f)\n",
+		sum.Accepted, sum.Rejected, sum.TrustedPairs, sum.MeasuredPairs, sum.TrustThreshold)
+	n := cal.N()
+	for src := 0; src < n; src++ {
+		for dst := 0; dst < n; dst++ {
+			pe := cal.Pair(src, dst)
+			if pe.Accepted == 0 && pe.Rejected == 0 {
+				continue
+			}
+			state := "distrusted"
+			if pe.Trusted {
+				state = "trusted"
+			}
+			modeled := pe.Prior.TransferTime(sizes.At(src, dst))
+			measured := pe.Perf.TransferTime(sizes.At(src, dst))
+			fmt.Printf("  P%d->P%d: %s conf %.2f, table %.4gs vs measured %.4gs (%d accepted, %d rejected)\n",
+				src, dst, state, pe.Confidence, modeled, measured, pe.Accepted, pe.Rejected)
+		}
+	}
 }
 
 func fatal(err error) {

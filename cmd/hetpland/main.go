@@ -14,6 +14,7 @@
 //	hetpland -gusto -workers 8 -queue 64 -deadline 500ms  # tune admission control
 //	hetpland -gusto -metrics-addr 127.0.0.1:9091          # Prometheus /metrics + pprof + /statusz
 //	hetpland -gusto -metrics-addr :9091 -tail 256         # retain span trees of tail-latency requests
+//	hetpland -dir 127.0.0.1:7474 -calibrate               # overlay calibrated estimates, push them back
 //
 // Observability: the flight recorder is always on (a fixed ring of
 // recent structured events, near-zero idle cost) and dumps to disk on
@@ -36,6 +37,7 @@ import (
 	"time"
 
 	"hetsched"
+	"hetsched/internal/calib"
 	"hetsched/internal/comm"
 	"hetsched/internal/directory"
 	"hetsched/internal/netmodel"
@@ -64,6 +66,7 @@ func main() {
 		flightDump  = flag.String("flight-dump", "", "flight recorder dump path (empty = a file under the OS temp dir)")
 		tailCap     = flag.Int("tail", 0, "retain up to this many span trees of interesting requests (0 disables per-request tracing)")
 		tailAll     = flag.Bool("tail-all", false, "with -tail, retain every request's span tree, not just interesting ones")
+		calibrate   = flag.Bool("calibrate", false, "arm a network calibrator: planning snapshots are overlaid with estimates it trusts, /statusz shows per-pair confidence, and with -dir trusted updates are pushed back to the directory")
 	)
 	flag.Parse()
 
@@ -71,10 +74,12 @@ func main() {
 		source comm.Source
 		gen    serve.GenFunc
 		n      int
+		prior  *netmodel.Perf
+		rc     *directory.ResilientClient
 	)
 	switch {
 	case *dir != "":
-		rc := directory.NewResilientClient(*dir, directory.ResilientConfig{
+		rc = directory.NewResilientClient(*dir, directory.ResilientConfig{
 			DialTimeout:    5 * time.Second,
 			RequestTimeout: 5 * time.Second,
 		})
@@ -84,6 +89,7 @@ func main() {
 			fatal(fmt.Errorf("initial directory snapshot from %s: %w", *dir, err))
 		}
 		n = perf.N()
+		prior = perf
 		// A strict source lets the communicator's own ladder observe
 		// outages and tag responses honestly; the resilient client's
 		// cache still backs the stale rung.
@@ -94,11 +100,13 @@ func main() {
 	case *gusto:
 		perf := hetsched.Gusto()
 		n = perf.N()
+		prior = perf
 		source = staticSource(perf)
 		fmt.Printf("hetpland: planning for %d processors against the static GUSTO tables\n", n)
 	case *random:
 		perf := hetsched.RandomPerf(rand.New(rand.NewSource(*seed)), *p, hetsched.GustoGuided())
 		n = perf.N()
+		prior = perf
 		source = staticSource(perf)
 		fmt.Printf("hetpland: planning for %d processors against a random table (seed %d)\n", n, *seed)
 	default:
@@ -124,7 +132,22 @@ func main() {
 		tail = obs.NewTailSampler(*tailCap)
 	}
 
-	c, err := comm.New(n, source, comm.Config{Metrics: reg, Flight: flight})
+	ccfg := comm.Config{Metrics: reg, Flight: flight}
+	var cal *calib.Calibrator
+	if *calibrate {
+		var err error
+		if cal, err = calib.New(prior, calib.Config{Metrics: reg, Flight: flight}); err != nil {
+			fatal(err)
+		}
+		ccfg.Calibrator = cal
+		if rc != nil {
+			// Close the loop: estimates the calibrator comes to trust
+			// flow back to the directory every processor snapshots from.
+			ccfg.CalibSink = directory.CalibrateSink(rc)
+		}
+		fmt.Println("hetpland: network calibration armed (per-pair confidence on /statusz)")
+	}
+	c, err := comm.New(n, source, ccfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -140,6 +163,7 @@ func main() {
 		Flight:          flight,
 		Tail:            tail,
 		TailAll:         *tailAll,
+		Calib:           cal,
 	})
 	if err != nil {
 		fatal(err)

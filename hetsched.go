@@ -42,6 +42,7 @@ package hetsched
 import (
 	"math/rand"
 
+	"hetsched/internal/calib"
 	"hetsched/internal/collective"
 	"hetsched/internal/comm"
 	"hetsched/internal/directory"
@@ -827,3 +828,55 @@ type (
 // NewSlowClientInjector creates a slow-consumer injector; install with
 // PlanServerConfig.WrapConn or DirectoryServer.SetConnWrapper.
 var NewSlowClientInjector = faults.NewSlowClientInjector
+
+// Closed-loop network calibration: an online estimator that turns the
+// executor's measured transfer timings into trusted per-pair
+// (latency, bandwidth) estimates, with outlier rejection and
+// confidence so planning distrusts cold or contradictory pairs and
+// falls back to the static directory table. Install via
+// CommConfig.Calibrator; see DESIGN.md §14.
+type (
+	// Calibrator fits per-pair network estimates from measured
+	// transfers.
+	Calibrator = calib.Calibrator
+	// CalibConfig tunes the fit, the rejection gauntlet, and trust.
+	CalibConfig = calib.Config
+	// CalibSample is one measured transfer (the executor emits these
+	// through ExecConfig.Samples).
+	CalibSample = calib.Sample
+	// CalibUpdate is one trusted per-pair estimate ready to push to
+	// the directory.
+	CalibUpdate = calib.Update
+	// CalibBatchReport tallies one ObserveBatch call.
+	CalibBatchReport = calib.BatchReport
+	// CalibPairEstimate is one pair's fitted state and confidence.
+	CalibPairEstimate = calib.PairEstimate
+	// CalibSummary snapshots the whole calibrator for /statusz.
+	CalibSummary = calib.Summary
+)
+
+// NewCalibrator creates a calibrator anchored on a static table.
+var NewCalibrator = calib.New
+
+// Seeded network-drift fault injection for calibration chaos tests:
+// a virtual-time schedule of step/ramp/flap events over the true
+// pairwise performance, and a conn wrapper imposing the drifted
+// timings on real transfers.
+type (
+	// NetworkDrifter evolves the true network along a seeded schedule.
+	NetworkDrifter = faults.Drifter
+	// DriftEvent is one step, ramp, or flap on one pair.
+	DriftEvent = faults.DriftEvent
+	// PairDelayConfig shapes the per-pair delay injector.
+	PairDelayConfig = faults.PairDelayConfig
+	// PairDelayInjector wraps conns so transfers take the drifted
+	// network's time.
+	PairDelayInjector = faults.PairDelayInjector
+)
+
+// NewNetworkDrifter creates a drift schedule over a base table.
+var NewNetworkDrifter = faults.NewDrifter
+
+// NewPairDelayInjector creates a conn wrapper that imposes per-pair
+// latency and bandwidth on real transfers.
+var NewPairDelayInjector = faults.NewPairDelayInjector

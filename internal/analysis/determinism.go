@@ -42,6 +42,7 @@ var determinismScope = []string{
 	"internal/comm",
 	"internal/directory",
 	"internal/exec",
+	"internal/calib",
 }
 
 func (determinismChecker) Name() string { return "determinism" }

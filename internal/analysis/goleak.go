@@ -49,6 +49,7 @@ var goleakScope = []string{
 	"internal/obs",
 	"internal/faults",
 	"internal/experiments",
+	"internal/calib",
 }
 
 func (goleakChecker) Name() string { return "goleak" }

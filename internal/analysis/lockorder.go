@@ -48,6 +48,7 @@ var lockorderScope = []string{
 	"internal/obs",
 	"cmd/hetpland",
 	"cmd/hcload",
+	"internal/calib",
 }
 
 func (lockorderChecker) Name() string { return "lockorder" }

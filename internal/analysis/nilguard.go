@@ -19,13 +19,15 @@ import (
 type nilguardChecker struct{}
 
 // nilguardScope lists the packages under the fail-closed contract:
-// internal/obs (disabled telemetry must cost one pointer check) and
+// internal/obs (disabled telemetry must cost one pointer check),
 // internal/serve (a nil daemon, server, or client must refuse service
 // rather than panic — the overload-safety story includes the
-// not-even-constructed case).
+// not-even-constructed case), and internal/calib (disabled
+// calibration must be a pointer check returning its input).
 var nilguardScope = []string{
 	"internal/obs",
 	"internal/serve",
+	"internal/calib",
 }
 
 func (nilguardChecker) Name() string { return "nilguard" }

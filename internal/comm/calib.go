@@ -1,0 +1,58 @@
+package comm
+
+import (
+	"hetsched/internal/calib"
+	"hetsched/internal/netmodel"
+)
+
+// This file wires the communicator into the closed calibration loop:
+// measured transfer timings from the data plane (exec.Config.Samples)
+// flow into the configured calibrator, confident estimates flow out to
+// the calibration sink (typically the directory), and every planning
+// snapshot is overlaid with the estimates the calibrator currently
+// trusts. With Config.Calibrator unset every hook below is a pointer
+// check that returns its input — the disabled path stays byte- and
+// allocation-identical to a communicator without calibration.
+
+// calibrated overlays the calibrator's trusted per-pair estimates on a
+// snapshot before model building. Copy-on-write: with no calibrator,
+// or when no pair clears the trust gate, the input pointer is returned
+// untouched and nothing is allocated.
+func (c *Communicator) calibrated(perf *netmodel.Perf) *netmodel.Perf {
+	if c.cfg.Calibrator == nil {
+		return perf
+	}
+	return c.cfg.Calibrator.Apply(perf)
+}
+
+// feedCalibration is the exec.Config.Samples hook ExecuteCtx arms when
+// a calibrator is configured: one call per exchange, carrying every
+// measured transfer. The calibrator runs its rejection gauntlet, and
+// whatever estimates cleared the confidence gate since the last drain
+// are pushed to the sink. c.mu is never held across calibrator or sink
+// calls — both take their own locks and the sink does network I/O.
+func (c *Communicator) feedCalibration(samples []calib.Sample) {
+	cal := c.cfg.Calibrator
+	if cal == nil || len(samples) == 0 {
+		return
+	}
+	cal.ObserveBatch(samples)
+	c.mu.Lock()
+	c.stats.CalibBatches++
+	c.mu.Unlock()
+	sink := c.cfg.CalibSink
+	if sink == nil {
+		return
+	}
+	updates := cal.Updates()
+	if len(updates) == 0 {
+		return
+	}
+	err := sink(updates)
+	c.mu.Lock()
+	c.stats.CalibPushes++
+	if err != nil {
+		c.stats.CalibPushErrors++
+	}
+	c.mu.Unlock()
+}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hetsched/internal/calib"
 	"hetsched/internal/model"
 	"hetsched/internal/netmodel"
 	"hetsched/internal/obs"
@@ -74,6 +75,22 @@ type Config struct {
 	// ladder transitions downward (fresh→stale, →degraded) — the
 	// moment an outage becomes visible to planning. Nil disables it.
 	Flight *obs.FlightRecorder
+	// Calibrator, when set, closes the measurement loop: Execute feeds
+	// the executor's per-transfer timings through it, and the fresh and
+	// stale rungs of the fallback ladder overlay its trusted per-pair
+	// estimates on every snapshot before planning (untrusted and cold
+	// pairs keep the snapshot's values — the calibrator distrusts what
+	// it cannot corroborate). Nil — the default — disables calibration
+	// entirely; the disabled path is byte-identical to a communicator
+	// built before calibration existed, allocations included.
+	Calibrator *calib.Calibrator
+	// CalibSink, when set alongside Calibrator, receives each batch of
+	// confident estimates the calibrator drains after an Execute —
+	// directory.CalibrateSink is the canonical adapter, completing the
+	// loop back into the shared directory. Push failures are counted in
+	// Stats, never fatal: the calibrator keeps its state and the next
+	// drain re-derives anything still worth publishing.
+	CalibSink func([]calib.Update) error
 }
 
 // Stats counts what the communicator did. When Config.Metrics is set,
@@ -88,6 +105,12 @@ type Stats struct {
 	ServedFresh    int // planned from a live snapshot
 	ServedStale    int // planned from the cached last-known-good table
 	ServedDegraded int // planned blind with the uniform baseline
+
+	// Calibration-feed counters; all zero while Config.Calibrator is
+	// unset.
+	CalibBatches    int // executor sample batches fed to the calibrator
+	CalibPushes     int // update batches handed to the calibration sink
+	CalibPushErrors int // sink pushes that reported failure
 }
 
 // Communicator plans network-aware collective communication. It is
@@ -161,6 +184,12 @@ func New(n int, source Source, cfg Config) (*Communicator, error) {
 		//hetvet:ignore determinism the communicator's one wall-clock default; tests and sims inject Clock
 		cfg.Clock = time.Now
 	}
+	if cfg.Calibrator != nil && cfg.Calibrator.N() != n {
+		return nil, fmt.Errorf("comm: calibrator is for %d processors, communicator for %d", cfg.Calibrator.N(), n)
+	}
+	if cfg.CalibSink != nil && cfg.Calibrator == nil {
+		return nil, fmt.Errorf("comm: calibration sink set without a calibrator to drain")
+	}
 	c := &Communicator{n: n, source: source, cfg: cfg,
 		tel:        newCommTelemetry(cfg.Metrics, cfg.Tracer),
 		repairName: cfg.RepairScheduler.Name() + "+repair"}
@@ -203,23 +232,25 @@ func (c *Communicator) snapshotMatrix(sizes *model.Sizes) (*model.Matrix, Health
 		}
 		c.mu.Lock()
 		// An unchanged table keeps the existing cached clone; only the
-		// timestamp is refreshed.
+		// timestamp is refreshed. The cache holds the RAW snapshot —
+		// calibration is overlaid at build time, so an estimate that
+		// loses trust later stops being applied to the cached table too.
 		if c.lastPerf == nil || !c.lastPerf.Equal(perf) {
 			c.lastPerf = perf.Clone()
 		}
 		c.lastPerfAt = c.cfg.Clock()
 		c.mu.Unlock()
-		m, err := model.Build(perf, sizes)
+		m, err := model.Build(c.calibrated(perf), sizes)
 		return m, HealthOK, err
 	}
 	// Rung 2: the cached table, while it is young enough to beat
 	// guessing. Cached tables are never mutated, so reading outside the
-	// planning path is safe.
+	// planning path is safe (calibrated overlays copy-on-write).
 	c.mu.Lock()
 	cached, at := c.lastPerf, c.lastPerfAt
 	c.mu.Unlock()
 	if cached != nil && c.cfg.StaleBound > 0 && c.cfg.Clock().Sub(at) <= c.cfg.StaleBound {
-		m, err := model.Build(cached, sizes)
+		m, err := model.Build(c.calibrated(cached), sizes)
 		return m, HealthStale, err
 	}
 	// Rung 3: no usable knowledge; the uniform model still yields a

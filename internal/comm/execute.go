@@ -62,6 +62,13 @@ func (c *Communicator) ExecuteCtx(ctx context.Context, tr exec.Transport, sizes 
 	if ecfg.Flight == nil {
 		ecfg.Flight = c.cfg.Flight
 	}
+	if ecfg.Samples == nil && c.cfg.Calibrator != nil {
+		// Close the measurement loop: the executor times every transfer
+		// and hands the batch to the calibrator after the exchange. A
+		// caller-provided Samples hook wins — it can tee to the
+		// calibrator itself if it wants both.
+		ecfg.Samples = c.feedCalibration
+	}
 	if ecfg.Replan == nil {
 		ecfg.Replan = func(m *model.Matrix, residual sched.Pattern, alive func(int) bool) (*sched.Result, error) {
 			return sched.ReplanResidual(m, residual, alive)

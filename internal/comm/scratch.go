@@ -64,13 +64,13 @@ func (c *Communicator) snapshotMatrixScratch(sizes *model.Sizes, sc *PlanScratch
 		}
 		c.lastPerfAt = c.cfg.Clock()
 		c.mu.Unlock()
-		return &sc.matrix, HealthOK, model.BuildInto(&sc.matrix, perf, sizes)
+		return &sc.matrix, HealthOK, model.BuildInto(&sc.matrix, c.calibrated(perf), sizes)
 	}
 	c.mu.Lock()
 	cached, at := c.lastPerf, c.lastPerfAt
 	c.mu.Unlock()
 	if cached != nil && c.cfg.StaleBound > 0 && c.cfg.Clock().Sub(at) <= c.cfg.StaleBound {
-		return &sc.matrix, HealthStale, model.BuildInto(&sc.matrix, cached, sizes)
+		return &sc.matrix, HealthStale, model.BuildInto(&sc.matrix, c.calibrated(cached), sizes)
 	}
 	return &sc.matrix, HealthDegraded, model.BuildInto(&sc.matrix, uniformPerf(c.n), sizes)
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"hetsched/internal/calib"
 	"hetsched/internal/netmodel"
 )
 
@@ -142,15 +143,23 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) roundTrip(req request) (response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.broken {
-		return response{}, fmt.Errorf("%w (call Reconnect to recover)", ErrBroken)
-	}
 	out, err := encodeRequest(req)
 	if err != nil {
 		// Nothing touched the wire; the connection is still clean.
 		return response{}, fmt.Errorf("directory: send: %w", err)
+	}
+	return c.roundTripLine(out)
+}
+
+// roundTripLine sends one pre-encoded request line and reads one
+// response line — the transport core shared by the scalar request
+// union and the calibration frames, which carry slice payloads the
+// union cannot hold.
+func (c *Client) roundTripLine(out []byte) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken {
+		return response{}, fmt.Errorf("%w (call Reconnect to recover)", ErrBroken)
 	}
 	// The wire work below runs under c.mu on purpose: the JSON-line
 	// protocol is strictly one request, one response, so the mutex IS
@@ -219,7 +228,30 @@ func (c *Client) Snapshot() (*netmodel.Perf, []string, uint64, error) {
 			perf.Set(i, j, netmodel.PairPerf{Latency: resp.LatTable[i][j], Bandwidth: resp.BWTable[i][j]})
 		}
 	}
+	// Bounds validation at the trust boundary: a snapshot is only as
+	// good as the server that sent it, and a NaN or zero-bandwidth entry
+	// accepted here would flow straight into scheduling arithmetic.
+	if err := perf.Validate(); err != nil {
+		return nil, nil, 0, fmt.Errorf("directory: snapshot failed validation: %w", err)
+	}
 	return perf, resp.Names, resp.Version, nil
+}
+
+// Calibrate pushes one calibration batch — fitted updates, raw samples
+// for a server-side calibrator, or both — and returns the server's
+// accounting: entries folded into the table, entries rejected at the
+// bounds boundary, and the store version after the push.
+func (c *Client) Calibrate(updates []calib.Update, samples []calib.Sample) (applied, rejected int, version uint64, err error) {
+	out, err := EncodeCalibRequest(CalibRequest{Op: OpCalibrate, Updates: updates, Samples: samples})
+	if err != nil {
+		// Nothing touched the wire; the connection is still clean.
+		return 0, 0, 0, fmt.Errorf("directory: send: %w", err)
+	}
+	resp, err := c.roundTripLine(out)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return resp.Applied, resp.Rejected, resp.Version, nil
 }
 
 // UpdatePair publishes fresh performance for one ordered pair.

@@ -106,3 +106,44 @@ func FuzzProtocolDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCalibProtoDecode holds the calibration-feed frames
+// (calibproto.go) to the wire properties of FuzzProtocolDecode: no
+// panics on arbitrary lines, and one encode of any accepted request
+// must be a fixed point (the Updates and Samples slices make strict
+// equality too strong — nil and empty both encode as an omitted
+// field). Responses to OpCalibrate reuse the response union, already
+// covered by FuzzProtocolDecode.
+func FuzzCalibProtoDecode(f *testing.F) {
+	f.Add(`{"op":"calibrate","updates":[{"src":0,"dst":3,"latency":0.012,"bandwidth":250000,"confidence":0.81,"samples":12}]}`)
+	f.Add(`{"op":"calibrate","samples":[{"src":0,"dst":3,"bytes":65536,"seconds":0.27,"outcome":"delivered"}]}`)
+	f.Add(`{"op":"calibrate","samples":[{"src":1,"dst":2,"bytes":1024,"seconds":4.2,"retries":3,"outcome":"rerouted"}]}`)
+	f.Add(`{"op":"calibrate","updates":[],"samples":[]}`)
+	f.Add(`{"op":"calibrate","updates":[{"src":-1,"dst":99,"latency":-5,"bandwidth":0,"confidence":2}]}`)
+	f.Add(`{"op":"calibrate"}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Add(`null`)
+	f.Add(`[1,2,3]`)
+	f.Fuzz(func(t *testing.T, line string) {
+		req, err := ParseCalibRequest([]byte(line))
+		if err != nil {
+			return
+		}
+		wire, err := EncodeCalibRequest(req)
+		if err != nil {
+			t.Fatalf("accepted calibrate request failed to encode: %v", err)
+		}
+		back, err := ParseCalibRequest(wire)
+		if err != nil {
+			t.Fatalf("encoded calibrate request failed to re-parse: %v", err)
+		}
+		wire2, err := EncodeCalibRequest(back)
+		if err != nil {
+			t.Fatalf("re-parsed calibrate request failed to encode: %v", err)
+		}
+		if !bytes.Equal(wire, wire2) {
+			t.Fatalf("calibrate request round trip changed %s to %s", wire, wire2)
+		}
+	})
+}

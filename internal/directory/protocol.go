@@ -42,6 +42,11 @@ type response struct {
 	Bandwidth float64     `json:"bandwidth,omitempty"`
 	LatTable  [][]float64 `json:"lat_table,omitempty"`
 	BWTable   [][]float64 `json:"bw_table,omitempty"`
+	// Calibration-feed accounting (OpCalibrate, calibproto.go): how many
+	// entries of the request were folded into the store and how many were
+	// rejected at the bounds boundary.
+	Applied  int `json:"applied,omitempty"`
+	Rejected int `json:"rejected,omitempty"`
 }
 
 // Protocol op names.

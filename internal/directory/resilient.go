@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"hetsched/internal/calib"
 	"hetsched/internal/netmodel"
 	"hetsched/internal/obs"
 )
@@ -453,6 +454,45 @@ func (r *ResilientClient) UpdatePairContext(ctx context.Context, src, dst int, p
 		return nil
 	})
 	return ver, err
+}
+
+// Calibrate pushes one calibration batch with retry and reconnection.
+// Like UpdatePair, writes never degrade: if the server cannot be
+// reached the error is returned so the caller knows the feed push was
+// lost (the calibrator keeps its state, so the next drain re-derives
+// anything that still matters).
+func (r *ResilientClient) Calibrate(updates []calib.Update, samples []calib.Sample) (applied, rejected int, version uint64, err error) {
+	return r.CalibrateContext(context.Background(), updates, samples)
+}
+
+// CalibrateContext is Calibrate with context-aware retry backoff.
+func (r *ResilientClient) CalibrateContext(ctx context.Context, updates []calib.Update, samples []calib.Sample) (applied, rejected int, version uint64, err error) {
+	err = r.doCtx(ctx, "calibrate", func(cl *Client) error {
+		a, rej, v, e := cl.Calibrate(updates, samples)
+		if e != nil {
+			return e
+		}
+		applied, rejected, version = a, rej, v
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return applied, rejected, version, nil
+}
+
+// CalibrateSink adapts a resilient client to the push-function shape
+// the comm layer's calibration feed wants (comm.Config.CalibSink): a
+// function that publishes one drained update batch. Empty batches are
+// a no-op so callers can push unconditionally.
+func CalibrateSink(r *ResilientClient) func([]calib.Update) error {
+	return func(updates []calib.Update) error {
+		if r == nil || len(updates) == 0 {
+			return nil
+		}
+		_, _, _, err := r.Calibrate(updates, nil)
+		return err
+	}
 }
 
 // Version fetches the store's version counter with retry; it does not

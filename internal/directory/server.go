@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"hetsched/internal/calib"
 	"hetsched/internal/netmodel"
 	"hetsched/internal/obs"
 )
@@ -28,6 +29,7 @@ type Server struct {
 	idleTimeout time.Duration
 	wrapConn    func(net.Conn) net.Conn
 	clock       func() time.Time
+	calibrator  *calib.Calibrator
 
 	// resolved telemetry instruments; all nil when metrics are off.
 	mConns   *obs.Counter
@@ -74,7 +76,7 @@ func (s *Server) SetMetrics(reg *obs.Registry) {
 	s.mConns = reg.Counter(obs.MetricDirectoryServerConns,
 		"Connections accepted by the directory server.")
 	s.mReqs = map[string]*obs.Counter{}
-	for _, op := range []string{opQuery, opSnapshot, opUpdatePair, opVersion, "invalid"} {
+	for _, op := range []string{opQuery, opSnapshot, opUpdatePair, opVersion, OpCalibrate, "invalid"} {
 		s.mReqs[op] = reg.Counter(obs.MetricDirectoryServerRequests,
 			"Requests handled by the directory server, by op.", obs.L("op", op))
 	}
@@ -94,6 +96,18 @@ func (s *Server) countRequest(op string) {
 		c = s.mReqs["invalid"]
 	}
 	c.Inc()
+}
+
+// SetCalibrator attaches a server-side calibrator: OpCalibrate
+// requests carrying raw Samples are fed through it and whatever
+// estimates clear its confidence gate are folded into the store, so
+// thin clients can report measurements without running their own
+// fitter. Without one, samples are counted as rejected (updates still
+// apply). Call before Listen; nil detaches.
+func (s *Server) SetCalibrator(cal *calib.Calibrator) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.calibrator = cal
 }
 
 // SetConnWrapper installs a hook applied to every accepted connection
@@ -195,6 +209,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		var resp response
 		if req, err := parseRequest(line); err != nil {
 			resp = response{Error: err.Error()}
+		} else if req.Op == OpCalibrate {
+			// The calibration feed carries slice payloads the scalar
+			// request union cannot hold, so the raw line is re-parsed
+			// into its own frame type.
+			resp = s.handleCalibrate(line)
 		} else {
 			resp = s.handle(req)
 		}
@@ -248,6 +267,36 @@ func (s *Server) handle(req request) response {
 	default:
 		return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+}
+
+// handleCalibrate serves one OpCalibrate request. Applied counts table
+// writes; Rejected counts request entries that did not make it into the
+// table — updates that failed the bounds boundary, samples the attached
+// calibrator's rejection gauntlet threw out, and samples received by a
+// server with no calibrator to fit them.
+func (s *Server) handleCalibrate(line []byte) response {
+	s.countRequest(OpCalibrate)
+	creq, err := ParseCalibRequest(line)
+	if err != nil {
+		return response{Error: err.Error()}
+	}
+	applied, rejected, v := s.store.ApplyCalibration(creq.Updates)
+	s.mu.Lock()
+	cal := s.calibrator
+	s.mu.Unlock()
+	switch {
+	case cal != nil && len(creq.Samples) > 0:
+		rep := cal.ObserveBatch(creq.Samples)
+		rejected += rep.Rejected()
+		a, r, v2 := s.store.ApplyCalibration(cal.Updates())
+		applied += a
+		rejected += r
+		v = v2
+	case len(creq.Samples) > 0:
+		rejected += len(creq.Samples)
+	}
+	s.mVersion.Set(float64(v))
+	return response{OK: true, Version: v, Applied: applied, Rejected: rejected}
 }
 
 // Drain shuts the server down gracefully: the listener closes

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"hetsched/internal/calib"
 	"hetsched/internal/netmodel"
 )
 
@@ -123,6 +124,35 @@ func (s *Store) UpdatePair(src, dst int, pp netmodel.PairPerf) (uint64, error) {
 	s.version++
 	s.notifyLocked(s.version)
 	return s.version, nil
+}
+
+// ApplyCalibration folds a batch of fitted calibration updates into the
+// table. Every entry is bounds-checked at this boundary — index range,
+// no diagonal, netmodel.PairPerf.Check — regardless of the confidence
+// the sender claims; offending entries are counted in rejected and
+// skipped, so one garbage update can never poison the shared table or
+// veto its batch-mates. The version bumps once per batch (not per
+// entry) and only when at least one entry applied, so subscribers and
+// version pollers see one change per feed push, and a fully rejected
+// batch is invisible. The returned version is current either way.
+func (s *Store) ApplyCalibration(updates []calib.Update) (applied, rejected int, version uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.perf.N()
+	for _, u := range updates {
+		pp := netmodel.PairPerf{Latency: u.Latency, Bandwidth: u.Bandwidth}
+		if u.Src < 0 || u.Src >= n || u.Dst < 0 || u.Dst >= n || u.Src == u.Dst || pp.Check() != nil {
+			rejected++
+			continue
+		}
+		s.perf.Set(u.Src, u.Dst, pp)
+		applied++
+	}
+	if applied > 0 {
+		s.version++
+		s.notifyLocked(s.version)
+	}
+	return applied, rejected, s.version
 }
 
 // Subscribe registers for version-change notifications. The returned

@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hetsched/internal/calib"
 	"hetsched/internal/model"
 	"hetsched/internal/obs"
 	"hetsched/internal/sched"
@@ -105,6 +106,13 @@ type Config struct {
 	// Flight, when set, receives flight-recorder events for peer
 	// deaths, residual replans, and exchange completion. Nil disables.
 	Flight *obs.FlightRecorder
+	// Samples, when set, receives the exchange's per-transfer
+	// measurements after the report is assembled — the feed the
+	// closed-loop calibrator (internal/calib) consumes. The callback
+	// runs once per Run, outside all executor locks, before Run
+	// returns. Nil (the default) disables measurement entirely: the
+	// send path takes no extra clock reads and allocates nothing.
+	Samples func([]calib.Sample)
 }
 
 // Executor runs exchanges over one transport. Create with New; one
@@ -185,6 +193,7 @@ type transfer struct {
 	applied bool // payload handed to the Deliver sink (exactly once)
 	round   int  // plan round the applied attempt was sent under
 	retries int  // extra attempts beyond the first, across rounds
+	seconds float64 // measured wall of the successful attempt; 0 unless Samples is armed
 }
 
 // run is the state of one exchange execution.
@@ -326,7 +335,41 @@ func (e *Executor) Run(ctx context.Context, res *sched.Result, m *model.Matrix, 
 	xsp.End()
 	e.cfg.Flight.Record("exec", "exchange_done", r.trace, rep.DeliveredBytes+rep.ReroutedBytes, int64(len(rep.Dead)))
 	e.observeReport(rep)
+	if e.cfg.Samples != nil {
+		if samples := r.collectSamples(); len(samples) > 0 {
+			e.cfg.Samples(samples)
+		}
+	}
 	return rep, nil
+}
+
+// collectSamples folds the quiescent ledger into calibration samples:
+// one per transfer whose successful attempt was measured, tagged with
+// how the transfer resolved so the calibrator can refuse anything a
+// fault touched. Ascending (src, dst) order keeps the feed
+// deterministic for a deterministic exchange.
+func (r *run) collectSamples() []calib.Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []calib.Sample
+	for src := 0; src < r.n; src++ {
+		for dst := 0; dst < r.n; dst++ {
+			t := r.st[src][dst]
+			if t == nil || !t.applied || t.seconds <= 0 {
+				continue
+			}
+			outcome := calib.OutcomeDelivered
+			if t.round > 0 {
+				outcome = calib.OutcomeRerouted
+			}
+			out = append(out, calib.Sample{
+				Src: src, Dst: dst, Bytes: t.size,
+				Seconds: t.seconds, Retries: t.retries,
+				Outcome: outcome,
+			})
+		}
+	}
+	return out
 }
 
 // isAlive reports current liveness; safe from any goroutine.
@@ -481,10 +524,21 @@ func (r *run) sendOne(round int, t *transfer, modeled float64) {
 	}
 	defer tsp.End()
 	deadline := r.attemptDeadline(modeled)
+	measure := r.ex.cfg.Samples != nil
 	for attempt := 0; ; attempt++ {
+		var began time.Time
+		if measure {
+			began = r.ex.cfg.Clock()
+		}
 		err := r.attempt(round, attempt, t, deadline)
 		r.ex.counter(MetricExecAttempts).Inc()
 		if err == nil {
+			if measure {
+				elapsed := r.ex.cfg.Clock().Sub(began).Seconds()
+				r.mu.Lock()
+				t.seconds = elapsed
+				r.mu.Unlock()
+			}
 			return
 		}
 		if errors.Is(err, ErrTransportClosed) {

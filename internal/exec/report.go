@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"io"
+	"math"
 	"strings"
 	"time"
 )
@@ -62,11 +63,14 @@ func (r *DeliveryReport) Accounted() bool {
 	return r.DeliveredBytes+r.ReroutedBytes+r.AbandonedBytes == r.TotalBytes
 }
 
-// Ratio returns measured wall clock over modeled t_max (0 when the
-// model predicts nothing).
+// Ratio returns measured wall clock over modeled t_max. When the model
+// predicts nothing (Modeled <= 0, a degenerate plan) the ratio is
+// undefined and Ratio returns NaN: the old 0 sentinel read as
+// "infinitely fast" in telemetry and averaged real exchanges down.
+// Callers recording the ratio must skip NaN (observeReport does).
 func (r *DeliveryReport) Ratio() float64 {
-	if r.Modeled == 0 {
-		return 0
+	if r.Modeled <= 0 {
+		return math.NaN()
 	}
 	return r.Wall.Seconds() / r.Modeled
 }
@@ -90,8 +94,12 @@ func (r *DeliveryReport) Render(w io.Writer) {
 	fmt.Fprintf(w, "  bytes: %d total = %d delivered + %d rerouted + %d abandoned (%d retried, %d retries, %d dup suppressed)\n",
 		r.TotalBytes, r.DeliveredBytes, r.ReroutedBytes, r.AbandonedBytes,
 		r.RetriedBytes, r.Retries, r.DupSuppressed)
-	fmt.Fprintf(w, "  time: %.4g s measured vs %.4g s modeled t_max (ratio %.3g)\n",
-		r.Wall.Seconds(), r.Modeled, r.Ratio())
+	ratio := "n/a"
+	if v := r.Ratio(); !math.IsNaN(v) {
+		ratio = fmt.Sprintf("%.3g", v)
+	}
+	fmt.Fprintf(w, "  time: %.4g s measured vs %.4g s modeled t_max (ratio %s)\n",
+		r.Wall.Seconds(), r.Modeled, ratio)
 	fmt.Fprintf(w, "  %-5s %10s %10s %10s %8s  %s\n",
 		"dst", "delivered", "rerouted", "abandoned", "retries", "reasons")
 	for _, d := range r.Dests {

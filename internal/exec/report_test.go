@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"math"
+	"strings"
 	"testing"
 	"time"
 )
@@ -54,7 +56,10 @@ func TestExecReportNoDeadRendersNone(t *testing.T) {
 
 func TestExecReportRatioZeroModel(t *testing.T) {
 	rep := &DeliveryReport{Wall: time.Second}
-	if rep.Ratio() != 0 {
-		t.Fatal("zero-model ratio must be 0")
+	if !math.IsNaN(rep.Ratio()) {
+		t.Fatalf("zero-model ratio must be NaN (undefined), got %g", rep.Ratio())
+	}
+	if !strings.Contains(rep.String(), "(ratio n/a)") {
+		t.Fatalf("zero-model report must render ratio as n/a:\n%s", rep.String())
 	}
 }

@@ -59,8 +59,9 @@ type Transport interface {
 // same seam directory.Server exposes, so chaos tests drive the
 // executor without touching a real socket.
 type Mem struct {
-	n    int
-	wrap func(net.Conn) net.Conn
+	n        int
+	wrap     func(net.Conn) net.Conn
+	pairWrap func(src, dst int, c net.Conn) net.Conn
 
 	mu     sync.Mutex // guards dead, conns, closed — never held across I/O
 	dead   []bool
@@ -101,6 +102,19 @@ func (t *Mem) SetConnWrapper(wrap func(net.Conn) net.Conn) {
 	t.wrap = wrap
 }
 
+// SetPairWrapper installs a pair-aware wrapper applied to the
+// accept-side half of every future connection, carrying the dialing
+// (src, dst) identity — the seam a network emulator needs, since a
+// plain SetConnWrapper cannot know which link a connection serves
+// (faults.PairDelayInjector.WrapPair is the canonical user). Both
+// wrappers may be set; the pair wrapper runs after the plain one. Call
+// before the executor starts; nil removes it.
+func (t *Mem) SetPairWrapper(wrap func(src, dst int, c net.Conn) net.Conn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pairWrap = wrap
+}
+
 // N implements Transport.
 func (t *Mem) N() int { return t.n }
 
@@ -132,11 +146,14 @@ func (t *Mem) Dial(src, dst int) (net.Conn, error) {
 	}
 	client, server := net.Pipe()
 	t.mu.Lock()
-	wrap := t.wrap
+	wrap, pairWrap := t.wrap, t.pairWrap
 	t.mu.Unlock()
 	wrapped := server
 	if wrap != nil {
 		wrapped = wrap(server)
+	}
+	if pairWrap != nil {
+		wrapped = pairWrap(src, dst, wrapped)
 	}
 	// Hand the server half to the destination's accept stream. The
 	// selects keep a dial from blocking forever against a node that

@@ -43,9 +43,30 @@ func (p PairPerf) TransferTime(size int64) float64 {
 
 // Valid reports whether the pair performance is physically meaningful:
 // finite non-negative latency and finite positive bandwidth.
-func (p PairPerf) Valid() bool {
-	return p.Latency >= 0 && !math.IsInf(p.Latency, 0) && !math.IsNaN(p.Latency) &&
-		p.Bandwidth > 0 && !math.IsInf(p.Bandwidth, 0) && !math.IsNaN(p.Bandwidth)
+func (p PairPerf) Valid() bool { return p.Check() == nil }
+
+// ErrPerfBounds marks a pair-performance value rejected by bounds
+// validation at a trust boundary. Test with errors.Is.
+var ErrPerfBounds = errors.New("netmodel: performance out of bounds")
+
+// Check is Valid with a diagnosis: nil for a physically meaningful
+// pair, otherwise an error wrapping ErrPerfBounds that names the first
+// violated bound. Trust boundaries that accept measured performance
+// from elsewhere — the directory's calibration feed, a client
+// validating a snapshot it did not produce — use Check so a rejected
+// value says why it was rejected instead of silently vanishing.
+func (p PairPerf) Check() error {
+	switch {
+	case math.IsNaN(p.Latency) || math.IsInf(p.Latency, 0):
+		return fmt.Errorf("%w: non-finite latency %v", ErrPerfBounds, p.Latency)
+	case p.Latency < 0:
+		return fmt.Errorf("%w: negative latency %v", ErrPerfBounds, p.Latency)
+	case math.IsNaN(p.Bandwidth) || math.IsInf(p.Bandwidth, 0):
+		return fmt.Errorf("%w: non-finite bandwidth %v", ErrPerfBounds, p.Bandwidth)
+	case p.Bandwidth <= 0:
+		return fmt.Errorf("%w: non-positive bandwidth %v", ErrPerfBounds, p.Bandwidth)
+	}
+	return nil
 }
 
 // Perf is a dense table of pairwise network performance for an N
@@ -92,8 +113,8 @@ func (p *Perf) Validate() error {
 			if i == j {
 				continue
 			}
-			if !p.At(i, j).Valid() {
-				return fmt.Errorf("netmodel: invalid performance %+v for pair (%d,%d)", p.At(i, j), i, j)
+			if err := p.At(i, j).Check(); err != nil {
+				return fmt.Errorf("netmodel: invalid performance %+v for pair (%d,%d): %w", p.At(i, j), i, j, err)
 			}
 		}
 	}

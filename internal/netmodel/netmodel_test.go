@@ -1,8 +1,10 @@
 package netmodel
 
 import (
+	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -52,6 +54,62 @@ func TestPairPerfValid(t *testing.T) {
 		if got := c.pp.Valid(); got != c.want {
 			t.Errorf("Valid(%+v) = %v, want %v", c.pp, got, c.want)
 		}
+	}
+}
+
+func TestPairPerfCheck(t *testing.T) {
+	cases := []struct {
+		pp   PairPerf
+		want string // substring of the diagnosis; empty means nil error
+	}{
+		{PairPerf{0.01, 1000}, ""},
+		{PairPerf{0, 1}, ""},
+		{PairPerf{-0.01, 1000}, "negative latency"},
+		{PairPerf{math.Inf(1), 1000}, "non-finite latency"},
+		{PairPerf{math.NaN(), 1000}, "non-finite latency"},
+		{PairPerf{0.01, 0}, "non-positive bandwidth"},
+		{PairPerf{0.01, -5}, "non-positive bandwidth"},
+		{PairPerf{0.01, math.Inf(1)}, "non-finite bandwidth"},
+		{PairPerf{0.01, math.NaN()}, "non-finite bandwidth"},
+	}
+	for _, c := range cases {
+		err := c.pp.Check()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("Check(%+v) = %v, want nil", c.pp, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("Check(%+v) accepted, want %q", c.pp, c.want)
+			continue
+		}
+		if !errors.Is(err, ErrPerfBounds) {
+			t.Errorf("Check(%+v) error does not wrap ErrPerfBounds: %v", c.pp, err)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Check(%+v) = %q, want diagnosis %q", c.pp, err, c.want)
+		}
+		// Valid and Check must agree by construction.
+		if c.pp.Valid() {
+			t.Errorf("Valid(%+v) true but Check rejects", c.pp)
+		}
+	}
+}
+
+func TestPerfValidateWrapsBounds(t *testing.T) {
+	p := NewPerf(2)
+	p.Set(0, 1, PairPerf{Latency: 0.01, Bandwidth: 1000})
+	p.Set(1, 0, PairPerf{Latency: 0.01, Bandwidth: -1})
+	err := p.Validate()
+	if err == nil {
+		t.Fatal("invalid table accepted")
+	}
+	if !errors.Is(err, ErrPerfBounds) {
+		t.Fatalf("Validate error does not wrap ErrPerfBounds: %v", err)
+	}
+	if !strings.Contains(err.Error(), "(1,0)") {
+		t.Fatalf("Validate error does not name the offending pair: %v", err)
 	}
 }
 

@@ -50,6 +50,18 @@ const (
 	MetricExecReplans    = "hetsched_exec_replans_total"
 	MetricExecWallRatio  = "hetsched_exec_wall_to_modeled_ratio"
 
+	// Closed-loop network calibration (internal/calib). Labels:
+	//   - outcome: "accepted" (samples admitted into the fit)
+	//   - reason:  why a sample was rejected ("retry", "outcome",
+	//     "bounds", "outlier")
+	MetricCalibBatches      = "hetsched_calib_batches_total"
+	MetricCalibSamples      = "hetsched_calib_samples_total"
+	MetricCalibRejects      = "hetsched_calib_rejects_total"
+	MetricCalibResets       = "hetsched_calib_resets_total"
+	MetricCalibUpdates      = "hetsched_calib_updates_total"
+	MetricCalibTrustedPairs = "hetsched_calib_trusted_pairs"
+	MetricCalibAdjust       = "hetsched_calib_adjust_ratio"
+
 	// Plan-serving daemon (internal/serve). Labels:
 	//   - outcome: request resolution ("served", "shed", "expired",
 	//     "draining", "rejected")
@@ -104,6 +116,13 @@ var standardFamilies = []struct {
 	{MetricExecPeerDeaths, "Nodes declared dead mid-exchange.", TypeCounter, nil},
 	{MetricExecReplans, "Residual replans performed mid-exchange.", TypeCounter, nil},
 	{MetricExecWallRatio, "Measured wall clock over modeled t_max per exchange.", TypeHistogram, nil},
+	{MetricCalibBatches, "Sample batches observed by the calibrator.", TypeCounter, nil},
+	{MetricCalibSamples, "Transfer samples accepted into the calibration fit.", TypeCounter, nil},
+	{MetricCalibRejects, "Transfer samples rejected by the calibration gauntlet, by reason.", TypeCounter, nil},
+	{MetricCalibResets, "Per-pair evidence resets after a sustained outlier streak (regime change).", TypeCounter, nil},
+	{MetricCalibUpdates, "Trusted pair estimates drained for publication.", TypeCounter, nil},
+	{MetricCalibTrustedPairs, "Pairs currently above the trust threshold.", TypeGauge, nil},
+	{MetricCalibAdjust, "Published bandwidth estimate over the static prior, per drained update.", TypeHistogram, nil},
 	{MetricServeConns, "Connections accepted by the plan-serving daemon.", TypeCounter, nil},
 	{MetricServeRequests, "Plan requests resolved, by outcome.", TypeCounter, nil},
 	{MetricServeCoalesced, "Plan requests coalesced onto an identical in-flight request.", TypeCounter, nil},
@@ -130,7 +149,7 @@ func DeclareStandard(r *Registry) {
 		bounds := f.bounds
 		if f.typ == TypeHistogram && bounds == nil {
 			bounds = DurationBuckets
-			if f.name == MetricScheduleQuality || f.name == MetricExecWallRatio {
+			if f.name == MetricScheduleQuality || f.name == MetricExecWallRatio || f.name == MetricCalibAdjust {
 				bounds = RatioBuckets
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"hetsched/internal/calib"
 	"hetsched/internal/comm"
 	"hetsched/internal/directory"
 	"hetsched/internal/obs"
@@ -73,6 +74,11 @@ type Config struct {
 	// TailAll retains every span tree regardless of outcome (tests,
 	// short debugging sessions); the sampler cap still bounds memory.
 	TailAll bool
+	// Calib, when set, surfaces the communicator's network calibrator
+	// on /statusz: per-pair confidence, trust counts, and the
+	// lowest-confidence pairs. Purely observational — the daemon never
+	// feeds or drains the calibrator itself.
+	Calib *calib.Calibrator
 }
 
 func (cfg Config) withDefaults() Config {
